@@ -1,0 +1,106 @@
+// Ablation: deploying the design on other HBM boards and picking
+// operating points automatically (paper section VI, future work).
+//
+// The conclusion proposes (a) smaller accelerator cards — "with
+// similar memory bandwidth, the computation can be cheaper and even
+// more power-efficient, with no performance loss" — and (b) adaptive
+// reconfiguration of numerical precision for accuracy/performance
+// targets.  This bench evaluates the paper's workload on the Alveo
+// U280/U50/U55C profiles and runs the design-space explorer for a
+// range of precision targets.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hbmsim/design_space.hpp"
+#include "hbmsim/power_model.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using topk::core::DesignConfig;
+using topk::core::PacketLayout;
+using topk::hbmsim::BoardProfile;
+using topk::hbmsim::WorkloadGoal;
+using topk::util::format_double;
+
+WorkloadGoal paper_workload() {
+  WorkloadGoal goal;
+  goal.rows = 10'000'000;
+  goal.cols = 1024;
+  goal.nnz = 200'000'000;
+  goal.top_k = 100;
+  goal.min_precision = 0.99;
+  goal.min_value_bits = 16;
+  return goal;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)topk::bench::parse_args(argc, argv);
+  const WorkloadGoal goal = paper_workload();
+
+  std::cout << "Future-work ablation: boards and adaptive precision "
+               "(paper section VI).\nWorkload: N = 1e7, M = 1024, 2e8 nnz, "
+               "K = 100, precision floor 0.99.\n\n";
+
+  // --- Boards: the paper's 20-bit design retargeted. -----------------
+  std::cout << "[Boards] the 32-core 20-bit design on each card:\n";
+  topk::util::TablePrinter boards_table(
+      {"Board", "HBM peak [GB/s]", "Max cores (fabric)", "Latency [ms]",
+       "Board power [W]", "Perf/W vs U280"});
+  const DesignConfig design20 = DesignConfig::fixed(20);
+  const PacketLayout layout20 = PacketLayout::solve(goal.cols, 20);
+  double u280_perf_per_watt = 0.0;
+  for (const BoardProfile& board : topk::hbmsim::all_boards()) {
+    const auto point = topk::hbmsim::evaluate_design(design20, goal, board);
+    const int max_cores =
+        topk::hbmsim::max_cores_on_board(design20, layout20, board);
+    const double perf_per_watt =
+        (1.0 / point.modelled_seconds) / point.modelled_power_w;
+    if (u280_perf_per_watt == 0.0) {
+      u280_perf_per_watt = perf_per_watt;
+    }
+    boards_table.add_row(
+        {board.name,
+         format_double(board.hbm.peak_channel_gbps * board.hbm.channels, 0),
+         std::to_string(max_cores),
+         format_double(point.modelled_seconds * 1e3, 2),
+         format_double(point.modelled_power_w, 0),
+         format_double(perf_per_watt / u280_perf_per_watt, 2) + "x"});
+  }
+  boards_table.print(std::cout);
+
+  // --- Adaptive precision: explorer recommendations. ------------------
+  std::cout << "\n[Adaptive precision] explorer picks per precision "
+               "target (U280):\n";
+  topk::util::TablePrinter explorer_table(
+      {"Precision floor", "Fastest design", "k", "E[P]", "Latency [ms]",
+       "Cheapest design (<=1.5x slower)", "Power [W]"});
+  for (const double floor : {0.90, 0.99, 0.999, 0.9999}) {
+    WorkloadGoal target = goal;
+    target.min_precision = floor;
+    const auto fastest =
+        topk::hbmsim::recommend_fastest(target, topk::hbmsim::board_u280());
+    const auto cheapest =
+        topk::hbmsim::recommend_cheapest(target, topk::hbmsim::board_u280());
+    explorer_table.add_row(
+        {format_double(floor, 4), fastest.design.name(),
+         std::to_string(fastest.design.k),
+         format_double(fastest.expected_precision, 4),
+         format_double(fastest.modelled_seconds * 1e3, 2),
+         cheapest.design.name(),
+         format_double(cheapest.modelled_power_w, 0)});
+  }
+  explorer_table.print(std::cout);
+
+  std::cout << "\nShape to verify: the U55C — the 'similar memory "
+               "bandwidth' card of the paper's future-work claim — "
+               "matches the U280 latency at lower static power, i.e. "
+               "better perf/W with no performance loss; the U50 trades "
+               "~1.45x latency (bandwidth ratio) for the lowest board "
+               "power; tighter precision floors force larger k (more "
+               "candidates) without hurting the bandwidth-bound "
+               "latency.\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Ablation: the rows-per-packet budget r (paper section IV-B).
+// The hardware tracks results for at most r finished rows per packet;
+// the paper reports that B/4 < r < B/2 saves up to 50% of the Top-K
+// stage's resources with no accuracy loss on realistic densities.
+// This bench sweeps r on a realistic and on an adversarial matrix,
+// reporting dropped rows, measured precision against the exact result,
+// modelled LUT savings, and the padding cost of the encoder-side
+// enforcement alternative.
+#include <iostream>
+
+#include "baselines/cpu_topk_spmv.hpp"
+#include "bench_common.hpp"
+#include "core/accelerator.hpp"
+#include "hbmsim/resource_model.hpp"
+#include "metrics/ranking.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using topk::core::DesignConfig;
+using topk::core::TopKAccelerator;
+using topk::util::format_double;
+
+void sweep_matrix(const topk::bench::BenchArgs& args, const std::string& label,
+                  const topk::sparse::Csr& matrix) {
+  constexpr int kTopK = 64;
+  topk::util::Xoshiro256 rng(args.seed + 5);
+  const auto x = topk::sparse::generate_dense_vector(matrix.cols(), rng);
+  const auto exact = topk::baselines::cpu_topk_spmv(matrix, x, kTopK, args.threads);
+  std::vector<std::uint32_t> relevant;
+  for (const auto& entry : exact) {
+    relevant.push_back(entry.index);
+  }
+
+  const topk::core::PacketLayout layout =
+      topk::core::PacketLayout::solve(matrix.cols(), 20);
+
+  std::cout << "\n[" << label << "] rows = " << matrix.rows()
+            << ", nnz = " << matrix.nnz() << ", B = " << layout.capacity
+            << ":\n";
+  topk::util::TablePrinter table({"r", "Rows dropped", "Precision@64",
+                                  "LUT (model)", "Enforced packets (+%)"});
+
+  // Baseline packet count without enforcement.
+  DesignConfig probe = DesignConfig::fixed(20, 8);
+  const TopKAccelerator baseline(matrix, probe);
+  const double base_packets =
+      static_cast<double>(baseline.query(x, kTopK).stats.total_packets);
+
+  for (const int r : {1, 2, 4, 8, layout.capacity}) {
+    DesignConfig design = DesignConfig::fixed(20, 8);
+    design.rows_per_packet = r;
+    const TopKAccelerator accelerator(matrix, design);
+    const auto result = accelerator.query(x, kTopK);
+
+    std::vector<std::uint32_t> retrieved;
+    for (const auto& entry : result.entries) {
+      retrieved.push_back(entry.index);
+    }
+    const double precision = topk::metrics::precision_at_k(retrieved, relevant);
+    const double lut =
+        topk::hbmsim::estimate_resources(design, accelerator.layout()).lut;
+
+    // Encoder-side enforcement: packets added to guarantee zero drops.
+    DesignConfig enforced = design;
+    enforced.enforce_r_in_encoder = true;
+    const TopKAccelerator enforced_accelerator(matrix, enforced);
+    const auto enforced_result = enforced_accelerator.query(x, kTopK);
+    const double enforced_packets =
+        static_cast<double>(enforced_result.stats.total_packets);
+
+    table.add_row(
+        {std::to_string(r), std::to_string(result.stats.rows_dropped),
+         format_double(precision, 3), format_double(lut / 1000.0, 0) + "k",
+         format_double(enforced_packets, 0) + " (+" +
+             format_double(100.0 * (enforced_packets / base_packets - 1.0), 1) +
+             "%)"});
+    if (enforced_result.stats.rows_dropped != 0) {
+      std::cout << "ERROR: enforcement must eliminate drops\n";
+    }
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const topk::bench::BenchArgs args = topk::bench::parse_args(argc, argv);
+  std::cout << "Ablation of the rows-per-packet budget r (section IV-B).\n";
+
+  {
+    // Realistic: Table III density (20 nnz/row vs B = 15): at most 1-2
+    // rows finish per packet, so even r = 2 is lossless.
+    const auto matrix = topk::bench::make_table3_matrix(
+        args, 0.5e7 / 10, 1024, 20.0, topk::sparse::RowDistribution::kUniform,
+        4);
+    sweep_matrix(args, "Realistic density (20 nnz/row)", matrix);
+  }
+  {
+    // Adversarial: ~1.5 nnz/row packs up to B rows into one packet;
+    // small r now drops rows and costs precision, unless the encoder
+    // enforces the budget.
+    topk::sparse::GeneratorConfig config;
+    config.rows = args.scale_rows(0.5e7 / 10);
+    config.cols = 1024;
+    config.mean_nnz_per_row = 1.5;
+    config.seed = args.seed + 6;
+    sweep_matrix(args, "Adversarial density (1.5 nnz/row)",
+                 topk::sparse::generate_matrix(config));
+  }
+
+  std::cout << "\nShape to verify (paper): on realistic densities r in "
+               "(B/4, B/2) loses nothing while the Top-K stage LUT model "
+               "shrinks; only adversarial sub-2 nnz/row matrices make small "
+               "r lossy, and encoder enforcement restores exactness for a "
+               "few percent more packets.\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Shared plumbing for the benchmark harness binaries.
+//
+// Every bench reproduces one table or figure of the paper.  Default
+// arguments run in seconds on a laptop-class machine by shrinking the
+// matrix sizes; `--full` switches to paper-scale (needs several GB of
+// RAM and minutes of CPU).  Output is ASCII tables whose rows mirror
+// the paper's, with the paper's reported numbers printed alongside for
+// comparison (EXPERIMENTS.md records both).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/design.hpp"
+#include "embed/sparsify.hpp"
+#include "sparse/generator.hpp"
+
+namespace topk::bench {
+
+/// Parsed command line common to all benches.
+struct BenchArgs {
+  bool full = false;        ///< paper-scale sizes
+  int queries = 0;          ///< per-config query count (0 = bench default)
+  std::uint64_t seed = 42;  ///< master seed
+  int threads = 0;          ///< CPU baseline threads (0 = hardware)
+
+  /// Scales a paper-scale row count down unless --full is given.
+  [[nodiscard]] std::uint32_t scale_rows(double paper_rows,
+                                         double shrink = 20.0) const {
+    const double rows = full ? paper_rows : paper_rows / shrink;
+    return static_cast<std::uint32_t>(rows);
+  }
+};
+
+/// Parses --full, --queries=N, --seed=N, --threads=N; exits with a
+/// usage message on anything unrecognised.
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    const auto int_value = [&](std::string_view prefix) {
+      return std::stoll(std::string(arg.substr(prefix.size())));
+    };
+    if (arg == "--full") {
+      args.full = true;
+    } else if (arg.rfind("--queries=", 0) == 0) {
+      args.queries = static_cast<int>(int_value("--queries="));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      args.seed = static_cast<std::uint64_t>(int_value("--seed="));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      args.threads = static_cast<int>(int_value("--threads="));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: bench [--full] [--queries=N] [--seed=N] "
+                   "[--threads=N]\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// The four FPGA designs evaluated throughout the paper (Table II).
+inline std::vector<core::DesignConfig> paper_designs(int cores = 32) {
+  return {core::DesignConfig::fixed(20, cores),
+          core::DesignConfig::fixed(25, cores),
+          core::DesignConfig::fixed(32, cores),
+          core::DesignConfig::float32(cores)};
+}
+
+/// Synthetic Table III matrix, shrunk unless --full.
+inline sparse::Csr make_table3_matrix(const BenchArgs& args, double paper_rows,
+                                      std::uint32_t cols, double mean_nnz,
+                                      sparse::RowDistribution distribution,
+                                      std::uint64_t seed_offset = 0) {
+  sparse::GeneratorConfig config;
+  config.rows = args.scale_rows(paper_rows);
+  config.cols = cols;
+  config.mean_nnz_per_row = mean_nnz;
+  config.distribution = distribution;
+  config.seed = args.seed + seed_offset;
+  return sparse::generate_matrix(config);
+}
+
+/// The sparsified GloVe-like corpus (shrunk unless --full).
+inline sparse::Csr make_glove_like_matrix(const BenchArgs& args,
+                                          std::uint32_t cols = 1024) {
+  embed::CorpusConfig corpus_config;
+  // Paper: 0.2e7 rows; dictionary coding is O(rows * atoms * dim), so
+  // the default shrink is more aggressive here.
+  corpus_config.rows = args.full ? 2'000'000 : 20'000;
+  corpus_config.dim = 300;
+  corpus_config.clusters = args.full ? 512 : 64;
+  corpus_config.seed = args.seed + 100;
+  const embed::DenseEmbeddings corpus = embed::generate_glove_like(corpus_config);
+  const embed::Dictionary dictionary(cols, corpus_config.dim, args.seed + 101);
+  embed::SparsifyConfig sparsify_config;
+  sparsify_config.target_nnz = 16;  // paper: ~12-23 nnz/row
+  sparsify_config.use_matching_pursuit = false;  // one-shot: corpus-scale
+  return embed::sparsify_corpus(corpus, dictionary, sparsify_config);
+}
+
+}  // namespace topk::bench

@@ -1,0 +1,210 @@
+// Reproduces Figure 5: execution-time speedup of the GPU baselines and
+// the four FPGA designs over the CPU baseline, for K = 100, plus the
+// section V-B power-efficiency claims.
+//
+// The CPU baseline is *measured* on this machine (a from-scratch
+// sparse_dot_topn equivalent).  FPGA and GPU times are *modelled*
+// (DESIGN.md substitution): the FPGA model runs on the real per-core
+// packet counts of the BS-CSR encoder; the GPU model is the calibrated
+// P100 bandwidth model.  Absolute speedups therefore depend on this
+// machine's CPU; the paper's reported speedups are printed alongside
+// and the *ordering* (20b > 25b > 32b > F32 > GPU > CPU) is the
+// reproduced shape.
+#include <iostream>
+
+#include "baselines/cpu_topk_spmv.hpp"
+#include "baselines/gpu_model.hpp"
+#include "bench_common.hpp"
+#include "core/accelerator.hpp"
+#include "hbmsim/power_model.hpp"
+#include "hbmsim/timing_model.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using topk::bench::BenchArgs;
+using topk::core::DesignConfig;
+using topk::core::TopKAccelerator;
+using topk::util::format_double;
+using topk::util::format_speedup;
+
+constexpr int kTopK = 100;
+
+struct FamilyResult {
+  std::string label;
+  double cpu_seconds = 0.0;
+  double gpu_f32_spmv = 0.0;
+  double gpu_f32_topk = 0.0;
+  double gpu_f16_spmv = 0.0;
+  double gpu_f16_topk = 0.0;
+  std::vector<double> fpga_seconds;   // one per design
+  double fpga20_gnnz_per_s = 0.0;     // paper-scale throughput estimate
+};
+
+// All platforms are extrapolated to paper-scale non-zero counts before
+// speedups are formed: the CPU scan, the GPU bandwidth model and the
+// FPGA packet model are all linear in nnz, and per-query fixed
+// overheads would otherwise dominate the shrunken default matrices.
+FamilyResult run_family(const BenchArgs& args, std::string label,
+                        const topk::sparse::Csr& matrix, double scale) {
+  FamilyResult result;
+  result.label = std::move(label);
+
+  // Measured CPU baseline: median of a few runs.
+  topk::util::Xoshiro256 rng(args.seed + 7);
+  const auto x = topk::sparse::generate_dense_vector(matrix.cols(), rng);
+  const int repeats = args.queries > 0 ? args.queries : 3;
+  double best = 1e30;
+  for (int i = 0; i < repeats; ++i) {
+    topk::util::WallTimer timer;
+    const auto topk_result =
+        topk::baselines::cpu_topk_spmv(matrix, x, kTopK, args.threads);
+    best = std::min(best, timer.seconds());
+    if (topk_result.size() != kTopK) {
+      std::cerr << "unexpected CPU result size\n";
+      std::exit(1);
+    }
+  }
+  result.cpu_seconds = best * scale;  // the CPU scan is nnz-linear
+
+  const auto paper_nnz = static_cast<std::uint64_t>(
+      static_cast<double>(matrix.nnz()) * scale);
+  const auto paper_rows = static_cast<std::uint64_t>(
+      static_cast<double>(matrix.rows()) * scale);
+
+  // Modelled GPU baseline at paper-scale sizes.
+  const topk::baselines::GpuPerfModel gpu;
+  result.gpu_f32_spmv = gpu.spmv_seconds(paper_nnz, false);
+  result.gpu_f32_topk = gpu.topk_seconds(paper_nnz, paper_rows, false);
+  result.gpu_f16_spmv = gpu.spmv_seconds(paper_nnz, true);
+  result.gpu_f16_topk = gpu.topk_seconds(paper_nnz, paper_rows, true);
+
+  // Modelled FPGA designs on real encoded packet counts (scaled).
+  for (const DesignConfig& design : topk::bench::paper_designs()) {
+    const TopKAccelerator accelerator(matrix, design);
+    const auto packets = static_cast<std::uint64_t>(
+        static_cast<double>(accelerator.max_core_packets()) * scale);
+    result.fpga_seconds.push_back(
+        topk::hbmsim::estimate_query_time(design, accelerator.layout(), packets,
+                                          paper_nnz)
+            .seconds);
+  }
+  result.fpga20_gnnz_per_s =
+      static_cast<double>(paper_nnz) / result.fpga_seconds[0] / 1e9;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = topk::bench::parse_args(argc, argv);
+  const double shrink = args.full ? 1.0 : 20.0;
+
+  std::cout << "Reproducing paper Figure 5 (speedup vs CPU, K = " << kTopK
+            << ").  CPU measured on this machine; FPGA/GPU modelled "
+               "(DESIGN.md).\n";
+  if (!args.full) {
+    std::cout << "(rows scaled by 1/" << shrink << "; --full for paper scale)\n";
+  }
+  std::cout << '\n';
+
+  std::vector<FamilyResult> results;
+  std::uint64_t offset = 0;
+  for (const double paper_rows : {0.5e7, 1.0e7, 1.5e7}) {
+    const auto matrix = topk::bench::make_table3_matrix(
+        args, paper_rows, 1024, 20.0, topk::sparse::RowDistribution::kUniform,
+        offset++);
+    results.push_back(run_family(args,
+                                 "N = " + format_double(paper_rows / 1e7, 1) +
+                                     "e7",
+                                 matrix, shrink));
+  }
+  {
+    const auto glove = topk::bench::make_glove_like_matrix(args);
+    results.push_back(
+        run_family(args, "Sparse GloVe-like", glove, args.full ? 1.0 : 100.0));
+  }
+
+  const auto designs = topk::bench::paper_designs();
+  topk::util::TablePrinter table(
+      {"Matrix", "CPU [ms]", "GPU F32", "GPU F32+sort", "GPU F16",
+       "GPU F16+sort", "FPGA 20b", "FPGA 25b", "FPGA 32b", "FPGA F32"});
+  for (const FamilyResult& r : results) {
+    table.add_row({r.label, format_double(r.cpu_seconds * 1e3, 1),
+                   format_speedup(r.cpu_seconds / r.gpu_f32_spmv),
+                   format_speedup(r.cpu_seconds / r.gpu_f32_topk),
+                   format_speedup(r.cpu_seconds / r.gpu_f16_spmv),
+                   format_speedup(r.cpu_seconds / r.gpu_f16_topk),
+                   format_speedup(r.cpu_seconds / r.fpga_seconds[0]),
+                   format_speedup(r.cpu_seconds / r.fpga_seconds[1]),
+                   format_speedup(r.cpu_seconds / r.fpga_seconds[2]),
+                   format_speedup(r.cpu_seconds / r.fpga_seconds[3])});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nFPGA-vs-GPU ratios (machine-independent):\n";
+  topk::util::TablePrinter ratio_table(
+      {"Matrix", "FPGA 20b vs GPU F32 (SpMV only)",
+       "FPGA 20b vs GPU F32 (+sort)", "FPGA throughput [Gnnz/s est.]"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const FamilyResult& r = results[i];
+    // Scale-invariant: both sides are linear in nnz.
+    const double vs_ideal = r.gpu_f32_spmv / r.fpga_seconds[0];
+    const double vs_sorting = r.gpu_f32_topk / r.fpga_seconds[0];
+    ratio_table.add_row({r.label, format_double(vs_ideal, 2) + "x",
+                         format_double(vs_sorting, 2) + "x",
+                         format_double(r.fpga20_gnnz_per_s, 1)});
+  }
+  ratio_table.print(std::cout);
+
+  // Section V-B: power efficiency.
+  const auto layout20 = topk::core::PacketLayout::solve(1024, 20);
+  const auto fpga_power =
+      topk::hbmsim::fpga_power(DesignConfig::fixed(20), layout20);
+  const auto cpu_power = topk::hbmsim::cpu_power();
+  const auto gpu_power = topk::hbmsim::gpu_power();
+  const FamilyResult& mid = results[1];
+  const double fpga_perf = 1.0 / mid.fpga_seconds[0];
+  const double gpu_perf = 1.0 / mid.gpu_f32_spmv;
+  const double cpu_perf = 1.0 / mid.cpu_seconds;
+
+  std::cout << "\n[Section V-B] Performance/Watt, N = 1e7 row family:\n";
+  topk::util::TablePrinter power_table({"Comparison", "This repo", "Paper"});
+  power_table.add_row(
+      {"FPGA 20b vs idealized GPU (board only)",
+       format_double(topk::hbmsim::performance_per_watt(fpga_perf, fpga_power,
+                                                        false) /
+                         topk::hbmsim::performance_per_watt(gpu_perf, gpu_power,
+                                                            false),
+                     1) +
+           "x",
+       "14.2x"});
+  power_table.add_row(
+      {"FPGA 20b vs idealized GPU (incl. host)",
+       format_double(topk::hbmsim::performance_per_watt(fpga_perf, fpga_power,
+                                                        true) /
+                         topk::hbmsim::performance_per_watt(gpu_perf, gpu_power,
+                                                            true),
+                     1) +
+           "x",
+       "7.7x"});
+  power_table.add_row(
+      {"FPGA 20b vs CPU",
+       format_double(topk::hbmsim::performance_per_watt(fpga_perf, fpga_power,
+                                                        true) /
+                         topk::hbmsim::performance_per_watt(cpu_perf, cpu_power,
+                                                            true),
+                     0) +
+           "x",
+       "~400x"});
+  power_table.print(std::cout);
+
+  std::cout << "\nPaper reference speedups (Figure 5): GPU F32 51-55x, GPU "
+               "F16 58-62x, FPGA 20b 101-106x, 25b 86-89x, 32b 75-89x, F32 "
+               "43x (CPU baselines 279/509/747/117 ms on 2x Xeon 6248).\n";
+  std::cout << "Shape to verify: FPGA 20b fastest; fixed point beats float; "
+               "FPGA 20b ~2x the idealized GPU; sorting costs push the real "
+               "GPU Top-K far lower.\n";
+  return 0;
+}

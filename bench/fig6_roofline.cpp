@@ -1,0 +1,151 @@
+// Reproduces Figure 6: the roofline model of the architecture.
+//  (a) operational-intensity gain of BS-CSR (B = 5 naive COO vs B up
+//      to 15) under the 1/8/16/32-core bandwidth ceilings;
+//  (b) FPGA vs CPU and GPU: attainable and modelled-measured
+//      performance at each platform's operational intensity.
+#include <iostream>
+
+#include "baselines/cpu_topk_spmv.hpp"
+#include "baselines/gpu_model.hpp"
+#include "bench_common.hpp"
+#include "core/accelerator.hpp"
+#include "hbmsim/timing_model.hpp"
+#include "roofline/roofline.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using topk::core::DesignConfig;
+using topk::core::PacketLayout;
+using topk::roofline::attainable;
+using topk::roofline::Ceiling;
+using topk::util::format_double;
+
+std::string eng(double value) {
+  if (value >= 1e9) {
+    return format_double(value / 1e9, 2) + "e9";
+  }
+  if (value >= 1e6) {
+    return format_double(value / 1e6, 2) + "e6";
+  }
+  return format_double(value, 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const topk::bench::BenchArgs args = topk::bench::parse_args(argc, argv);
+  const auto hbm = topk::hbmsim::alveo_u280();
+  const DesignConfig design20 = DesignConfig::fixed(20);
+  const PacketLayout layout20 = PacketLayout::solve(1024, 20);
+
+  std::cout << "Reproducing paper Figure 6 (roofline model, performance in "
+               "non-zeros/s, OI in nnz/byte).\n\n";
+
+  // --- (a): BS-CSR OI sweep under core-count ceilings. ---------------
+  std::cout << "[Figure 6a] Attainable performance vs OI; BS-CSR moves the "
+               "design point from B=5 (naive COO) to B=15.\n";
+  topk::util::TablePrinter ceilings({"Cores", "Bandwidth [GB/s]",
+                                     "Perf @ B=5 [nnz/s]",
+                                     "Perf @ B=15 [nnz/s]", "Gain"});
+  for (const int cores : {1, 8, 16, 32}) {
+    const Ceiling ceiling = topk::roofline::fpga_ceiling(
+        DesignConfig::fixed(20, cores), layout20, hbm, cores);
+    const double at_coo = attainable(ceiling, 5.0 / 64.0);
+    const double at_bscsr = attainable(ceiling, 15.0 / 64.0);
+    ceilings.add_row({std::to_string(cores),
+                      format_double(ceiling.bandwidth_bytes_per_s / 1e9, 1),
+                      eng(at_coo), eng(at_bscsr),
+                      format_double(at_bscsr / at_coo, 2) + "x"});
+  }
+  ceilings.print(std::cout);
+
+  std::cout << "\nOI sweep of the 32-core ceiling (log-spaced, B = 5..15 "
+               "region):\n";
+  topk::util::TablePrinter sweep({"OI [nnz/B]", "Attainable [nnz/s]",
+                                  "Regime"});
+  const Ceiling full = topk::roofline::fpga_ceiling(design20, layout20, hbm, 32);
+  for (const auto& point :
+       topk::roofline::ceiling_series(full, 0.02, 1.0, 9)) {
+    sweep.add_row({format_double(point.operational_intensity, 3),
+                   eng(point.performance),
+                   point.performance < full.compute_peak ? "bandwidth"
+                                                         : "compute"});
+  }
+  sweep.print(std::cout);
+
+  // --- (b): cross-platform comparison. --------------------------------
+  std::cout << "\n[Figure 6b] Platform comparison at each platform's own "
+               "OI.\n";
+
+  // CPU: measure a quick Top-K SpMV to place the measured point.
+  const auto matrix = topk::bench::make_table3_matrix(
+      args, 0.5e7, 1024, 20.0, topk::sparse::RowDistribution::kUniform, 0);
+  topk::util::Xoshiro256 rng(args.seed);
+  const auto x = topk::sparse::generate_dense_vector(matrix.cols(), rng);
+  topk::util::WallTimer timer;
+  (void)topk::baselines::cpu_topk_spmv(matrix, x, 100, args.threads);
+  const double cpu_measured = matrix.nnz() / timer.seconds();
+
+  // Modelled platforms are evaluated at paper-scale non-zero counts so
+  // per-query fixed overheads do not distort the sustained-throughput
+  // points (all models are nnz-linear).
+  const double scale = args.full ? 1.0 : 20.0;
+  const auto paper_nnz =
+      static_cast<std::uint64_t>(static_cast<double>(matrix.nnz()) * scale);
+  const topk::baselines::GpuPerfModel gpu;
+  const double gpu_f32_measured =
+      static_cast<double>(paper_nnz) / gpu.spmv_seconds(paper_nnz, false);
+  const double gpu_f16_measured =
+      static_cast<double>(paper_nnz) / gpu.spmv_seconds(paper_nnz, true);
+
+  const auto fpga_rate = [&](const DesignConfig& design) {
+    const topk::core::TopKAccelerator accelerator(matrix, design);
+    const auto packets = static_cast<std::uint64_t>(
+        static_cast<double>(accelerator.max_core_packets()) * scale);
+    return static_cast<double>(paper_nnz) /
+           topk::hbmsim::estimate_query_time(design, accelerator.layout(),
+                                             packets, paper_nnz)
+               .seconds;
+  };
+  const double fpga20_measured = fpga_rate(design20);
+  const double fpga32_measured = fpga_rate(DesignConfig::fixed(32));
+
+  // Platform ceilings: CPU ~282 GB/s (2x Xeon 6248, 6-ch DDR4-2933),
+  // GPU 549 GB/s; OI: CSR 8 B/nnz (F32), 6 B/nnz (F16).
+  const Ceiling cpu_ceiling{"CPU", 282e9, 0.0};
+  const Ceiling gpu_ceiling{"GPU P100", 549e9, 0.0};
+  const PacketLayout layout32 = PacketLayout::solve(1024, 32);
+
+  topk::util::TablePrinter platforms(
+      {"Platform", "OI [nnz/B]", "Attainable [nnz/s]", "Modelled/measured",
+       "% of roof"});
+  const auto add_platform = [&](const std::string& name, double oi,
+                                const Ceiling& ceiling, double measured) {
+    const double roof = attainable(ceiling, oi);
+    platforms.add_row({name, format_double(oi, 3), eng(roof), eng(measured),
+                       format_double(100.0 * measured / roof, 0) + "%"});
+  };
+  add_platform("CPU Top-K SpMV (measured here)",
+               topk::roofline::gpu_intensity(false), cpu_ceiling, cpu_measured);
+  add_platform("GPU SpMV F32 (model)", topk::roofline::gpu_intensity(false),
+               gpu_ceiling, gpu_f32_measured);
+  add_platform("GPU SpMV F16 (model)", topk::roofline::gpu_intensity(true),
+               gpu_ceiling, gpu_f16_measured);
+  add_platform("FPGA 32C 32b (model)",
+               topk::roofline::bscsr_intensity(layout32),
+               topk::roofline::fpga_ceiling(DesignConfig::fixed(32), layout32,
+                                            hbm, 32),
+               fpga32_measured);
+  add_platform("FPGA 32C 20b (model)",
+               topk::roofline::bscsr_intensity(layout20), full,
+               fpga20_measured);
+  platforms.print(std::cout);
+
+  std::cout << "\nShape to verify (paper): performance scales linearly with "
+               "HBM channels; BS-CSR lifts OI up to 3x over naive COO "
+               "(2.8x at B=15); the FPGA point sits above both GPU points "
+               "despite 20% less peak bandwidth.\n";
+  return 0;
+}

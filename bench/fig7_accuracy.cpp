@@ -1,0 +1,151 @@
+// Reproduces Figure 7: Top-K accuracy (Precision, Kendall's tau, NDCG)
+// versus K for the FPGA designs (bit-accurate functional simulation,
+// c = 32 cores, k = 8) and the GPU F16 baseline (software binary16
+// emulation), all evaluated against the exact CPU result.
+#include <algorithm>
+#include <array>
+#include <functional>
+#include <iostream>
+
+#include "baselines/cpu_topk_spmv.hpp"
+#include "baselines/gpu_model.hpp"
+#include "bench_common.hpp"
+#include "core/accelerator.hpp"
+#include "metrics/ranking.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using topk::bench::BenchArgs;
+using topk::core::DesignConfig;
+using topk::core::TopKAccelerator;
+using topk::core::TopKEntry;
+using topk::metrics::TopKQuality;
+using topk::util::format_double;
+
+constexpr std::array<int, 6> kTopKs{8, 16, 32, 50, 75, 100};
+constexpr int kMaxK = 100;
+
+struct ArchCurves {
+  std::string name;
+  // [metric][K index] running means; metric: 0 precision, 1 tau, 2 ndcg.
+  std::array<std::array<topk::util::RunningStats, kTopKs.size()>, 3> stats;
+
+  void absorb(std::size_t k_index, const TopKQuality& quality) {
+    stats[0][k_index].add(quality.precision);
+    stats[1][k_index].add(quality.kendall_tau);
+    stats[2][k_index].add(quality.ndcg);
+  }
+};
+
+void evaluate_prefixes(ArchCurves& curves,
+                       const std::vector<TopKEntry>& retrieved,
+                       const std::vector<TopKEntry>& exact,
+                       const std::function<double(std::uint32_t)>& true_score) {
+  // A merged Top-100 list's prefix is exactly the Top-K list for any
+  // smaller K (same candidate pool), so one query serves all K.
+  for (std::size_t i = 0; i < kTopKs.size(); ++i) {
+    const auto k = static_cast<std::size_t>(kTopKs[i]);
+    const std::vector<TopKEntry> retrieved_k(
+        retrieved.begin(), retrieved.begin() + std::min(k, retrieved.size()));
+    const std::vector<TopKEntry> exact_k(
+        exact.begin(), exact.begin() + std::min(k, exact.size()));
+    curves.absorb(i, topk::metrics::evaluate_topk(retrieved_k, exact_k,
+                                                  true_score));
+  }
+}
+
+void print_metric(const char* title, int metric,
+                  const std::vector<ArchCurves>& curves,
+                  const std::string& family) {
+  topk::util::TablePrinter table({"Architecture", "K=8", "K=16", "K=32",
+                                  "K=50", "K=75", "K=100"});
+  for (const ArchCurves& arch : curves) {
+    std::vector<std::string> cells{arch.name};
+    for (std::size_t i = 0; i < kTopKs.size(); ++i) {
+      cells.push_back(format_double(arch.stats[metric][i].mean(), 4));
+    }
+    table.add_row(std::move(cells));
+  }
+  std::cout << "\n[" << family << "] " << title << ":\n";
+  table.print(std::cout);
+}
+
+void run_family(const BenchArgs& args, const std::string& family,
+                const topk::sparse::Csr& matrix) {
+  const int queries = args.queries > 0 ? args.queries : (args.full ? 30 : 5);
+
+  const std::vector<DesignConfig> designs{
+      DesignConfig::fixed(20), DesignConfig::fixed(32), DesignConfig::float32()};
+  std::vector<ArchCurves> curves;
+  curves.push_back({"FPGA 20b", {}});
+  curves.push_back({"FPGA 32b", {}});
+  curves.push_back({"FPGA F32", {}});
+  curves.push_back({"GPU F16", {}});
+
+  std::vector<TopKAccelerator> accelerators;
+  accelerators.reserve(designs.size());
+  for (const DesignConfig& design : designs) {
+    accelerators.emplace_back(matrix, design);
+  }
+
+  topk::util::Xoshiro256 rng(args.seed + 17);
+  for (int q = 0; q < queries; ++q) {
+    const auto x = topk::sparse::generate_dense_vector(matrix.cols(), rng);
+    const auto exact =
+        topk::baselines::cpu_topk_spmv(matrix, x, kMaxK, args.threads);
+    const auto true_score = [&](std::uint32_t row) {
+      return matrix.row_dot(row, x);
+    };
+    for (std::size_t d = 0; d < accelerators.size(); ++d) {
+      const auto result = accelerators[d].query(x, kMaxK);
+      evaluate_prefixes(curves[d], result.entries, exact, true_score);
+    }
+    const auto f16 = topk::baselines::gpu_f16_topk_spmv(matrix, x, kMaxK);
+    evaluate_prefixes(curves.back(), f16, exact, true_score);
+  }
+
+  print_metric("Precision (higher is better)", 0, curves, family);
+  print_metric("Kendall's tau", 1, curves, family);
+  print_metric("NDCG", 2, curves, family);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = topk::bench::parse_args(argc, argv);
+  std::cout << "Reproducing paper Figure 7 (Top-K accuracy vs K; FPGA "
+               "designs with c = 32, k = 8; GPU F16 emulated in software)."
+            << "\n";
+  if (!args.full) {
+    std::cout << "(reduced scale: smaller N and fewer queries; --full for "
+                 "paper scale)\n";
+  }
+
+  {
+    const auto matrix = topk::bench::make_table3_matrix(
+        args, 0.5e7, 1024, 20.0, topk::sparse::RowDistribution::kUniform, 1);
+    run_family(args, "Uniform, N = 0.5e7 family", matrix);
+  }
+  {
+    const auto matrix = topk::bench::make_table3_matrix(
+        args, 0.5e7, 1024, 20.0, topk::sparse::RowDistribution::kGamma, 2);
+    run_family(args, "Gamma, N = 0.5e7 family", matrix);
+  }
+  {
+    const auto glove = topk::bench::make_glove_like_matrix(args);
+    run_family(args, "Sparse GloVe-like", glove);
+  }
+
+  std::cout << "\nPaper reference (Figure 7): Precision stays above ~97% "
+               "for every architecture up to K = 100; 32-bit fixed point "
+               "meets or beats GPU F16 despite the partition "
+               "approximation; Kendall tau and NDCG stay above ~0.95/0.96 "
+               "with a mild dip as K grows.\n";
+  std::cout << "Note: at reduced N the partition approximation is "
+               "relatively harsher (K/N is larger), so default-scale "
+               "precision reads slightly below the paper's full-scale "
+               "curves; --full restores the paper's regime.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces Table II: resource usage, clock frequency and power of
+// the four evaluated designs.  Synthesis is unavailable offline, so
+// the figures come from the calibrated resource model (exact for the
+// paper's designs, analytic for everything else); the analytic block
+// demonstrates the model on configurations the paper only mentions
+// (more cores, different k/r).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/packet_layout.hpp"
+#include "hbmsim/resource_model.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using topk::core::DesignConfig;
+using topk::core::PacketLayout;
+using topk::hbmsim::estimate_resources;
+using topk::hbmsim::fits_device;
+using topk::hbmsim::fractions;
+using topk::hbmsim::ResourceFractions;
+using topk::hbmsim::ResourceUsage;
+using topk::util::format_double;
+
+std::string percent(double fraction) {
+  return format_double(fraction * 100.0, 0) + "%";
+}
+
+void add_design_row(topk::util::TablePrinter& table, const std::string& name,
+                    const DesignConfig& design) {
+  const PacketLayout layout = PacketLayout::solve(1024, design.value_bits);
+  const ResourceUsage usage = estimate_resources(design, layout);
+  const ResourceFractions f = fractions(usage);
+  table.add_row({name, std::to_string(design.cores), percent(f.lut),
+                 percent(f.ff), percent(f.bram), percent(f.uram),
+                 percent(f.dsp), format_double(usage.clock_mhz, 0),
+                 format_double(usage.power_w, 0) + " W",
+                 fits_device(usage) ? "yes" : "NO"});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)topk::bench::parse_args(argc, argv);
+
+  std::cout << "Reproducing paper Table II (resource usage, clock, power; "
+               "modelled - no synthesis available offline).\n\n";
+  topk::util::TablePrinter table({"Bit-width", "Cores", "LUT", "FF", "BRAM",
+                                  "URAM", "DSP", "Clock (MHz)", "Power",
+                                  "Fits"});
+  add_design_row(table, "20 bits", DesignConfig::fixed(20));
+  add_design_row(table, "25 bits", DesignConfig::fixed(25));
+  add_design_row(table, "32 bits", DesignConfig::fixed(32));
+  add_design_row(table, "32 bits, float", DesignConfig::float32());
+  table.add_separator();
+
+  // Beyond-Table-II configurations via the analytic path.
+  DesignConfig dense_k = DesignConfig::fixed(20);
+  dense_k.k = 16;
+  add_design_row(table, "20 bits, k=16", dense_k);
+  DesignConfig many_cores = DesignConfig::fixed(20, 64);
+  add_design_row(table, "20 bits, 64 cores", many_cores);
+  DesignConfig small = DesignConfig::fixed(20, 16);
+  add_design_row(table, "20 bits, 16 cores", small);
+  add_design_row(table, "20 bits, signed (ext.)", DesignConfig::signed_fixed(20));
+  table.print(std::cout);
+
+  std::cout << "\nAvailable (xcu280): LUT 1097419, FF 2180971, BRAM 1812, "
+               "URAM 960, DSP 9020.\n";
+  std::cout << "Paper reference rows: 20b 38/35/20/33/7% @253MHz 34W; 25b "
+               "38/36/20/30/11% @240MHz 35W; 32b 35/33/20/27/17% @249MHz "
+               "35W; F32 44/37/20/26/19% @204MHz 45W.\n";
+  std::cout << "The 64-core row supports the paper's claim that HBM "
+               "channels, not fabric, limit the core count.\n";
+  return 0;
+}

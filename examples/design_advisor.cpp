@@ -1,0 +1,71 @@
+// Design advisor: given a workload (collection size, embedding
+// dimension, density, K) and an accuracy target, recommend an
+// accelerator configuration — the interactive face of the paper's
+// future-work "adaptive precision" idea.
+//
+//   $ ./design_advisor [rows] [cols] [nnz_per_row] [K] [min_precision]
+//   $ ./design_advisor 5000000 512 20 50 0.995
+#include <cstdlib>
+#include <iostream>
+
+#include "hbmsim/design_space.hpp"
+#include "hbmsim/power_model.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  topk::hbmsim::WorkloadGoal goal;
+  goal.rows = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 10'000'000;
+  goal.cols = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 1024;
+  const double nnz_per_row = argc > 3 ? std::atof(argv[3]) : 20.0;
+  goal.nnz = static_cast<std::uint64_t>(goal.rows * nnz_per_row);
+  goal.top_k = argc > 4 ? std::atoi(argv[4]) : 100;
+  goal.min_precision = argc > 5 ? std::atof(argv[5]) : 0.99;
+
+  std::cout << "Workload: N = " << goal.rows << ", M = " << goal.cols
+            << ", nnz = " << goal.nnz << ", K = " << goal.top_k
+            << ", precision floor = " << goal.min_precision << "\n\n";
+
+  for (const auto& board : topk::hbmsim::all_boards()) {
+    std::cout << "=== " << board.name << " ===\n";
+    try {
+      const auto fastest = topk::hbmsim::recommend_fastest(goal, board);
+      const auto cheapest = topk::hbmsim::recommend_cheapest(goal, board, 1.5);
+
+      topk::util::TablePrinter table(
+          {"Objective", "Design", "k", "B", "E[P]", "Latency", "Power"});
+      const auto add = [&](const char* objective,
+                           const topk::hbmsim::OperatingPoint& point) {
+        table.add_row({objective, point.design.name(),
+                       std::to_string(point.design.k),
+                       std::to_string(point.layout.capacity),
+                       topk::util::format_double(point.expected_precision, 4),
+                       topk::util::format_double(point.modelled_seconds * 1e3, 2) +
+                           " ms",
+                       topk::util::format_double(point.modelled_power_w, 0) +
+                           " W"});
+      };
+      add("fastest", fastest);
+      add("cheapest (<=1.5x slower)", cheapest);
+      table.print(std::cout);
+
+      const double gnnz =
+          static_cast<double>(goal.nnz) / fastest.modelled_seconds / 1e9;
+      std::cout << "Projected throughput: "
+                << topk::util::format_double(gnnz, 1) << " Gnnz/s; device "
+                << "image needs "
+                << topk::util::format_bytes(
+                       static_cast<double>(goal.nnz) / fastest.layout.capacity *
+                       fastest.layout.bytes_per_packet())
+                << " of HBM (capacity "
+                << topk::util::format_bytes(
+                       static_cast<double>(board.hbm.capacity_bytes))
+                << ").\n\n";
+    } catch (const std::exception& error) {
+      std::cout << "no feasible design: " << error.what() << "\n\n";
+    }
+  }
+
+  std::cout << "Tip: loosen the precision floor or lower K to unlock "
+               "narrower value types (higher B, faster streaming).\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Format inspector: prints the exact BS-CSR geometry for a given
+// embedding size and value width, dumps the first packets of a tiny
+// matrix field by field (the Figure 3 walkthrough), and compares
+// footprints against COO/CSR.
+//
+//   $ ./format_inspector [M] [V]     (defaults: M = 1024, V = 20)
+#include <cstdlib>
+#include <iostream>
+
+#include "core/bscsr.hpp"
+#include "core/packet_layout.hpp"
+#include "sparse/generator.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  const std::uint32_t cols =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 1024;
+  const int val_bits = argc > 2 ? std::atoi(argv[2]) : 20;
+
+  const topk::core::PacketLayout layout =
+      topk::core::PacketLayout::solve(cols, val_bits);
+  std::cout << "BS-CSR packet geometry for M = " << cols << ", V = " << val_bits
+            << " bits:\n";
+  std::cout << "  capacity B       : " << layout.capacity << " non-zeros\n";
+  std::cout << "  ptr field        : " << layout.ptr_bits << " bits x "
+            << layout.capacity << '\n';
+  std::cout << "  idx field        : " << layout.idx_bits << " bits x "
+            << layout.capacity << '\n';
+  std::cout << "  val field        : " << layout.val_bits << " bits x "
+            << layout.capacity << '\n';
+  std::cout << "  new_row flag     : 1 bit\n";
+  std::cout << "  used / packet    : " << layout.used_bits() << " / "
+            << layout.packet_bits << " bits (" << layout.padding_bits()
+            << " padding)\n";
+  std::cout << "  op. intensity    : " << layout.nnz_per_byte()
+            << " nnz/byte (naive COO: " << 1.0 / 12.0 << ")\n\n";
+
+  // A tiny matrix mirroring the Figure 3 walkthrough: a handful of
+  // rows of varying length around one packet boundary.
+  topk::sparse::Coo coo(6, cols);
+  const float values[] = {0.2f, 0.2f, 0.3f, 0.4f, 0.3f, 0.2f, 0.5f, 0.4f,
+                          0.5f, 0.8f, 0.6f, 0.4f, 0.8f, 0.1f, 0.9f, 0.7f,
+                          0.3f, 0.6f, 0.2f, 0.5f};
+  const std::uint32_t row_sizes[] = {2, 3, 1, 3, 4, 7};
+  std::size_t v = 0;
+  for (std::uint32_t r = 0; r < 6; ++r) {
+    for (std::uint32_t i = 0; i < row_sizes[r]; ++i, ++v) {
+      coo.push_back(r, (i * 13 + r) % cols, values[v % std::size(values)]);
+    }
+  }
+  const topk::sparse::Csr matrix = topk::sparse::Csr::from_coo(std::move(coo));
+  const topk::core::BsCsrMatrix encoded =
+      topk::core::encode_bscsr(matrix, layout, topk::core::ValueKind::kFixed);
+
+  std::cout << "Packet dump of a 6-row example (" << matrix.nnz()
+            << " nnz -> " << encoded.num_packets() << " packets):\n";
+  topk::core::PacketCursor cursor(encoded);
+  std::size_t packet_index = 0;
+  while (!cursor.done()) {
+    const topk::core::PacketView view = cursor.next();
+    std::cout << "  packet " << packet_index++ << ": new_row = "
+              << (view.new_row ? 1 : 0) << ", boundaries = [";
+    for (std::size_t i = 0; i < view.boundaries.size(); ++i) {
+      std::cout << (i ? " " : "") << view.boundaries[i];
+    }
+    std::cout << "], idx = [";
+    for (std::size_t i = 0; i < view.idx.size(); ++i) {
+      std::cout << (i ? " " : "") << view.idx[i];
+    }
+    std::cout << "]\n";
+  }
+
+  // Footprint comparison on a realistic matrix.
+  topk::sparse::GeneratorConfig generator;
+  generator.rows = 100'000;
+  generator.cols = cols;
+  generator.mean_nnz_per_row = 20.0;
+  generator.seed = 8;
+  const topk::sparse::Csr big = topk::sparse::generate_matrix(generator);
+  const topk::core::BsCsrMatrix big_encoded =
+      topk::core::encode_bscsr(big, layout, topk::core::ValueKind::kFixed);
+  std::cout << "\nFootprint on " << big.rows() << " x " << big.cols() << " ("
+            << big.nnz() << " nnz):\n";
+  topk::util::TablePrinter table({"Format", "Bytes", "Relative"});
+  const auto bscsr_bytes = static_cast<double>(big_encoded.stream_bytes());
+  table.add_row({"BS-CSR", topk::util::format_bytes(bscsr_bytes), "1.00x"});
+  table.add_row({"Naive COO",
+                 topk::util::format_bytes(static_cast<double>(big.nnz() * 12)),
+                 topk::util::format_double(big.nnz() * 12 / bscsr_bytes, 2) +
+                     "x"});
+  table.add_row({"CSR",
+                 topk::util::format_bytes(static_cast<double>(big.csr_bytes())),
+                 topk::util::format_double(big.csr_bytes() / bscsr_bytes, 2) +
+                     "x"});
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Real-time retrieval service simulation — the deployment scenario of
+// the paper's introduction (recommender serving with strict latency
+// budgets).  Builds an index once, persists/reloads the device image,
+// then serves query batches, reporting host-side simulation latency
+// percentiles and the modelled on-device latency per query.
+//
+//   $ ./realtime_service
+#include <filesystem>
+#include <iostream>
+
+#include "core/accelerator.hpp"
+#include "core/bscsr_io.hpp"
+#include "hbmsim/timing_model.hpp"
+#include "sparse/generator.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  // 1. Index: 200k embeddings, M = 1024, ~20 nnz per row.
+  topk::sparse::GeneratorConfig generator;
+  generator.rows = 200'000;
+  generator.cols = 1024;
+  generator.mean_nnz_per_row = 20.0;
+  generator.seed = 11;
+  const topk::sparse::Csr matrix = topk::sparse::generate_matrix(generator);
+  const topk::core::TopKAccelerator accelerator(
+      matrix, topk::core::DesignConfig::fixed(20));
+
+  // 2. Persist one core's device image and verify it reloads — the
+  //    "encode once, ship the image" deployment flow.
+  const auto image_path =
+      std::filesystem::temp_directory_path() / "topk_core0.bscsr";
+  topk::core::save_bscsr(accelerator.core_streams().front(), image_path);
+  const auto reloaded = topk::core::load_bscsr(image_path);
+  std::cout << "Device image: " << accelerator.core_streams().size()
+            << " core streams, core 0 = "
+            << topk::util::format_bytes(
+                   static_cast<double>(reloaded.stream_bytes()))
+            << " (reload OK)\n";
+  std::filesystem::remove(image_path);
+
+  // 3. Serve batches of queries and report latency percentiles of the
+  //    host-side functional simulation.
+  topk::util::Xoshiro256 rng(12);
+  constexpr int kBatch = 24;
+  constexpr int kTopK = 100;
+  std::vector<std::vector<float>> queries;
+  queries.reserve(kBatch);
+  for (int q = 0; q < kBatch; ++q) {
+    queries.push_back(topk::sparse::generate_dense_vector(1024, rng));
+  }
+
+  std::vector<double> latencies_ms;
+  topk::util::WallTimer batch_timer;
+  topk::core::QueryOptions options;
+  options.threads = 0;  // all hardware threads
+  const auto results = accelerator.query_batch(queries, kTopK, options);
+  const double batch_ms = batch_timer.millis();
+
+  for (int q = 0; q < kBatch; ++q) {
+    topk::util::WallTimer timer;
+    (void)accelerator.query(queries[q], kTopK);
+    latencies_ms.push_back(timer.millis());
+  }
+
+  const auto modelled =
+      topk::hbmsim::estimate_query_time(accelerator, matrix.nnz());
+
+  topk::util::TablePrinter table({"Metric", "Value"});
+  table.add_row({"Batch size", std::to_string(kBatch)});
+  table.add_row({"Batch wall time (simulation)",
+                 topk::util::format_double(batch_ms, 1) + " ms"});
+  table.add_row({"Single-query p50 (simulation)",
+                 topk::util::format_double(
+                     topk::util::quantile(latencies_ms, 0.5), 1) +
+                     " ms"});
+  table.add_row({"Single-query p99 (simulation)",
+                 topk::util::format_double(
+                     topk::util::quantile(latencies_ms, 0.99), 1) +
+                     " ms"});
+  table.add_row({"Modelled U280 latency / query",
+                 topk::util::format_double(modelled.seconds * 1e3, 3) + " ms"});
+  table.add_row({"Modelled U280 throughput",
+                 topk::util::format_double(modelled.nnz_per_second / 1e9, 1) +
+                     " Gnnz/s"});
+  table.print(std::cout);
+
+  // 4. Sanity: every result has K entries, no dropped rows.
+  for (const auto& result : results) {
+    if (result.entries.size() != kTopK || result.stats.rows_dropped != 0) {
+      std::cerr << "service invariant violated\n";
+      return 1;
+    }
+  }
+  std::cout << "\nAll " << kBatch << " queries returned " << kTopK
+            << " results with zero dropped rows.  The modelled on-device "
+               "latency is what the paper's section V-A reports as "
+               "real-time capable (<4 ms at 2e8 nnz).\n";
+  return 0;
+}

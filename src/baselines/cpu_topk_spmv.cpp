@@ -1,0 +1,135 @@
+#include "baselines/cpu_topk_spmv.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+namespace topk::baselines {
+
+namespace {
+
+/// Min-heap ordering on score (ties: larger row index is "smaller" so
+/// the lower row index survives eviction, matching the deterministic
+/// tie-break used across the repo).
+struct HeapLess {
+  bool operator()(const core::TopKEntry& a, const core::TopKEntry& b) const {
+    if (a.value != b.value) {
+      return a.value > b.value;  // min-heap on value
+    }
+    return a.index < b.index;  // evict higher index first
+  }
+};
+
+void scan_rows(const sparse::Csr& matrix, std::span<const float> x,
+               std::uint32_t row_begin, std::uint32_t row_end, int top_k,
+               std::vector<core::TopKEntry>& heap) {
+  heap.reserve(static_cast<std::size_t>(top_k));
+  const HeapLess less;
+  for (std::uint32_t r = row_begin; r < row_end; ++r) {
+    const double score = matrix.row_dot(r, x);
+    if (heap.size() < static_cast<std::size_t>(top_k)) {
+      heap.push_back(core::TopKEntry{r, score});
+      std::push_heap(heap.begin(), heap.end(), less);
+    } else if (score > heap.front().value ||
+               (score == heap.front().value && r < heap.front().index)) {
+      std::pop_heap(heap.begin(), heap.end(), less);
+      heap.back() = core::TopKEntry{r, score};
+      std::push_heap(heap.begin(), heap.end(), less);
+    }
+  }
+}
+
+void sort_descending(std::vector<core::TopKEntry>& entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const core::TopKEntry& a, const core::TopKEntry& b) {
+              if (a.value != b.value) {
+                return a.value > b.value;
+              }
+              return a.index < b.index;
+            });
+}
+
+}  // namespace
+
+std::vector<core::TopKEntry> cpu_topk_spmv(const sparse::Csr& matrix,
+                                           std::span<const float> x, int top_k,
+                                           int threads) {
+  if (x.size() != matrix.cols()) {
+    throw std::invalid_argument("cpu_topk_spmv: vector size mismatch");
+  }
+  if (top_k <= 0) {
+    throw std::invalid_argument("cpu_topk_spmv: top_k must be positive");
+  }
+  if (threads < 0) {
+    throw std::invalid_argument("cpu_topk_spmv: negative thread count");
+  }
+  if (threads == 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads == 0) {
+      threads = 1;
+    }
+  }
+  threads = std::min<int>(threads, std::max<std::uint32_t>(1, matrix.rows()));
+
+  std::vector<std::vector<core::TopKEntry>> heaps(
+      static_cast<std::size_t>(threads));
+  if (threads == 1) {
+    scan_rows(matrix, x, 0, matrix.rows(), top_k, heaps[0]);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    const std::uint32_t rows = matrix.rows();
+    for (int t = 0; t < threads; ++t) {
+      const std::uint32_t begin = static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(rows) * t / threads);
+      const std::uint32_t end = static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(rows) * (t + 1) / threads);
+      workers.emplace_back([&, begin, end, t] {
+        scan_rows(matrix, x, begin, end, top_k,
+                  heaps[static_cast<std::size_t>(t)]);
+      });
+    }
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+  }
+
+  std::vector<core::TopKEntry> merged;
+  for (const auto& heap : heaps) {
+    merged.insert(merged.end(), heap.begin(), heap.end());
+  }
+  sort_descending(merged);
+  if (merged.size() > static_cast<std::size_t>(top_k)) {
+    merged.resize(static_cast<std::size_t>(top_k));
+  }
+  return merged;
+}
+
+std::vector<core::TopKEntry> exact_topk_via_sort(const sparse::Csr& matrix,
+                                                 std::span<const float> x,
+                                                 int top_k) {
+  if (x.size() != matrix.cols()) {
+    throw std::invalid_argument("exact_topk_via_sort: vector size mismatch");
+  }
+  if (top_k <= 0) {
+    throw std::invalid_argument("exact_topk_via_sort: top_k must be positive");
+  }
+  std::vector<core::TopKEntry> all(matrix.rows());
+  for (std::uint32_t r = 0; r < matrix.rows(); ++r) {
+    all[r] = core::TopKEntry{r, matrix.row_dot(r, x)};
+  }
+  const auto cutoff =
+      std::min<std::size_t>(static_cast<std::size_t>(top_k), all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(cutoff),
+                    all.end(),
+                    [](const core::TopKEntry& a, const core::TopKEntry& b) {
+                      if (a.value != b.value) {
+                        return a.value > b.value;
+                      }
+                      return a.index < b.index;
+                    });
+  all.resize(cutoff);
+  return all;
+}
+
+}  // namespace topk::baselines

@@ -1,0 +1,36 @@
+// Multi-threaded CPU Top-K SpMV baseline.
+//
+// A from-scratch equivalent of sparse_dot_topn [1], the paper's CPU
+// baseline: a multi-threaded C++ Top-K SpMV over CSR.  Rows are split
+// into per-thread ranges; each thread scans its rows, keeps a local
+// size-K min-heap of (score, row), and the per-thread heaps are merged
+// at the end.  Scores use double accumulation, so with threads == 1 or
+// many this routine is *exact* — it doubles as the accuracy ground
+// truth for the approximate designs (section V-D).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/topk_spmv.hpp"
+#include "sparse/csr.hpp"
+
+namespace topk::baselines {
+
+/// Exact Top-K rows of `matrix` by dot product with `x`, using
+/// `threads` worker threads (0 = hardware concurrency).  The result is
+/// sorted by descending score (ties by ascending row).  Throws
+/// std::invalid_argument on shape mismatch or non-positive top_k.
+[[nodiscard]] std::vector<core::TopKEntry> cpu_topk_spmv(
+    const sparse::Csr& matrix, std::span<const float> x, int top_k,
+    int threads = 0);
+
+/// Reference implementation: computes the full y = A*x, then sorts.
+/// O(N log N) and memory-hungry — the "off-the-shelf SpMV plus sort"
+/// strategy the paper's section II argues against; used to
+/// cross-validate cpu_topk_spmv and as the GPU baseline's skeleton.
+[[nodiscard]] std::vector<core::TopKEntry> exact_topk_via_sort(
+    const sparse::Csr& matrix, std::span<const float> x, int top_k);
+
+}  // namespace topk::baselines

@@ -1,0 +1,81 @@
+#include "baselines/gpu_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fixed/half.hpp"
+
+namespace topk::baselines {
+
+double GpuPerfModel::spmv_seconds(std::uint64_t nnz, bool half) const {
+  const double efficiency = half ? spmv_efficiency_f16 : spmv_efficiency_f32;
+  const double bytes = static_cast<double>(nnz) * bytes_per_nnz(half);
+  return bytes / (peak_bandwidth_gbps * 1e9 * efficiency) + fixed_overhead_s;
+}
+
+double GpuPerfModel::topk_seconds(std::uint64_t nnz, std::uint64_t rows,
+                                  bool half) const {
+  return spmv_seconds(nnz, half) +
+         static_cast<double>(rows) / sort_pairs_per_second;
+}
+
+void validate(const GpuPerfModel& model) {
+  if (model.peak_bandwidth_gbps <= 0.0) {
+    throw std::invalid_argument("GpuPerfModel: bandwidth must be positive");
+  }
+  if (model.spmv_efficiency_f32 <= 0.0 || model.spmv_efficiency_f32 > 1.0 ||
+      model.spmv_efficiency_f16 <= 0.0 || model.spmv_efficiency_f16 > 1.0) {
+    throw std::invalid_argument("GpuPerfModel: efficiencies must be in (0, 1]");
+  }
+  if (model.sort_pairs_per_second <= 0.0) {
+    throw std::invalid_argument("GpuPerfModel: sort rate must be positive");
+  }
+  if (model.fixed_overhead_s < 0.0) {
+    throw std::invalid_argument("GpuPerfModel: negative overhead");
+  }
+}
+
+std::vector<core::TopKEntry> gpu_f16_topk_spmv(const sparse::Csr& matrix,
+                                               std::span<const float> x,
+                                               int top_k) {
+  if (x.size() != matrix.cols()) {
+    throw std::invalid_argument("gpu_f16_topk_spmv: vector size mismatch");
+  }
+  if (top_k <= 0) {
+    throw std::invalid_argument("gpu_f16_topk_spmv: top_k must be positive");
+  }
+
+  // Half-precision image of x (device-side storage).
+  std::vector<fixed::Half> x_half(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x_half[i] = fixed::Half::from_float(x[i]);
+  }
+
+  std::vector<core::TopKEntry> all(matrix.rows());
+  for (std::uint32_t r = 0; r < matrix.rows(); ++r) {
+    const auto cols = matrix.row_cols(r);
+    const auto vals = matrix.row_values(r);
+    fixed::Half acc = fixed::Half::from_float(0.0f);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      const fixed::Half product =
+          fixed::Half::from_float(vals[i]) * x_half[cols[i]];
+      acc = acc + product;  // fp16 accumulation: rounds every step
+    }
+    all[r] = core::TopKEntry{r, static_cast<double>(acc.to_float())};
+  }
+
+  const auto cutoff =
+      std::min<std::size_t>(static_cast<std::size_t>(top_k), all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(cutoff),
+                    all.end(),
+                    [](const core::TopKEntry& a, const core::TopKEntry& b) {
+                      if (a.value != b.value) {
+                        return a.value > b.value;
+                      }
+                      return a.index < b.index;
+                    });
+  all.resize(cutoff);
+  return all;
+}
+
+}  // namespace topk::baselines

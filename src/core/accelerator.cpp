@@ -1,0 +1,175 @@
+#include "core/accelerator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+namespace topk::core {
+
+TopKAccelerator::TopKAccelerator(const sparse::Csr& matrix,
+                                 const DesignConfig& config)
+    : config_(config) {
+  validate(config);
+  if (matrix.rows() == 0 || matrix.cols() == 0) {
+    throw std::invalid_argument("TopKAccelerator: empty matrix");
+  }
+  if (matrix.rows() < static_cast<std::uint32_t>(config.cores)) {
+    throw std::invalid_argument("TopKAccelerator: fewer rows than cores");
+  }
+
+  rows_ = matrix.rows();
+  cols_ = matrix.cols();
+  layout_ = PacketLayout::solve(matrix.cols(), config.value_bits,
+                                config.packet_bits);
+  partitions_ = make_row_partitions(matrix.rows(), config.cores);
+
+  EncodeOptions encode_options;
+  if (config.enforce_r_in_encoder) {
+    encode_options.max_rows_per_packet = config.rows_per_packet;
+  }
+
+  streams_.reserve(partitions_.size());
+  for (const Partition& partition : partitions_) {
+    const sparse::Csr slice =
+        matrix.slice_rows(partition.row_begin, partition.row_end);
+    streams_.push_back(
+        encode_bscsr(slice, layout_, config.value_kind, encode_options));
+  }
+}
+
+namespace {
+
+int resolve_threads(int requested, std::size_t work_items) {
+  if (requested < 0) {
+    throw std::invalid_argument("QueryOptions: negative thread count");
+  }
+  int threads = requested;
+  if (threads == 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads == 0) {
+      threads = 1;
+    }
+  }
+  return static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(threads),
+                            std::max<std::size_t>(1, work_items)));
+}
+
+}  // namespace
+
+QueryResult TopKAccelerator::query(std::span<const float> x, int top_k,
+                                   const QueryOptions& options) const {
+  if (x.size() != cols_) {
+    throw std::invalid_argument("TopKAccelerator::query: vector size mismatch");
+  }
+  if (top_k <= 0) {
+    throw std::invalid_argument("TopKAccelerator::query: top_k must be positive");
+  }
+  const std::int64_t candidates =
+      static_cast<std::int64_t>(config_.k) * config_.cores;
+  if (top_k > candidates) {
+    throw std::invalid_argument(
+        "TopKAccelerator::query: top_k exceeds k * cores candidates");
+  }
+  const int threads = resolve_threads(options.threads, streams_.size());
+
+  std::vector<KernelResult> per_core(streams_.size());
+  const auto run_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      per_core[i] =
+          run_topk_spmv(streams_[i], x, config_.k, config_.rows_per_packet);
+    }
+  };
+  if (threads <= 1) {
+    run_range(0, streams_.size());
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      const std::size_t begin = streams_.size() * t / threads;
+      const std::size_t end = streams_.size() * (t + 1) / threads;
+      workers.emplace_back([&, begin, end] { run_range(begin, end); });
+    }
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+  }
+
+  ExecutionStats stats;
+  std::vector<std::vector<TopKEntry>> candidates_per_core;
+  candidates_per_core.reserve(per_core.size());
+  for (KernelResult& result : per_core) {
+    stats.total_packets += result.stats.packets;
+    stats.max_core_packets =
+        std::max(stats.max_core_packets, result.stats.packets);
+    stats.rows_dropped += result.stats.rows_dropped;
+    stats.rows_emitted += result.stats.rows_emitted;
+    candidates_per_core.push_back(std::move(result.topk));
+  }
+
+  QueryResult out;
+  out.entries = merge_partition_results(candidates_per_core, partitions_, top_k);
+  out.stats = stats;
+  return out;
+}
+
+std::vector<QueryResult> TopKAccelerator::query_batch(
+    const std::vector<std::vector<float>>& queries, int top_k,
+    const QueryOptions& options) const {
+  std::vector<QueryResult> results(queries.size());
+  if (queries.empty()) {
+    return results;
+  }
+  const int threads = resolve_threads(options.threads, queries.size());
+
+  // Pre-validate so worker threads never throw.
+  for (const auto& x : queries) {
+    if (x.size() != cols_) {
+      throw std::invalid_argument(
+          "TopKAccelerator::query_batch: vector size mismatch");
+    }
+  }
+  const auto run_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      results[i] = query(queries[i], top_k);
+    }
+  };
+  // Validate top_k once up front (query() would throw inside workers).
+  if (top_k <= 0 ||
+      top_k > static_cast<std::int64_t>(config_.k) * config_.cores) {
+    throw std::invalid_argument("TopKAccelerator::query_batch: invalid top_k");
+  }
+  if (threads <= 1) {
+    run_range(0, queries.size());
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      const std::size_t begin = queries.size() * t / threads;
+      const std::size_t end = queries.size() * (t + 1) / threads;
+      workers.emplace_back([&, begin, end] { run_range(begin, end); });
+    }
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+  }
+  return results;
+}
+
+std::uint64_t TopKAccelerator::stream_bytes() const noexcept {
+  std::uint64_t bytes = 0;
+  for (const BsCsrMatrix& stream : streams_) {
+    bytes += stream.stream_bytes();
+  }
+  return bytes;
+}
+
+std::uint64_t TopKAccelerator::max_core_packets() const noexcept {
+  std::uint64_t max_packets = 0;
+  for (const BsCsrMatrix& stream : streams_) {
+    max_packets = std::max(max_packets, stream.num_packets());
+  }
+  return max_packets;
+}
+
+}  // namespace topk::core

@@ -1,0 +1,334 @@
+#include "core/bscsr.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "util/bitio.hpp"
+
+namespace topk::core {
+
+namespace {
+
+/// Encodes one value to its raw wire representation.
+std::uint32_t encode_value(float value, ValueKind kind,
+                           const fixed::FixedFormat& format) noexcept {
+  switch (kind) {
+    case ValueKind::kFloat32:
+      return std::bit_cast<std::uint32_t>(value);
+    case ValueKind::kSignedFixed:
+      return fixed::quantize_signed(static_cast<double>(value), format);
+    case ValueKind::kFixed:
+      break;
+  }
+  return fixed::quantize(static_cast<double>(value), format);
+}
+
+/// Incrementally builds packets and flushes them to a BitWriter.
+class PacketBuilder {
+ public:
+  PacketBuilder(const PacketLayout& layout, util::BitWriter& writer,
+                EncodeStats& stats)
+      : layout_(layout), writer_(writer), stats_(stats) {
+    idx_.reserve(static_cast<std::size_t>(layout.capacity));
+    val_.reserve(static_cast<std::size_t>(layout.capacity));
+    boundaries_.reserve(static_cast<std::size_t>(layout.capacity));
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return idx_.empty(); }
+  [[nodiscard]] bool full() const noexcept {
+    return idx_.size() == static_cast<std::size_t>(layout_.capacity);
+  }
+  [[nodiscard]] std::size_t boundary_count() const noexcept {
+    return boundaries_.size();
+  }
+
+  /// Adds one entry.  `starts_new_row` must be true iff this entry is
+  /// the first of its row; `ends_row` iff it is the last of its row.
+  void add(std::uint32_t col, std::uint32_t raw, bool starts_new_row,
+           bool ends_row) {
+    if (empty()) {
+      new_row_ = starts_new_row;
+    }
+    idx_.push_back(col);
+    val_.push_back(raw);
+    if (ends_row) {
+      boundaries_.push_back(static_cast<std::uint32_t>(idx_.size()));
+    }
+  }
+
+  /// Writes the packet (padding unused slots with zeros) and resets.
+  void flush() {
+    if (empty()) {
+      return;
+    }
+    const auto capacity = static_cast<std::size_t>(layout_.capacity);
+    stats_.padded_slots += capacity - idx_.size();
+    stats_.max_rows_in_packet =
+        std::max<std::uint64_t>(stats_.max_rows_in_packet, boundaries_.size());
+    ++stats_.packets;
+
+    writer_.append(new_row_ ? 1 : 0, 1);
+    for (std::size_t i = 0; i < capacity; ++i) {
+      writer_.append(i < boundaries_.size() ? boundaries_[i] : 0, layout_.ptr_bits);
+    }
+    for (std::size_t i = 0; i < capacity; ++i) {
+      writer_.append(i < idx_.size() ? idx_[i] : 0, layout_.idx_bits);
+    }
+    for (std::size_t i = 0; i < capacity; ++i) {
+      writer_.append(i < val_.size() ? val_[i] : 0, layout_.val_bits);
+    }
+    writer_.align_to(layout_.packet_bits);
+
+    idx_.clear();
+    val_.clear();
+    boundaries_.clear();
+    new_row_ = true;
+  }
+
+ private:
+  PacketLayout layout_;
+  util::BitWriter& writer_;
+  EncodeStats& stats_;
+  std::vector<std::uint32_t> idx_;
+  std::vector<std::uint32_t> val_;
+  std::vector<std::uint32_t> boundaries_;
+  bool new_row_ = true;
+};
+
+}  // namespace
+
+BsCsrMatrix encode_bscsr(const sparse::Csr& matrix, const PacketLayout& layout,
+                         ValueKind kind, const EncodeOptions& options) {
+  if (matrix.rows() == 0) {
+    throw std::invalid_argument("encode_bscsr: matrix must have rows");
+  }
+  if (matrix.cols() > (std::uint64_t{1} << layout.idx_bits)) {
+    throw std::invalid_argument("encode_bscsr: idx_bits too small for cols");
+  }
+  if (kind == ValueKind::kFloat32 && layout.val_bits != 32) {
+    throw std::invalid_argument("encode_bscsr: float32 requires val_bits == 32");
+  }
+  if (options.max_rows_per_packet < 0) {
+    throw std::invalid_argument("encode_bscsr: negative max_rows_per_packet");
+  }
+
+  const fixed::FixedFormat format{layout.val_bits, 1};
+  if (kind == ValueKind::kFixed) {
+    fixed::validate(format);
+  }
+
+  BsCsrMatrix out;
+  out.layout_ = layout;
+  out.value_kind_ = kind;
+  out.rows_ = matrix.rows();
+  out.cols_ = matrix.cols();
+  out.source_nnz_ = matrix.nnz();
+
+  util::BitWriter writer;
+  PacketBuilder builder(layout, writer, out.stats_);
+  std::uint64_t stored = 0;
+
+  for (std::uint32_t r = 0; r < matrix.rows(); ++r) {
+    const auto cols = matrix.row_cols(r);
+    const auto vals = matrix.row_values(r);
+    const std::size_t row_nnz = cols.size();
+
+    if (row_nnz == 0) {
+      // Placeholder entry so the row still produces a boundary and the
+      // decoder's row counter stays aligned (section III-B).
+      builder.add(0, 0, /*starts_new_row=*/true, /*ends_row=*/true);
+      ++out.stats_.placeholder_entries;
+      ++stored;
+      if (builder.full() ||
+          (options.max_rows_per_packet > 0 &&
+           builder.boundary_count() >=
+               static_cast<std::size_t>(options.max_rows_per_packet))) {
+        builder.flush();
+      }
+      continue;
+    }
+
+    for (std::size_t i = 0; i < row_nnz; ++i) {
+      const bool ends_row = (i + 1 == row_nnz);
+      builder.add(cols[i], encode_value(vals[i], kind, format),
+                  /*starts_new_row=*/i == 0, ends_row);
+      ++stored;
+      if (builder.full() ||
+          (options.max_rows_per_packet > 0 && ends_row &&
+           builder.boundary_count() >=
+               static_cast<std::size_t>(options.max_rows_per_packet))) {
+        builder.flush();
+      }
+    }
+  }
+  builder.flush();
+
+  out.stored_entries_ = stored;
+  out.words_ = writer.take_words();
+  out.num_packets_ = out.stats_.packets;
+  return out;
+}
+
+BsCsrMatrix BsCsrMatrix::from_parts(const PacketLayout& layout, ValueKind kind,
+                                    std::uint32_t rows, std::uint32_t cols,
+                                    std::uint64_t source_nnz,
+                                    std::uint64_t stored_entries,
+                                    std::vector<std::uint64_t> words,
+                                    const EncodeStats& stats) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("BsCsrMatrix::from_parts: empty shape");
+  }
+  if (layout.capacity <= 0 || layout.packet_bits <= 0 ||
+      layout.packet_bits % 64 != 0 || layout.used_bits() > layout.packet_bits) {
+    throw std::invalid_argument("BsCsrMatrix::from_parts: bad layout");
+  }
+  if (kind == ValueKind::kFloat32 && layout.val_bits != 32) {
+    throw std::invalid_argument(
+        "BsCsrMatrix::from_parts: float32 requires 32-bit values");
+  }
+  const auto words_per_packet =
+      static_cast<std::uint64_t>(layout.words_per_packet());
+  if (words.size() != stats.packets * words_per_packet) {
+    throw std::invalid_argument(
+        "BsCsrMatrix::from_parts: word count does not match packet count");
+  }
+  if (stored_entries !=
+          stats.packets * static_cast<std::uint64_t>(layout.capacity) -
+              stats.padded_slots ||
+      stored_entries < source_nnz) {
+    throw std::invalid_argument(
+        "BsCsrMatrix::from_parts: inconsistent entry counts");
+  }
+
+  BsCsrMatrix out;
+  out.layout_ = layout;
+  out.value_kind_ = kind;
+  out.rows_ = rows;
+  out.cols_ = cols;
+  out.source_nnz_ = source_nnz;
+  out.stored_entries_ = stored_entries;
+  out.num_packets_ = stats.packets;
+  out.words_ = std::move(words);
+  out.stats_ = stats;
+  return out;
+}
+
+PacketCursor::PacketCursor(const BsCsrMatrix& matrix)
+    : matrix_(&matrix), total_(matrix.num_packets()) {
+  const auto capacity = static_cast<std::size_t>(matrix.layout().capacity);
+  boundaries_.reserve(capacity);
+  idx_.resize(capacity);
+  val_.resize(capacity);
+}
+
+PacketView PacketCursor::next() {
+  if (done()) {
+    throw std::out_of_range("PacketCursor::next: past end of stream");
+  }
+  const PacketLayout& layout = matrix_->layout();
+  const auto capacity = static_cast<std::size_t>(layout.capacity);
+  util::BitReader reader(matrix_->words());
+  std::size_t pos = static_cast<std::size_t>(next_packet_) *
+                    static_cast<std::size_t>(layout.packet_bits);
+
+  PacketView view;
+  view.new_row = reader.read(pos, 1) != 0;
+  pos += 1;
+
+  boundaries_.clear();
+  std::uint32_t prev = 0;
+  bool in_padding = false;
+  for (std::size_t i = 0; i < capacity; ++i) {
+    const auto b = static_cast<std::uint32_t>(reader.read(pos, layout.ptr_bits));
+    pos += static_cast<std::size_t>(layout.ptr_bits);
+    if (b == 0) {
+      in_padding = true;
+      continue;
+    }
+    if (in_padding || b <= prev || b > capacity) {
+      throw std::runtime_error("PacketCursor: malformed ptr field");
+    }
+    boundaries_.push_back(b);
+    prev = b;
+  }
+  for (std::size_t i = 0; i < capacity; ++i) {
+    idx_[i] = static_cast<std::uint32_t>(reader.read(pos, layout.idx_bits));
+    pos += static_cast<std::size_t>(layout.idx_bits);
+  }
+  for (std::size_t i = 0; i < capacity; ++i) {
+    val_[i] = static_cast<std::uint32_t>(reader.read(pos, layout.val_bits));
+    pos += static_cast<std::size_t>(layout.val_bits);
+  }
+
+  view.boundaries = boundaries_;
+  view.idx = std::span<const std::uint32_t>(idx_);
+  view.val_raw = std::span<const std::uint32_t>(val_);
+  ++next_packet_;
+  return view;
+}
+
+sparse::Csr decode_bscsr(const BsCsrMatrix& matrix) {
+  const fixed::FixedFormat format = matrix.value_format();
+
+  std::vector<std::uint64_t> row_ptr;
+  row_ptr.reserve(static_cast<std::size_t>(matrix.rows()) + 1);
+  row_ptr.push_back(0);
+  std::vector<std::uint32_t> col_idx;
+  std::vector<float> values;
+  col_idx.reserve(matrix.stored_entries());
+  values.reserve(matrix.stored_entries());
+
+  // Entries of the (possibly) open row that ran past the last boundary
+  // of the previous packet; discarded as padding if the next packet
+  // starts a new row.
+  std::vector<std::uint32_t> pending_cols;
+  std::vector<float> pending_vals;
+
+  const auto decode_value = [&](std::uint32_t raw) -> float {
+    switch (matrix.value_kind()) {
+      case ValueKind::kFloat32:
+        return std::bit_cast<float>(raw);
+      case ValueKind::kSignedFixed:
+        return static_cast<float>(fixed::dequantize_signed(raw, format));
+      case ValueKind::kFixed:
+        break;
+    }
+    return static_cast<float>(fixed::dequantize(raw, format));
+  };
+
+  PacketCursor cursor(matrix);
+  while (!cursor.done()) {
+    const PacketView packet = cursor.next();
+    if (packet.new_row) {
+      // Anything buffered was padding after the previous packet's last
+      // boundary.
+      pending_cols.clear();
+      pending_vals.clear();
+    }
+    std::size_t pos = 0;
+    for (const std::uint32_t boundary : packet.boundaries) {
+      for (std::size_t i = pos; i < boundary; ++i) {
+        pending_cols.push_back(packet.idx[i]);
+        pending_vals.push_back(decode_value(packet.val_raw[i]));
+      }
+      pos = boundary;
+      col_idx.insert(col_idx.end(), pending_cols.begin(), pending_cols.end());
+      values.insert(values.end(), pending_vals.begin(), pending_vals.end());
+      row_ptr.push_back(col_idx.size());
+      pending_cols.clear();
+      pending_vals.clear();
+    }
+    for (std::size_t i = pos; i < packet.idx.size(); ++i) {
+      pending_cols.push_back(packet.idx[i]);
+      pending_vals.push_back(decode_value(packet.val_raw[i]));
+    }
+  }
+
+  if (row_ptr.size() != static_cast<std::size_t>(matrix.rows()) + 1) {
+    throw std::runtime_error("decode_bscsr: row count mismatch (corrupt stream)");
+  }
+  return sparse::Csr::from_parts(matrix.rows(), matrix.cols(), std::move(row_ptr),
+                                 std::move(col_idx), std::move(values));
+}
+
+}  // namespace topk::core

@@ -1,0 +1,128 @@
+#include "core/bscsr_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace topk::core {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x42534353'52494D31ULL;  // "BSCSRIM1"
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::istream& is, T& value) {
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) {
+    throw std::runtime_error("load_bscsr: truncated stream");
+  }
+}
+
+}  // namespace
+
+void save_bscsr(const BsCsrMatrix& matrix, std::ostream& os) {
+  write_pod(os, kMagic);
+  write_pod(os, static_cast<std::int32_t>(matrix.layout().packet_bits));
+  write_pod(os, static_cast<std::int32_t>(matrix.layout().ptr_bits));
+  write_pod(os, static_cast<std::int32_t>(matrix.layout().idx_bits));
+  write_pod(os, static_cast<std::int32_t>(matrix.layout().val_bits));
+  write_pod(os, static_cast<std::int32_t>(matrix.layout().capacity));
+  write_pod(os, static_cast<std::int32_t>(matrix.value_kind()));
+  write_pod(os, matrix.rows());
+  write_pod(os, matrix.cols());
+  write_pod(os, matrix.source_nnz());
+  write_pod(os, matrix.stored_entries());
+  const EncodeStats& stats = matrix.stats();
+  write_pod(os, stats.packets);
+  write_pod(os, stats.padded_slots);
+  write_pod(os, stats.placeholder_entries);
+  write_pod(os, stats.max_rows_in_packet);
+  write_pod(os, static_cast<std::uint64_t>(matrix.words().size()));
+  os.write(reinterpret_cast<const char*>(matrix.words().data()),
+           static_cast<std::streamsize>(matrix.words().size() * 8));
+  if (!os) {
+    throw std::runtime_error("save_bscsr: write failure");
+  }
+}
+
+void save_bscsr(const BsCsrMatrix& matrix, const std::filesystem::path& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw std::runtime_error("save_bscsr: cannot open " + path.string());
+  }
+  save_bscsr(matrix, os);
+}
+
+BsCsrMatrix load_bscsr(std::istream& is) {
+  std::uint64_t magic = 0;
+  read_pod(is, magic);
+  if (magic != kMagic) {
+    throw std::runtime_error("load_bscsr: bad magic");
+  }
+  PacketLayout layout;
+  std::int32_t field = 0;
+  read_pod(is, field);
+  layout.packet_bits = field;
+  read_pod(is, field);
+  layout.ptr_bits = field;
+  read_pod(is, field);
+  layout.idx_bits = field;
+  read_pod(is, field);
+  layout.val_bits = field;
+  read_pod(is, field);
+  layout.capacity = field;
+  read_pod(is, field);
+  if (field < 0 || field > static_cast<std::int32_t>(ValueKind::kSignedFixed)) {
+    throw std::runtime_error("load_bscsr: unknown value kind");
+  }
+  const auto kind = static_cast<ValueKind>(field);
+
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  std::uint64_t source_nnz = 0;
+  std::uint64_t stored_entries = 0;
+  read_pod(is, rows);
+  read_pod(is, cols);
+  read_pod(is, source_nnz);
+  read_pod(is, stored_entries);
+
+  EncodeStats stats;
+  read_pod(is, stats.packets);
+  read_pod(is, stats.padded_slots);
+  read_pod(is, stats.placeholder_entries);
+  read_pod(is, stats.max_rows_in_packet);
+
+  std::uint64_t word_count = 0;
+  read_pod(is, word_count);
+  // Guard against corrupt headers before allocating (1 TiB cap).
+  if (word_count > (1ULL << 37)) {
+    throw std::runtime_error("load_bscsr: implausible word count");
+  }
+  std::vector<std::uint64_t> words(word_count);
+  is.read(reinterpret_cast<char*>(words.data()),
+          static_cast<std::streamsize>(word_count * 8));
+  if (!is) {
+    throw std::runtime_error("load_bscsr: truncated stream");
+  }
+
+  try {
+    return BsCsrMatrix::from_parts(layout, kind, rows, cols, source_nnz,
+                                   stored_entries, std::move(words), stats);
+  } catch (const std::invalid_argument& error) {
+    throw std::runtime_error(std::string("load_bscsr: ") + error.what());
+  }
+}
+
+BsCsrMatrix load_bscsr(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("load_bscsr: cannot open " + path.string());
+  }
+  return load_bscsr(is);
+}
+
+}  // namespace topk::core

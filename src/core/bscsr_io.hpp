@@ -1,0 +1,28 @@
+// Serialisation of encoded BS-CSR streams ("device images").
+//
+// Encoding a paper-scale matrix takes longer than streaming it, so a
+// deployment encodes once and ships the packed image to the
+// accelerator at load time.  The binary format is a little-endian
+// header (magic/version, layout geometry, value kind, shape, counts,
+// encoder statistics) followed by the raw packet words — exactly the
+// bytes an XDMA transfer would write to HBM.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "core/bscsr.hpp"
+
+namespace topk::core {
+
+/// Writes an encoded stream.  Throws std::runtime_error on I/O errors.
+void save_bscsr(const BsCsrMatrix& matrix, const std::filesystem::path& path);
+void save_bscsr(const BsCsrMatrix& matrix, std::ostream& os);
+
+/// Reads a stream written by save_bscsr, validating header consistency
+/// (magic, layout arithmetic, word counts).  Throws std::runtime_error
+/// on malformed input.
+[[nodiscard]] BsCsrMatrix load_bscsr(const std::filesystem::path& path);
+[[nodiscard]] BsCsrMatrix load_bscsr(std::istream& is);
+
+}  // namespace topk::core

@@ -1,0 +1,79 @@
+#include "core/design.hpp"
+
+#include <stdexcept>
+
+namespace topk::core {
+
+std::string to_string(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kFixed:
+      return "fixed";
+    case ValueKind::kFloat32:
+      return "float32";
+    case ValueKind::kSignedFixed:
+      return "signed-fixed";
+  }
+  return "unknown";
+}
+
+DesignConfig DesignConfig::fixed(int value_bits, int cores) {
+  DesignConfig config;
+  config.value_kind = ValueKind::kFixed;
+  config.value_bits = value_bits;
+  config.cores = cores;
+  validate(config);
+  return config;
+}
+
+DesignConfig DesignConfig::float32(int cores) {
+  DesignConfig config;
+  config.value_kind = ValueKind::kFloat32;
+  config.value_bits = 32;
+  config.cores = cores;
+  validate(config);
+  return config;
+}
+
+DesignConfig DesignConfig::signed_fixed(int value_bits, int cores) {
+  DesignConfig config;
+  config.value_kind = ValueKind::kSignedFixed;
+  config.value_bits = value_bits;
+  config.cores = cores;
+  validate(config);
+  return config;
+}
+
+std::string DesignConfig::name() const {
+  if (value_kind == ValueKind::kFloat32) {
+    return "FPGA F32 " + std::to_string(cores) + "C";
+  }
+  if (value_kind == ValueKind::kSignedFixed) {
+    return "FPGA s" + std::to_string(value_bits) + "b " +
+           std::to_string(cores) + "C";
+  }
+  return "FPGA " + std::to_string(value_bits) + "b " + std::to_string(cores) + "C";
+}
+
+void validate(const DesignConfig& config) {
+  if (config.value_bits < 2 || config.value_bits > 32) {
+    throw std::invalid_argument("DesignConfig: value_bits must be in [2, 32]");
+  }
+  if (config.value_kind == ValueKind::kFloat32 && config.value_bits != 32) {
+    throw std::invalid_argument("DesignConfig: float32 requires value_bits == 32");
+  }
+  if (config.cores <= 0) {
+    throw std::invalid_argument("DesignConfig: cores must be positive");
+  }
+  if (config.k <= 0) {
+    throw std::invalid_argument("DesignConfig: k must be positive");
+  }
+  if (config.rows_per_packet <= 0) {
+    throw std::invalid_argument("DesignConfig: rows_per_packet must be positive");
+  }
+  if (config.packet_bits <= 0 || config.packet_bits % 64 != 0) {
+    throw std::invalid_argument(
+        "DesignConfig: packet_bits must be a positive multiple of 64");
+  }
+}
+
+}  // namespace topk::core

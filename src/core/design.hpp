@@ -1,0 +1,67 @@
+// Design-space configuration for the multi-core Top-K SpMV accelerator.
+//
+// A "design" in the paper is a choice of value arithmetic (V-bit
+// unsigned fixed point or float32), core count c (one HBM channel per
+// core), per-partition result count k, and the number of finished rows
+// r tracked per packet (section IV-C).  Table II evaluates four
+// designs: 20-bit, 25-bit and 32-bit fixed point plus float32, all
+// with 32 cores, k = 8, and r between 4 and 8.
+#pragma once
+
+#include <string>
+
+namespace topk::core {
+
+/// Arithmetic used for matrix values inside BS-CSR packets.
+enum class ValueKind {
+  kFixed,        ///< unsigned Q1.(V-1) fixed point (paper's main designs)
+  kFloat32,      ///< IEEE binary32 (the paper's F32 reference design)
+  /// Two's-complement signed fixed point with V total bits (1 sign +
+  /// V-1 fractional).  An extension beyond the paper: the published
+  /// designs assume non-negative embeddings; signed values support
+  /// raw (unshifted) GloVe-style embeddings at the cost of one
+  /// magnitude bit.
+  kSignedFixed,
+};
+
+[[nodiscard]] std::string to_string(ValueKind kind);
+
+/// Full configuration of one accelerator instance.
+struct DesignConfig {
+  ValueKind value_kind = ValueKind::kFixed;
+  /// V: storage bits per matrix value.  Must be 32 for kFloat32.
+  int value_bits = 20;
+  /// c: number of cores == number of HBM pseudo-channels used.
+  int cores = 32;
+  /// k: Top-k entries kept per partition (k * cores >= K at query time).
+  int k = 8;
+  /// r: finished rows the Top-K update stage can absorb per packet.
+  /// Rows finishing beyond this budget in a single packet are dropped
+  /// by the hardware (section IV-B); see enforce_r_in_encoder.
+  int rows_per_packet = 8;
+  /// When true the encoder closes packets early so that no packet ever
+  /// finishes more than rows_per_packet rows, trading a little stream
+  /// padding for a zero-drop guarantee.
+  bool enforce_r_in_encoder = false;
+  /// HBM packet width in bits (512 on the Alveo U280, section III-B).
+  int packet_bits = 512;
+
+  /// Named constructor for the fixed-point designs of Table II.
+  [[nodiscard]] static DesignConfig fixed(int value_bits, int cores = 32);
+  /// Named constructor for the float32 design of Table II.
+  [[nodiscard]] static DesignConfig float32(int cores = 32);
+  /// Named constructor for the signed fixed-point extension.
+  [[nodiscard]] static DesignConfig signed_fixed(int value_bits, int cores = 32);
+
+  /// Display name following the paper's figures, e.g. "FPGA 20b 32C".
+  [[nodiscard]] std::string name() const;
+
+  friend bool operator==(const DesignConfig&, const DesignConfig&) = default;
+};
+
+/// Throws std::invalid_argument if the configuration is inconsistent
+/// (value_bits outside [2,32], float32 with value_bits != 32,
+/// non-positive cores/k/r, packet_bits not a positive multiple of 64).
+void validate(const DesignConfig& config);
+
+}  // namespace topk::core

@@ -1,0 +1,209 @@
+#include "core/opt_coo.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "fixed/fixed_point.hpp"
+#include "util/bitio.hpp"
+
+namespace topk::core {
+
+namespace {
+
+std::uint32_t encode_value(float value, ValueKind kind,
+                           const fixed::FixedFormat& format) noexcept {
+  switch (kind) {
+    case ValueKind::kFloat32:
+      return std::bit_cast<std::uint32_t>(value);
+    case ValueKind::kSignedFixed:
+      return fixed::quantize_signed(static_cast<double>(value), format);
+    case ValueKind::kFixed:
+      break;
+  }
+  return fixed::quantize(static_cast<double>(value), format);
+}
+
+}  // namespace
+
+OptCooLayout OptCooLayout::solve(std::uint32_t rows, std::uint32_t cols,
+                                 int val_bits, int packet_bits) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("OptCooLayout::solve: empty shape");
+  }
+  if (val_bits < 2 || val_bits > 32) {
+    throw std::invalid_argument("OptCooLayout::solve: val_bits out of range");
+  }
+  if (packet_bits <= 0 || packet_bits % 64 != 0) {
+    throw std::invalid_argument(
+        "OptCooLayout::solve: packet_bits must be a positive multiple of 64");
+  }
+  OptCooLayout layout;
+  layout.packet_bits = packet_bits;
+  layout.row_bits = util::bits_for_value(rows - 1);
+  layout.col_bits = util::bits_for_value(cols - 1);
+  layout.val_bits = val_bits;
+  layout.capacity = packet_bits / layout.bits_per_entry();
+  if (layout.capacity == 0) {
+    throw std::invalid_argument(
+        "OptCooLayout::solve: packet too small for a single entry");
+  }
+  return layout;
+}
+
+OptCooMatrix encode_opt_coo(const sparse::Csr& matrix, const OptCooLayout& layout,
+                            ValueKind kind) {
+  if (matrix.rows() == 0 || matrix.nnz() == 0) {
+    throw std::invalid_argument("encode_opt_coo: matrix must have non-zeros");
+  }
+  if (matrix.rows() > (std::uint64_t{1} << layout.row_bits) ||
+      matrix.cols() > (std::uint64_t{1} << layout.col_bits)) {
+    throw std::invalid_argument("encode_opt_coo: field widths too small");
+  }
+  if (kind == ValueKind::kFloat32 && layout.val_bits != 32) {
+    throw std::invalid_argument("encode_opt_coo: float32 requires 32-bit values");
+  }
+  const fixed::FixedFormat format{layout.val_bits, 1};
+  if (kind != ValueKind::kFloat32) {
+    fixed::validate(format);
+  }
+
+  OptCooMatrix out;
+  out.layout_ = layout;
+  out.value_kind_ = kind;
+  out.rows_ = matrix.rows();
+  out.cols_ = matrix.cols();
+  out.nnz_ = matrix.nnz();
+
+  util::BitWriter writer;
+  const auto capacity = static_cast<std::uint64_t>(layout.capacity);
+  std::uint64_t in_packet = 0;
+  std::uint32_t last_row = 0;
+  for (std::uint32_t r = 0; r < matrix.rows(); ++r) {
+    const auto cols = matrix.row_cols(r);
+    const auto vals = matrix.row_values(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      writer.append(r, layout.row_bits);
+      writer.append(cols[i], layout.col_bits);
+      writer.append(encode_value(vals[i], kind, format), layout.val_bits);
+      last_row = r;
+      if (++in_packet == capacity) {
+        writer.align_to(layout.packet_bits);
+        in_packet = 0;
+      }
+    }
+  }
+  // Pad the final packet with zero-valued repeats of the last row.
+  if (in_packet != 0) {
+    while (in_packet < capacity) {
+      writer.append(last_row, layout.row_bits);
+      writer.append(0, layout.col_bits);
+      writer.append(0, layout.val_bits);
+      ++in_packet;
+    }
+    writer.align_to(layout.packet_bits);
+  }
+
+  out.words_ = writer.take_words();
+  out.num_packets_ = (matrix.nnz() + capacity - 1) / capacity;
+  return out;
+}
+
+KernelResult run_topk_spmv_opt_coo(const OptCooMatrix& matrix,
+                                   std::span<const float> x, int k) {
+  if (x.size() != matrix.cols()) {
+    throw std::invalid_argument("run_topk_spmv_opt_coo: vector size mismatch");
+  }
+  if (k <= 0) {
+    throw std::invalid_argument("run_topk_spmv_opt_coo: k must be positive");
+  }
+  const OptCooLayout& layout = matrix.layout();
+  const fixed::FixedFormat format{layout.val_bits, 1};
+  const bool is_float = matrix.value_kind() == ValueKind::kFloat32;
+  const bool is_signed = matrix.value_kind() == ValueKind::kSignedFixed;
+
+  // Vector raws as in the BS-CSR kernel (Q1.31 / S.31 / float).
+  const std::vector<std::uint32_t> x_unsigned =
+      is_float || is_signed ? std::vector<std::uint32_t>{} : quantize_vector(x);
+  const std::vector<std::uint32_t> x_signed =
+      is_signed ? quantize_vector_signed(x) : std::vector<std::uint32_t>{};
+
+  TopKScratchpad topk(k);
+  KernelStats stats;
+
+  util::BitReader reader(matrix.words());
+  bool row_open = false;
+  std::uint32_t current_row = 0;
+  fixed::FixedAccumulator acc_unsigned;
+  std::int64_t acc_signed = 0;
+  float acc_float = 0.0f;
+
+  const auto emit = [&] {
+    ++stats.rows_emitted;
+    if (is_float) {
+      topk.insert(current_row, static_cast<double>(acc_float));
+      acc_float = 0.0f;
+    } else if (is_signed) {
+      topk.insert(current_row,
+                  std::ldexp(static_cast<double>(acc_signed),
+                             -fixed::kAccFracBits));
+      acc_signed = 0;
+    } else {
+      topk.insert(current_row, acc_unsigned.to_double());
+      acc_unsigned.reset();
+    }
+  };
+
+  std::size_t bit = 0;
+  for (std::uint64_t p = 0; p < matrix.num_packets(); ++p) {
+    ++stats.packets;
+    bit = static_cast<std::size_t>(p) *
+          static_cast<std::size_t>(layout.packet_bits);
+    for (int i = 0; i < layout.capacity; ++i) {
+      const auto row =
+          static_cast<std::uint32_t>(reader.read(bit, layout.row_bits));
+      bit += static_cast<std::size_t>(layout.row_bits);
+      const auto col =
+          static_cast<std::uint32_t>(reader.read(bit, layout.col_bits));
+      bit += static_cast<std::size_t>(layout.col_bits);
+      const auto raw =
+          static_cast<std::uint32_t>(reader.read(bit, layout.val_bits));
+      bit += static_cast<std::size_t>(layout.val_bits);
+
+      if (row >= matrix.rows() || col >= matrix.cols()) {
+        throw std::runtime_error("run_topk_spmv_opt_coo: corrupt stream");
+      }
+      if (row_open && row != current_row) {
+        if (row < current_row) {
+          throw std::runtime_error(
+              "run_topk_spmv_opt_coo: rows out of order (corrupt stream)");
+        }
+        emit();
+      }
+      current_row = row;
+      row_open = true;
+      if (is_float) {
+        acc_float += std::bit_cast<float>(raw) * x[col];
+      } else if (is_signed) {
+        const std::int64_t product =
+            fixed::sign_extend(raw, layout.val_bits) *
+            fixed::sign_extend(x_signed[col], 32);
+        const int shift =
+            format.frac_bits() + fixed::kVectorFracBits - fixed::kAccFracBits;
+        acc_signed += shift >= 0 ? (product >> shift) : (product << -shift);
+      } else {
+        acc_unsigned.add_product(raw, format.frac_bits(), x_unsigned[col]);
+      }
+    }
+  }
+  if (row_open) {
+    emit();
+  }
+
+  KernelResult result;
+  result.topk = topk.sorted_descending();
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace topk::core

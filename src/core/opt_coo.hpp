@@ -1,0 +1,99 @@
+// "Optimized COO" — the middle format of Figure 3, implemented as a
+// real codec so the BS-CSR comparison is measured, not hypothetical.
+//
+// Like BS-CSR it packs bit-reduced fields into fixed-size HBM packets,
+// but it keeps an explicit row index per non-zero (ceil(log2 N) bits)
+// instead of BS-CSR's per-packet ptr array.  That makes every packet
+// trivially self-describing — no new_row flag, no boundary decoding —
+// at the price of idx-sized redundancy per entry: at V = 20 and
+// M = 1024 a 512-bit packet holds 8 entries versus BS-CSR's 15
+// (Figure 3's middle row: "496 bit, 8 values").
+//
+// Unused slots in the final packet repeat the last row index with a
+// zero value, so they aggregate to nothing.  Rows with no entries
+// simply never appear (a COO property); the kernel therefore only
+// surfaces rows that own at least one non-zero.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/design.hpp"
+#include "core/topk_spmv.hpp"
+#include "sparse/csr.hpp"
+
+namespace topk::core {
+
+/// Packet geometry for the optimized COO layout.
+struct OptCooLayout {
+  int packet_bits = 512;
+  int row_bits = 0;  ///< ceil(log2 N)
+  int col_bits = 0;  ///< ceil(log2 M)
+  int val_bits = 0;  ///< V
+  int capacity = 0;  ///< entries per packet
+
+  [[nodiscard]] constexpr int bits_per_entry() const noexcept {
+    return row_bits + col_bits + val_bits;
+  }
+  [[nodiscard]] constexpr int bytes_per_packet() const noexcept {
+    return packet_bits / 8;
+  }
+  [[nodiscard]] constexpr double nnz_per_byte() const noexcept {
+    return static_cast<double>(capacity) / bytes_per_packet();
+  }
+
+  /// Solves capacity = floor(packet_bits / bits_per_entry).  Throws
+  /// std::invalid_argument if a single entry does not fit or any
+  /// argument is out of range.
+  [[nodiscard]] static OptCooLayout solve(std::uint32_t rows, std::uint32_t cols,
+                                          int val_bits, int packet_bits = 512);
+};
+
+/// An encoded optimized-COO stream.
+class OptCooMatrix {
+ public:
+  OptCooMatrix() = default;
+
+  [[nodiscard]] const OptCooLayout& layout() const noexcept { return layout_; }
+  [[nodiscard]] ValueKind value_kind() const noexcept { return value_kind_; }
+  [[nodiscard]] std::uint32_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::uint32_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::uint64_t nnz() const noexcept { return nnz_; }
+  [[nodiscard]] std::uint64_t num_packets() const noexcept { return num_packets_; }
+  [[nodiscard]] std::uint64_t stream_bytes() const noexcept {
+    return num_packets_ * static_cast<std::uint64_t>(layout_.bytes_per_packet());
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+    return words_;
+  }
+
+  friend OptCooMatrix encode_opt_coo(const sparse::Csr&, const OptCooLayout&,
+                                     ValueKind);
+
+ private:
+  OptCooLayout layout_;
+  ValueKind value_kind_ = ValueKind::kFixed;
+  std::uint32_t rows_ = 0;
+  std::uint32_t cols_ = 0;
+  std::uint64_t nnz_ = 0;
+  std::uint64_t num_packets_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Encodes a CSR matrix (row-major entry order) into the layout.
+/// Value encoding follows `kind` exactly as in BS-CSR.  Throws
+/// std::invalid_argument on layout/matrix mismatches or an empty
+/// matrix.
+[[nodiscard]] OptCooMatrix encode_opt_coo(const sparse::Csr& matrix,
+                                          const OptCooLayout& layout,
+                                          ValueKind kind);
+
+/// Streaming Top-K SpMV over an optimized-COO stream — the baseline
+/// kernel the roofline compares BS-CSR against.  Only rows owning at
+/// least one non-zero can appear in the result.  Throws
+/// std::invalid_argument on size mismatches.
+[[nodiscard]] KernelResult run_topk_spmv_opt_coo(const OptCooMatrix& matrix,
+                                                 std::span<const float> x,
+                                                 int k);
+
+}  // namespace topk::core

@@ -1,0 +1,45 @@
+#include "core/packet_layout.hpp"
+
+#include <stdexcept>
+
+#include "util/bitio.hpp"
+
+namespace topk::core {
+
+PacketLayout PacketLayout::solve(std::uint32_t cols, int val_bits, int packet_bits) {
+  if (cols == 0) {
+    throw std::invalid_argument("PacketLayout::solve: cols must be positive");
+  }
+  if (val_bits < 2 || val_bits > 32) {
+    throw std::invalid_argument("PacketLayout::solve: val_bits must be in [2, 32]");
+  }
+  if (packet_bits <= 0 || packet_bits % 64 != 0) {
+    throw std::invalid_argument(
+        "PacketLayout::solve: packet_bits must be a positive multiple of 64");
+  }
+
+  const int idx_bits = util::bits_for_value(cols - 1);
+
+  // The capacity is monotone in B's feasibility test, but ptr_bits
+  // depends on B itself; a simple descending scan is exact and cheap.
+  const int max_candidate = packet_bits;  // loose upper bound
+  for (int capacity = max_candidate; capacity >= 1; --capacity) {
+    const int ptr_bits =
+        util::bits_for_value(static_cast<std::uint64_t>(capacity));
+    const long long used =
+        1LL + static_cast<long long>(capacity) * (ptr_bits + idx_bits + val_bits);
+    if (used <= packet_bits) {
+      PacketLayout layout;
+      layout.packet_bits = packet_bits;
+      layout.ptr_bits = ptr_bits;
+      layout.idx_bits = idx_bits;
+      layout.val_bits = val_bits;
+      layout.capacity = capacity;
+      return layout;
+    }
+  }
+  throw std::invalid_argument(
+      "PacketLayout::solve: packet too small for a single entry");
+}
+
+}  // namespace topk::core

@@ -1,0 +1,66 @@
+// BS-CSR packet geometry (paper section III-B, Figure 3).
+//
+// Every HBM packet of `packet_bits` bits (512 on the U280) is an
+// independent CSR partition holding B non-zeros:
+//
+//   [ new_row : 1 bit ][ ptr[B] : ptr_bits each ]
+//   [ idx[B] : idx_bits each ][ val[B] : val_bits each ] [zero padding]
+//
+// with the capacity B chosen as the largest integer satisfying
+//
+//   B * (ceil(log2(B + 1)) + ceil(log2 M) + V) + 1 <= packet_bits
+//
+// (section IV-C).  ptr entries store the cumulative non-zero count at
+// each row boundary inside the packet, so they must be able to encode
+// values up to and including B — hence log2(B + 1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace topk::core {
+
+/// Immutable description of a packet's bit-level geometry.
+struct PacketLayout {
+  int packet_bits = 512;
+  int ptr_bits = 0;   ///< bits per ptr entry: ceil(log2(capacity + 1))
+  int idx_bits = 0;   ///< bits per column index: ceil(log2 M)
+  int val_bits = 0;   ///< V: bits per value
+  int capacity = 0;   ///< B: non-zeros per packet
+
+  /// Bits consumed by one (ptr, idx, val) slot.
+  [[nodiscard]] constexpr int bits_per_entry() const noexcept {
+    return ptr_bits + idx_bits + val_bits;
+  }
+  /// Bits actually used in the packet (flag + B slots).
+  [[nodiscard]] constexpr int used_bits() const noexcept {
+    return 1 + capacity * bits_per_entry();
+  }
+  /// Unused trailing bits per packet.
+  [[nodiscard]] constexpr int padding_bits() const noexcept {
+    return packet_bits - used_bits();
+  }
+  [[nodiscard]] constexpr int words_per_packet() const noexcept {
+    return packet_bits / 64;
+  }
+  [[nodiscard]] constexpr int bytes_per_packet() const noexcept {
+    return packet_bits / 8;
+  }
+
+  /// Operational intensity in non-zeros per byte streamed (the x-axis
+  /// of the paper's roofline, Figure 6a): B / packet bytes.
+  [[nodiscard]] constexpr double nnz_per_byte() const noexcept {
+    return static_cast<double>(capacity) / bytes_per_packet();
+  }
+
+  /// Solves for the largest capacity B given the embedding size M
+  /// (column count; determines idx_bits) and value width V.  Throws
+  /// std::invalid_argument if no entry fits (val_bits too large for
+  /// packet_bits) or parameters are out of range.
+  [[nodiscard]] static PacketLayout solve(std::uint32_t cols, int val_bits,
+                                          int packet_bits = 512);
+
+  friend constexpr bool operator==(const PacketLayout&, const PacketLayout&) = default;
+};
+
+}  // namespace topk::core

@@ -1,0 +1,60 @@
+#include "core/partitioner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace topk::core {
+
+std::vector<Partition> make_row_partitions(std::uint32_t rows, int count) {
+  if (count <= 0) {
+    throw std::invalid_argument("make_row_partitions: count must be positive");
+  }
+  if (static_cast<std::uint64_t>(count) > rows) {
+    throw std::invalid_argument("make_row_partitions: more partitions than rows");
+  }
+  const auto c = static_cast<std::uint32_t>(count);
+  const std::uint32_t base = rows / c;
+  const std::uint32_t remainder = rows % c;
+
+  std::vector<Partition> partitions;
+  partitions.reserve(c);
+  std::uint32_t begin = 0;
+  for (std::uint32_t i = 0; i < c; ++i) {
+    const std::uint32_t size = base + (i < remainder ? 1 : 0);
+    partitions.push_back(Partition{begin, begin + size});
+    begin += size;
+  }
+  return partitions;
+}
+
+std::vector<TopKEntry> merge_partition_results(
+    const std::vector<std::vector<TopKEntry>>& per_partition,
+    const std::vector<Partition>& partitions, int top_k) {
+  if (per_partition.size() != partitions.size()) {
+    throw std::invalid_argument(
+        "merge_partition_results: result/partition count mismatch");
+  }
+  if (top_k <= 0) {
+    throw std::invalid_argument("merge_partition_results: top_k must be positive");
+  }
+
+  std::vector<TopKEntry> merged;
+  for (std::size_t p = 0; p < per_partition.size(); ++p) {
+    for (const TopKEntry& entry : per_partition[p]) {
+      merged.push_back(
+          TopKEntry{entry.index + partitions[p].row_begin, entry.value});
+    }
+  }
+  std::sort(merged.begin(), merged.end(), [](const TopKEntry& a, const TopKEntry& b) {
+    if (a.value != b.value) {
+      return a.value > b.value;
+    }
+    return a.index < b.index;
+  });
+  if (merged.size() > static_cast<std::size_t>(top_k)) {
+    merged.resize(static_cast<std::size_t>(top_k));
+  }
+  return merged;
+}
+
+}  // namespace topk::core

@@ -1,0 +1,42 @@
+// Matrix partitioning and result merging (paper section III-A).
+//
+// The matrix is split row-wise into c partitions of ~N/c rows, one per
+// FPGA core / HBM channel.  Each core returns its local top k; the
+// host merges the k*c candidates into the final (approximate) Top-K.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/topk_spmv.hpp"
+
+namespace topk::core {
+
+/// Half-open row range [row_begin, row_end) assigned to one core.
+struct Partition {
+  std::uint32_t row_begin = 0;
+  std::uint32_t row_end = 0;
+
+  [[nodiscard]] constexpr std::uint32_t rows() const noexcept {
+    return row_end - row_begin;
+  }
+  friend constexpr bool operator==(const Partition&, const Partition&) = default;
+};
+
+/// Splits `rows` into `count` contiguous partitions whose sizes differ
+/// by at most one (the paper's N/c scheme).  Partitions may not be
+/// empty: throws std::invalid_argument if count is non-positive or
+/// exceeds rows.
+[[nodiscard]] std::vector<Partition> make_row_partitions(std::uint32_t rows,
+                                                         int count);
+
+/// Merges per-partition top-k lists (local row indices) into a single
+/// global list: indices are rebased by each partition's row_begin, the
+/// union is sorted by descending value (ties by ascending index), and
+/// the best `top_k` survive.  Throws std::invalid_argument if the
+/// list/partition counts differ or top_k is non-positive.
+[[nodiscard]] std::vector<TopKEntry> merge_partition_results(
+    const std::vector<std::vector<TopKEntry>>& per_partition,
+    const std::vector<Partition>& partitions, int top_k);
+
+}  // namespace topk::core

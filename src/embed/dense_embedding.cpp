@@ -1,0 +1,108 @@
+#include "embed/dense_embedding.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace topk::embed {
+
+namespace {
+
+/// Standard Gaussian via Box-Muller.
+double gaussian(topk::util::Xoshiro256& rng) {
+  const double u1 = rng.uniform();
+  const double u2 = rng.uniform();
+  return std::sqrt(-2.0 * std::log(1.0 - u1)) *
+         std::cos(6.283185307179586 * u2);
+}
+
+}  // namespace
+
+DenseEmbeddings::DenseEmbeddings(std::uint32_t rows, std::uint32_t dim)
+    : rows_(rows), dim_(dim),
+      data_(static_cast<std::size_t>(rows) * dim, 0.0f) {
+  if (rows == 0 || dim == 0) {
+    throw std::invalid_argument("DenseEmbeddings: dimensions must be positive");
+  }
+}
+
+std::span<float> DenseEmbeddings::row(std::uint32_t r) {
+  if (r >= rows_) {
+    throw std::out_of_range("DenseEmbeddings::row: out of range");
+  }
+  return std::span<float>(data_).subspan(static_cast<std::size_t>(r) * dim_, dim_);
+}
+
+std::span<const float> DenseEmbeddings::row(std::uint32_t r) const {
+  if (r >= rows_) {
+    throw std::out_of_range("DenseEmbeddings::row: out of range");
+  }
+  return std::span<const float>(data_).subspan(
+      static_cast<std::size_t>(r) * dim_, dim_);
+}
+
+void DenseEmbeddings::l2_normalize_rows() {
+  for (std::uint32_t r = 0; r < rows_; ++r) {
+    auto values = row(r);
+    double sum_sq = 0.0;
+    for (const float v : values) {
+      sum_sq += static_cast<double>(v) * static_cast<double>(v);
+    }
+    if (sum_sq <= 0.0) {
+      continue;
+    }
+    const auto inv_norm = static_cast<float>(1.0 / std::sqrt(sum_sq));
+    for (float& v : values) {
+      v *= inv_norm;
+    }
+  }
+}
+
+void validate(const CorpusConfig& config) {
+  if (config.rows == 0 || config.dim == 0) {
+    throw std::invalid_argument("CorpusConfig: dimensions must be positive");
+  }
+  if (config.clusters == 0 || config.clusters > config.rows) {
+    throw std::invalid_argument("CorpusConfig: clusters must be in [1, rows]");
+  }
+  if (config.cluster_spread <= 0.0) {
+    throw std::invalid_argument("CorpusConfig: spread must be positive");
+  }
+  if (config.power_law_exponent < 0.0) {
+    throw std::invalid_argument("CorpusConfig: negative power-law exponent");
+  }
+}
+
+DenseEmbeddings generate_glove_like(const CorpusConfig& config) {
+  validate(config);
+  util::Xoshiro256 rng(config.seed);
+
+  // Per-component scales: leading components carry most of the energy.
+  std::vector<double> scale(config.dim);
+  for (std::uint32_t j = 0; j < config.dim; ++j) {
+    scale[j] = std::pow(static_cast<double>(j) + 1.0, -config.power_law_exponent);
+  }
+
+  // Cluster centroids.
+  DenseEmbeddings centroids(config.clusters, config.dim);
+  for (std::uint32_t c = 0; c < config.clusters; ++c) {
+    auto row = centroids.row(c);
+    for (std::uint32_t j = 0; j < config.dim; ++j) {
+      row[j] = static_cast<float>(gaussian(rng) * scale[j]);
+    }
+  }
+
+  DenseEmbeddings corpus(config.rows, config.dim);
+  for (std::uint32_t r = 0; r < config.rows; ++r) {
+    const auto c = static_cast<std::uint32_t>(rng.bounded(config.clusters));
+    const auto centroid = centroids.row(c);
+    auto row = corpus.row(r);
+    for (std::uint32_t j = 0; j < config.dim; ++j) {
+      row[j] = centroid[j] + static_cast<float>(gaussian(rng) * scale[j] *
+                                                config.cluster_spread);
+    }
+  }
+  corpus.l2_normalize_rows();
+  return corpus;
+}
+
+}  // namespace topk::embed

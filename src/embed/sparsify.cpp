@@ -1,0 +1,144 @@
+#include "embed/sparsify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace topk::embed {
+
+Dictionary::Dictionary(std::uint32_t atoms, std::uint32_t dim, std::uint64_t seed)
+    : embeddings_(atoms, dim) {
+  util::Xoshiro256 rng(seed);
+  for (std::uint32_t a = 0; a < atoms; ++a) {
+    auto row = embeddings_.row(a);
+    for (float& v : row) {
+      // Box-Muller keeps atoms isotropic.
+      const double u1 = rng.uniform();
+      const double u2 = rng.uniform();
+      v = static_cast<float>(std::sqrt(-2.0 * std::log(1.0 - u1)) *
+                             std::cos(6.283185307179586 * u2));
+    }
+  }
+  embeddings_.l2_normalize_rows();
+}
+
+void validate(const SparsifyConfig& config, const Dictionary& dictionary) {
+  if (config.target_nnz == 0) {
+    throw std::invalid_argument("SparsifyConfig: target_nnz must be positive");
+  }
+  if (config.target_nnz > dictionary.atoms()) {
+    throw std::invalid_argument("SparsifyConfig: target_nnz exceeds dictionary");
+  }
+}
+
+namespace {
+
+double dot(std::span<const float> a, std::span<const float> b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return sum;
+}
+
+std::vector<std::pair<std::uint32_t, float>> code_matching_pursuit(
+    std::span<const float> dense, const Dictionary& dictionary,
+    std::uint32_t target_nnz) {
+  std::vector<double> residual(dense.begin(), dense.end());
+  std::vector<double> coefficients(dictionary.atoms(), 0.0);
+
+  for (std::uint32_t step = 0; step < target_nnz; ++step) {
+    // Pick the atom with the largest positive projection onto the
+    // residual (non-negative coding).
+    std::uint32_t best_atom = dictionary.atoms();
+    double best_projection = 0.0;
+    for (std::uint32_t a = 0; a < dictionary.atoms(); ++a) {
+      const auto atom = dictionary.atom(a);
+      double projection = 0.0;
+      for (std::size_t i = 0; i < atom.size(); ++i) {
+        projection += static_cast<double>(atom[i]) * residual[i];
+      }
+      if (projection > best_projection) {
+        best_projection = projection;
+        best_atom = a;
+      }
+    }
+    if (best_atom == dictionary.atoms() || best_projection <= 1e-12) {
+      break;  // residual has no positive component left
+    }
+    coefficients[best_atom] += best_projection;
+    const auto atom = dictionary.atom(best_atom);
+    for (std::size_t i = 0; i < atom.size(); ++i) {
+      residual[i] -= best_projection * static_cast<double>(atom[i]);
+    }
+  }
+
+  std::vector<std::pair<std::uint32_t, float>> code;
+  for (std::uint32_t a = 0; a < dictionary.atoms(); ++a) {
+    if (coefficients[a] > 0.0) {
+      code.emplace_back(a, static_cast<float>(coefficients[a]));
+    }
+  }
+  return code;
+}
+
+std::vector<std::pair<std::uint32_t, float>> code_top_magnitude(
+    std::span<const float> dense, const Dictionary& dictionary,
+    std::uint32_t target_nnz) {
+  std::vector<std::pair<std::uint32_t, float>> projections;
+  projections.reserve(dictionary.atoms());
+  for (std::uint32_t a = 0; a < dictionary.atoms(); ++a) {
+    const double projection = dot(dictionary.atom(a), dense);
+    if (projection > 0.0) {
+      projections.emplace_back(a, static_cast<float>(projection));
+    }
+  }
+  const std::size_t keep =
+      std::min<std::size_t>(target_nnz, projections.size());
+  std::partial_sort(projections.begin(),
+                    projections.begin() + static_cast<std::ptrdiff_t>(keep),
+                    projections.end(), [](const auto& x, const auto& y) {
+                      return x.second > y.second;
+                    });
+  projections.resize(keep);
+  std::sort(projections.begin(), projections.end());
+  return projections;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::uint32_t, float>> sparse_code(
+    std::span<const float> dense, const Dictionary& dictionary,
+    const SparsifyConfig& config) {
+  if (dense.size() != dictionary.dim()) {
+    throw std::invalid_argument("sparse_code: dimension mismatch");
+  }
+  validate(config, dictionary);
+  if (config.use_matching_pursuit) {
+    return code_matching_pursuit(dense, dictionary, config.target_nnz);
+  }
+  return code_top_magnitude(dense, dictionary, config.target_nnz);
+}
+
+sparse::Csr sparsify_corpus(const DenseEmbeddings& corpus,
+                            const Dictionary& dictionary,
+                            const SparsifyConfig& config) {
+  if (corpus.dim() != dictionary.dim()) {
+    throw std::invalid_argument("sparsify_corpus: dimension mismatch");
+  }
+  validate(config, dictionary);
+
+  sparse::Coo coo(corpus.rows(), dictionary.atoms());
+  coo.reserve(static_cast<std::size_t>(corpus.rows()) * config.target_nnz);
+  for (std::uint32_t r = 0; r < corpus.rows(); ++r) {
+    const auto code = sparse_code(corpus.row(r), dictionary, config);
+    for (const auto& [atom, coefficient] : code) {
+      coo.push_back(r, atom, coefficient);
+    }
+  }
+  sparse::Csr matrix = sparse::Csr::from_coo(std::move(coo));
+  matrix.l2_normalize_rows();
+  return matrix;
+}
+
+}  // namespace topk::embed

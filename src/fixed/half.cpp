@@ -1,0 +1,103 @@
+#include "fixed/half.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace topk::fixed {
+
+namespace {
+constexpr std::uint32_t kF32SignMask = 0x80000000u;
+constexpr int kF32ExpBias = 127;
+constexpr int kF16ExpBias = 15;
+}  // namespace
+
+std::uint16_t float_to_half_bits(float value) noexcept {
+  const auto f = std::bit_cast<std::uint32_t>(value);
+  const std::uint16_t sign = static_cast<std::uint16_t>((f & kF32SignMask) >> 16);
+  const std::uint32_t abs = f & ~kF32SignMask;
+  const int exponent = static_cast<int>(abs >> 23);
+  const std::uint32_t mantissa = abs & 0x7FFFFFu;
+
+  if (exponent == 0xFF) {
+    // Inf / NaN: keep a non-zero mantissa for NaN (quiet bit set).
+    const std::uint16_t payload =
+        mantissa != 0 ? static_cast<std::uint16_t>(0x200 | (mantissa >> 13)) : 0;
+    return static_cast<std::uint16_t>(sign | 0x7C00 | payload);
+  }
+
+  // Unbiased exponent of the input.
+  const int e = exponent - kF32ExpBias;
+  if (e > 15) {
+    // Overflow -> infinity.
+    return static_cast<std::uint16_t>(sign | 0x7C00);
+  }
+
+  if (e >= -14) {
+    // Normal half range.  Round the 23-bit mantissa to 10 bits,
+    // round-to-nearest-even on the dropped 13 bits.
+    std::uint32_t m = mantissa;
+    std::uint32_t rounded = m >> 13;
+    const std::uint32_t rest = m & 0x1FFFu;
+    if (rest > 0x1000u || (rest == 0x1000u && (rounded & 1u))) {
+      ++rounded;
+    }
+    std::uint32_t half_exp = static_cast<std::uint32_t>(e + kF16ExpBias);
+    if (rounded == 0x400u) {  // mantissa overflowed into the exponent
+      rounded = 0;
+      ++half_exp;
+      if (half_exp >= 31) {
+        return static_cast<std::uint16_t>(sign | 0x7C00);
+      }
+    }
+    return static_cast<std::uint16_t>(sign | (half_exp << 10) | rounded);
+  }
+
+  if (e >= -25) {
+    // Subnormal half: shift the implicit-1 mantissa right.
+    std::uint32_t m = mantissa | 0x800000u;          // implicit leading 1
+    const int shift = -e - 14 + 13;                  // 14..24
+    const std::uint32_t rounded_down = m >> shift;
+    const std::uint32_t rest = m & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    std::uint32_t result = rounded_down;
+    if (rest > halfway || (rest == halfway && (result & 1u))) {
+      ++result;
+    }
+    return static_cast<std::uint16_t>(sign | result);
+  }
+
+  // Underflow to signed zero.
+  return sign;
+}
+
+float half_bits_to_float(std::uint16_t bits) noexcept {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exponent = (bits >> 10) & 0x1Fu;
+  const std::uint32_t mantissa = bits & 0x3FFu;
+
+  std::uint32_t f;
+  if (exponent == 0) {
+    if (mantissa == 0) {
+      f = sign;  // signed zero
+    } else {
+      // Subnormal: normalise by shifting the mantissa up.
+      int e = -1;
+      std::uint32_t m = mantissa;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      const std::uint32_t exp32 =
+          static_cast<std::uint32_t>(kF32ExpBias - kF16ExpBias - e);
+      f = sign | (exp32 << 23) | ((m & 0x3FFu) << 13);
+    }
+  } else if (exponent == 31) {
+    f = sign | 0x7F800000u | (mantissa << 13);  // inf / NaN
+  } else {
+    const std::uint32_t exp32 = exponent + (kF32ExpBias - kF16ExpBias);
+    f = sign | (exp32 << 23) | (mantissa << 13);
+  }
+  return std::bit_cast<float>(f);
+}
+
+}  // namespace topk::fixed

@@ -1,0 +1,63 @@
+// IEEE 754 binary16 ("half") software emulation.
+//
+// The paper compares its fixed-point FPGA designs against a GPU
+// running cuSPARSE with half-precision storage (Figure 7, "GPU F16").
+// No GPU is available here, so the baseline's numerics are reproduced
+// in software: values are stored as binary16 and, in the strictest
+// mode, also accumulated in binary16 — every add rounds to nearest
+// even, exactly what a Tensor-Core-free fp16 SpMV accumulator does.
+#pragma once
+
+#include <cstdint>
+
+namespace topk::fixed {
+
+/// Converts a float to IEEE binary16 bits (round to nearest even,
+/// overflow to infinity, subnormal and NaN preserving).
+[[nodiscard]] std::uint16_t float_to_half_bits(float value) noexcept;
+
+/// Converts IEEE binary16 bits to float (exact).
+[[nodiscard]] float half_bits_to_float(std::uint16_t bits) noexcept;
+
+/// Value type wrapping binary16 with float-mediated arithmetic: every
+/// operation computes in float and rounds the result back to half,
+/// which is bit-equivalent to native fp16 arithmetic for + and * (the
+/// double rounding is benign because float has more than 2x the
+/// precision of half).
+class Half {
+ public:
+  constexpr Half() noexcept = default;
+
+  [[nodiscard]] static Half from_float(float value) noexcept {
+    Half h;
+    h.bits_ = float_to_half_bits(value);
+    return h;
+  }
+
+  [[nodiscard]] static constexpr Half from_bits(std::uint16_t bits) noexcept {
+    Half h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  [[nodiscard]] float to_float() const noexcept { return half_bits_to_float(bits_); }
+  [[nodiscard]] constexpr std::uint16_t bits() const noexcept { return bits_; }
+
+  friend Half operator+(Half a, Half b) noexcept {
+    return from_float(a.to_float() + b.to_float());
+  }
+  friend Half operator*(Half a, Half b) noexcept {
+    return from_float(a.to_float() * b.to_float());
+  }
+  friend bool operator<(Half a, Half b) noexcept {
+    return a.to_float() < b.to_float();
+  }
+  friend bool operator==(Half a, Half b) noexcept {
+    return a.to_float() == b.to_float();
+  }
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+}  // namespace topk::fixed

@@ -1,0 +1,94 @@
+#include "hbmsim/boards.hpp"
+
+#include <stdexcept>
+
+namespace topk::hbmsim {
+
+BoardProfile board_u280() {
+  BoardProfile board;
+  board.name = "Alveo U280";
+  board.hbm = alveo_u280();
+  board.resources = DeviceResources{};
+  board.static_power_w = 20.0;
+  board.max_power_w = 225.0;
+  return board;
+}
+
+BoardProfile board_u50() {
+  BoardProfile board;
+  board.name = "Alveo U50";
+  board.hbm = alveo_u280();
+  // 316 GB/s aggregate over 32 pseudo-channels; streaming ceiling
+  // scaled by the same peak/streaming ratio as the U280.
+  board.hbm.peak_channel_gbps = 316.0 / 32.0;
+  board.hbm.streaming_channel_gbps = board.hbm.peak_channel_gbps * (13.2 / 14.375);
+  // xcu50 fabric: ~872k LUT, 1743k FF, 1344 BRAM, 640 URAM, 5952 DSP.
+  board.resources.lut = 872'000;
+  board.resources.ff = 1'743'000;
+  board.resources.bram = 1'344;
+  board.resources.uram = 640;
+  board.resources.dsp = 5'952;
+  board.static_power_w = 15.0;
+  board.max_power_w = 75.0;
+  return board;
+}
+
+BoardProfile board_u55c() {
+  BoardProfile board;
+  board.name = "Alveo U55C";
+  board.hbm = alveo_u280();
+  board.hbm.capacity_bytes = 16ULL << 30;
+  // xcu55c fabric is U280-class.
+  board.resources.lut = 1'303'680;
+  board.resources.ff = 2'607'360;
+  board.resources.bram = 2'016;
+  board.resources.uram = 960;
+  board.resources.dsp = 9'024;
+  board.static_power_w = 18.0;
+  board.max_power_w = 150.0;
+  return board;
+}
+
+std::vector<BoardProfile> all_boards() {
+  return {board_u280(), board_u50(), board_u55c()};
+}
+
+void validate(const BoardProfile& board) {
+  validate(board.hbm);
+  if (board.name.empty()) {
+    throw std::invalid_argument("BoardProfile: empty name");
+  }
+  if (board.resources.lut <= 0 || board.resources.ff <= 0 ||
+      board.resources.bram <= 0 || board.resources.uram <= 0 ||
+      board.resources.dsp <= 0) {
+    throw std::invalid_argument("BoardProfile: resource totals must be positive");
+  }
+  if (board.static_power_w < 0 || board.max_power_w <= board.static_power_w) {
+    throw std::invalid_argument("BoardProfile: inconsistent power envelope");
+  }
+}
+
+int max_cores_on_board(const core::DesignConfig& design,
+                       const core::PacketLayout& layout,
+                       const BoardProfile& board) {
+  validate(board);
+  // Binary-search-free scan: core counts are tiny (<= channels).
+  int best = 0;
+  for (int cores = 1; cores <= board.hbm.channels; ++cores) {
+    core::DesignConfig candidate = design;
+    candidate.cores = cores;
+    const ResourceUsage usage = estimate_resources(candidate, layout);
+    if (fits_device(usage, board.resources)) {
+      best = cores;
+    } else {
+      break;  // usage is monotone in cores
+    }
+  }
+  if (best == 0) {
+    throw std::invalid_argument(
+        "max_cores_on_board: a single core does not fit " + board.name);
+  }
+  return best;
+}
+
+}  // namespace topk::hbmsim

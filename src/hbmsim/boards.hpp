@@ -1,0 +1,65 @@
+// FPGA accelerator board profiles (paper section VI, future work).
+//
+// The paper's conclusion proposes deploying the design on smaller
+// HBM-equipped cards: "with similar memory bandwidth, the computation
+// can be cheaper and even more power-efficient, with no performance
+// loss".  A BoardProfile bundles the HBM subsystem, the device
+// resources and a power baseline so the timing/resource models can be
+// evaluated per board; bench/ablation_boards sweeps them.
+//
+// Figures are from the public Xilinx/AMD data sheets:
+//   * Alveo U280: 8 GB HBM2, 460 GB/s over 32 pseudo-channels,
+//     xcu280 fabric (the paper's board);
+//   * Alveo U50:  8 GB HBM2, 316 GB/s over 32 pseudo-channels, a
+//     smaller xcu50 fabric and a 75 W low-profile form factor;
+//   * Alveo U55C: 16 GB HBM2, 460 GB/s over 32 pseudo-channels, a
+//     fabric comparable to the U280 in a 150 W card.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hbmsim/hbm.hpp"
+#include "hbmsim/resource_model.hpp"
+
+namespace topk::hbmsim {
+
+/// A deployable accelerator card.
+struct BoardProfile {
+  std::string name;
+  HbmConfig hbm;
+  DeviceResources resources;
+  /// Shell/static power floor of the card in watts (subtracted from
+  /// the paper's measured 34-45 W budget when retargeting designs).
+  double static_power_w = 0.0;
+  /// Card thermal design power, watts (feasibility ceiling).
+  double max_power_w = 0.0;
+
+  friend bool operator==(const BoardProfile&, const BoardProfile&) = default;
+};
+
+/// The paper's board (Table II fabric, 460 GB/s HBM2).
+[[nodiscard]] BoardProfile board_u280();
+
+/// Alveo U50: same channel count, ~69% of the bandwidth, smaller
+/// fabric, 75 W form factor.
+[[nodiscard]] BoardProfile board_u50();
+
+/// Alveo U55C: U280-class bandwidth with 16 GB HBM2.
+[[nodiscard]] BoardProfile board_u55c();
+
+/// All built-in profiles, U280 first.
+[[nodiscard]] std::vector<BoardProfile> all_boards();
+
+/// Validates a profile (delegates to the HBM validator, checks
+/// resource totals and power bounds).  Throws std::invalid_argument.
+void validate(const BoardProfile& board);
+
+/// Largest core count deployable on `board` for `design`'s per-core
+/// footprint: limited by HBM channels and by every resource class.
+/// Throws std::invalid_argument if even one core does not fit.
+[[nodiscard]] int max_cores_on_board(const core::DesignConfig& design,
+                                     const core::PacketLayout& layout,
+                                     const BoardProfile& board);
+
+}  // namespace topk::hbmsim

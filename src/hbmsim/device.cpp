@@ -1,0 +1,93 @@
+#include "hbmsim/device.hpp"
+
+#include <stdexcept>
+
+namespace topk::hbmsim {
+
+DeviceSimulator::DeviceSimulator(const sparse::Csr& matrix,
+                                 const core::DesignConfig& design,
+                                 BoardProfile board,
+                                 const TimingOptions& timing_options)
+    : board_(std::move(board)),
+      timing_options_(timing_options),
+      accelerator_(matrix, design),
+      source_nnz_(matrix.nnz()) {
+  validate(board_);
+  if (design.cores > board_.hbm.channels) {
+    throw std::invalid_argument(
+        "DeviceSimulator: design needs more channels than " + board_.name +
+        " provides");
+  }
+  const ResourceUsage usage =
+      estimate_resources(design, accelerator_.layout());
+  if (!fits_device(usage, board_.resources)) {
+    throw std::invalid_argument("DeviceSimulator: design does not fit " +
+                                board_.name + "'s fabric");
+  }
+
+  // Bind each core stream to its pseudo-channel and check HBM
+  // capacity.  The paper's topology is the identity binding; capacity
+  // is checked per channel (HBM pseudo-channels are fixed-size slices,
+  // capacity/channels each).
+  const std::uint64_t per_channel_capacity =
+      board_.hbm.capacity_bytes / static_cast<std::uint64_t>(board_.hbm.channels);
+  const auto& partitions = accelerator_.partitions();
+  const auto& streams = accelerator_.core_streams();
+  bindings_.reserve(streams.size());
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    ChannelBinding binding;
+    binding.channel = static_cast<int>(i);
+    binding.row_begin = partitions[i].row_begin;
+    binding.row_end = partitions[i].row_end;
+    binding.image_bytes = streams[i].stream_bytes();
+    if (binding.image_bytes > per_channel_capacity) {
+      throw std::invalid_argument(
+          "DeviceSimulator: core " + std::to_string(i) +
+          "'s image exceeds its pseudo-channel slice of " + board_.name);
+    }
+    bindings_.push_back(binding);
+  }
+}
+
+DeviceQueryResult DeviceSimulator::query(std::span<const float> x, int top_k,
+                                         int host_threads) {
+  core::QueryOptions options;
+  options.threads = host_threads;
+  DeviceQueryResult out;
+  out.result = accelerator_.query(x, top_k, options);
+  out.timing = estimate_query_time(
+      accelerator_.config(), accelerator_.layout(),
+      out.result.stats.max_core_packets, source_nnz_, board_.hbm,
+      timing_options_);
+
+  ++counters_.queries;
+  counters_.bytes_streamed +=
+      out.result.stats.total_packets *
+      static_cast<std::uint64_t>(accelerator_.layout().bytes_per_packet());
+  counters_.busy_seconds += out.timing.seconds;
+  counters_.rows_dropped += out.result.stats.rows_dropped;
+  return out;
+}
+
+std::uint64_t DeviceSimulator::image_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const ChannelBinding& binding : bindings_) {
+    total += binding.image_bytes;
+  }
+  return total;
+}
+
+double DeviceSimulator::hbm_utilization() const noexcept {
+  return static_cast<double>(image_bytes()) /
+         static_cast<double>(board_.hbm.capacity_bytes);
+}
+
+double DeviceSimulator::average_throughput() const noexcept {
+  if (counters_.busy_seconds <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(counters_.queries) *
+         static_cast<double>(source_nnz_) / counters_.busy_seconds;
+}
+
+}  // namespace topk::hbmsim

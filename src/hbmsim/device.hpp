@@ -1,0 +1,96 @@
+// Simulated accelerator device: the host-runtime view of the board.
+//
+// TopKAccelerator (core/) is the pure functional model: partitions,
+// BS-CSR streams, bit-accurate queries.  DeviceSimulator wraps it with
+// the board-level concerns a real deployment has to handle:
+//
+//   * admission: the encoded image must fit the board's HBM capacity
+//     and the design must fit its fabric and channel count;
+//   * channel binding: each core stream is assigned one pseudo-channel
+//     (the paper's 1 core <-> 1 channel topology) and the per-channel
+//     footprint is tracked;
+//   * execution: every query returns the functional result together
+//     with the modelled on-device latency, and the device accumulates
+//     service counters (queries, bytes streamed, busy time).
+//
+// This is the API an application would integrate against; swapping the
+// simulator for a real XRT-backed device would preserve it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "hbmsim/boards.hpp"
+#include "hbmsim/resource_model.hpp"
+#include "hbmsim/timing_model.hpp"
+
+namespace topk::hbmsim {
+
+/// One pseudo-channel's allocation.
+struct ChannelBinding {
+  int channel = 0;                 ///< HBM pseudo-channel index
+  std::uint32_t row_begin = 0;     ///< partition rows served
+  std::uint32_t row_end = 0;
+  std::uint64_t image_bytes = 0;   ///< BS-CSR image resident on the channel
+};
+
+/// Functional result plus modelled execution profile of one query.
+struct DeviceQueryResult {
+  core::QueryResult result;
+  TimingEstimate timing;
+};
+
+/// Lifetime service counters.
+struct DeviceCounters {
+  std::uint64_t queries = 0;
+  std::uint64_t bytes_streamed = 0;   ///< total HBM read traffic
+  double busy_seconds = 0.0;          ///< modelled device-busy time
+  std::uint64_t rows_dropped = 0;
+};
+
+/// The simulated board with one loaded matrix.
+class DeviceSimulator {
+ public:
+  /// Loads `matrix` onto `board` under `design`.  Throws
+  /// std::invalid_argument if the design exceeds the board's channels
+  /// or fabric, or the encoded image exceeds HBM capacity.
+  DeviceSimulator(const sparse::Csr& matrix, const core::DesignConfig& design,
+                  BoardProfile board = board_u280(),
+                  const TimingOptions& timing_options = {});
+
+  /// Executes one query: bit-accurate result + modelled latency.
+  /// `host_threads` parallelises the functional simulation only (no
+  /// effect on the modelled device time).
+  [[nodiscard]] DeviceQueryResult query(std::span<const float> x, int top_k,
+                                        int host_threads = 1);
+
+  [[nodiscard]] const BoardProfile& board() const noexcept { return board_; }
+  [[nodiscard]] const core::TopKAccelerator& accelerator() const noexcept {
+    return accelerator_;
+  }
+  [[nodiscard]] const std::vector<ChannelBinding>& bindings() const noexcept {
+    return bindings_;
+  }
+  [[nodiscard]] const DeviceCounters& counters() const noexcept {
+    return counters_;
+  }
+
+  /// Total HBM bytes occupied by the loaded image.
+  [[nodiscard]] std::uint64_t image_bytes() const noexcept;
+  /// Fraction of HBM capacity in use.
+  [[nodiscard]] double hbm_utilization() const noexcept;
+  /// Modelled average throughput since load (nnz/s over busy time).
+  [[nodiscard]] double average_throughput() const noexcept;
+
+ private:
+  BoardProfile board_;
+  TimingOptions timing_options_;
+  core::TopKAccelerator accelerator_;
+  std::uint64_t source_nnz_ = 0;
+  std::vector<ChannelBinding> bindings_;
+  DeviceCounters counters_;
+};
+
+}  // namespace topk::hbmsim

@@ -1,0 +1,27 @@
+#include "hbmsim/hbm.hpp"
+
+#include <stdexcept>
+
+namespace topk::hbmsim {
+
+void validate(const HbmConfig& config) {
+  if (config.channels <= 0) {
+    throw std::invalid_argument("HbmConfig: channels must be positive");
+  }
+  if (config.peak_channel_gbps <= 0.0 || config.streaming_channel_gbps <= 0.0) {
+    throw std::invalid_argument("HbmConfig: bandwidths must be positive");
+  }
+  if (config.streaming_channel_gbps > config.peak_channel_gbps) {
+    throw std::invalid_argument("HbmConfig: streaming bandwidth exceeds peak");
+  }
+  if (config.measured_efficiency <= 0.0 || config.measured_efficiency > 1.0) {
+    throw std::invalid_argument("HbmConfig: efficiency must be in (0, 1]");
+  }
+  if (config.capacity_bytes == 0) {
+    throw std::invalid_argument("HbmConfig: capacity must be positive");
+  }
+}
+
+HbmConfig alveo_u280() { return HbmConfig{}; }
+
+}  // namespace topk::hbmsim

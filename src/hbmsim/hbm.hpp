@@ -1,0 +1,49 @@
+// HBM2 subsystem model of the Xilinx Alveo U280 (paper section IV/V).
+//
+// The U280 exposes 8 GB of HBM2 through 32 pseudo-channels with a
+// nominal aggregate bandwidth of 460 GB/s.  The paper's design gives
+// each core a single pseudo-channel read in continuous 256-beat AXI4
+// bursts of 512-bit packets.  Three bandwidth figures matter:
+//
+//  * peak:        460 / 32 = 14.375 GB/s per channel (datasheet);
+//  * streaming:   13.2 GB/s per channel — the per-core ceiling the
+//    paper itself uses for its roofline (Figure 6a: "1 core,
+//    13.2 GB/s ... 32 cores, 422.4 GB/s");
+//  * measured:    the paper's end-to-end 20-bit design sustains
+//    "over 57 billion non-zeros per second", i.e. ~58% of the
+//    streaming ceiling; `measured_efficiency` captures that gap
+//    (controller/refresh/burst-turnaround overheads).
+#pragma once
+
+#include <cstdint>
+
+namespace topk::hbmsim {
+
+/// Static description of the HBM subsystem.
+struct HbmConfig {
+  int channels = 32;                    ///< pseudo-channels (U280)
+  double peak_channel_gbps = 14.375;    ///< datasheet peak per channel
+  double streaming_channel_gbps = 13.2; ///< sequential-burst ceiling (Fig. 6a)
+  /// Fraction of the streaming ceiling the full design sustains
+  /// end-to-end; calibrated to the paper's measured 57 Gnnz/s.
+  double measured_efficiency = 0.58;
+  std::uint64_t capacity_bytes = 8ULL << 30;  ///< 8 GB HBM2
+
+  /// Effective bytes/second one core can stream from its channel.
+  [[nodiscard]] double effective_channel_bytes_per_s() const noexcept {
+    return streaming_channel_gbps * 1e9 * measured_efficiency;
+  }
+  /// Aggregate streaming-ceiling bandwidth for `cores` channels, bytes/s.
+  [[nodiscard]] double streaming_bytes_per_s(int cores) const noexcept {
+    return streaming_channel_gbps * 1e9 * cores;
+  }
+};
+
+/// Validates an HbmConfig; throws std::invalid_argument on
+/// non-positive channels/bandwidths or efficiency outside (0, 1].
+void validate(const HbmConfig& config);
+
+/// Returns the default U280 configuration used across the benches.
+[[nodiscard]] HbmConfig alveo_u280();
+
+}  // namespace topk::hbmsim

@@ -1,0 +1,34 @@
+#include "hbmsim/power_model.hpp"
+
+#include <stdexcept>
+
+#include "hbmsim/resource_model.hpp"
+
+namespace topk::hbmsim {
+
+namespace {
+constexpr double kHostPowerW = 40.0;
+constexpr double kCpuPowerW = 300.0;  // includes the host (dual-socket server)
+constexpr double kGpuPowerW = 250.0;
+}  // namespace
+
+PowerProfile fpga_power(const core::DesignConfig& design,
+                        const core::PacketLayout& layout) {
+  const ResourceUsage usage = estimate_resources(design, layout);
+  return PowerProfile{usage.power_w, kHostPowerW};
+}
+
+PowerProfile cpu_power() { return PowerProfile{kCpuPowerW, 0.0}; }
+
+PowerProfile gpu_power() { return PowerProfile{kGpuPowerW, kHostPowerW}; }
+
+double performance_per_watt(double throughput, const PowerProfile& profile,
+                            bool include_host) {
+  const double watts = include_host ? profile.total_w() : profile.device_w;
+  if (watts <= 0.0) {
+    throw std::invalid_argument("performance_per_watt: non-positive power");
+  }
+  return throughput / watts;
+}
+
+}  // namespace topk::hbmsim

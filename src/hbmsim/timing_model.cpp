@@ -1,0 +1,102 @@
+#include "hbmsim/timing_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace topk::hbmsim {
+
+namespace {
+
+/// Table II clock anchors for the fixed-point designs at k = 8.
+struct ClockAnchor {
+  int value_bits;
+  double mhz;
+};
+constexpr ClockAnchor kFixedAnchors[] = {{20, 253.0}, {25, 240.0}, {32, 249.0}};
+constexpr double kFloatClockMhz = 204.0;
+
+/// Clock derating per unit of k beyond the paper's k = 8 (longer
+/// argmin comparison chain; section IV-B reports that higher k lowers
+/// the clock).
+constexpr double kClockPenaltyPerK = 0.03;
+
+double fixed_clock_mhz(int value_bits) {
+  if (value_bits <= kFixedAnchors[0].value_bits) {
+    return kFixedAnchors[0].mhz;
+  }
+  for (std::size_t i = 1; i < std::size(kFixedAnchors); ++i) {
+    if (value_bits <= kFixedAnchors[i].value_bits) {
+      const auto& lo = kFixedAnchors[i - 1];
+      const auto& hi = kFixedAnchors[i];
+      const double t = static_cast<double>(value_bits - lo.value_bits) /
+                       static_cast<double>(hi.value_bits - lo.value_bits);
+      return lo.mhz + t * (hi.mhz - lo.mhz);
+    }
+  }
+  return kFixedAnchors[std::size(kFixedAnchors) - 1].mhz;
+}
+
+}  // namespace
+
+double design_clock_hz(const core::DesignConfig& design) {
+  core::validate(design);
+  const double base_mhz = design.value_kind == core::ValueKind::kFloat32
+                              ? kFloatClockMhz
+                              : fixed_clock_mhz(design.value_bits);
+  const int extra_k = std::max(0, design.k - 8);
+  const double derate = 1.0 + kClockPenaltyPerK * static_cast<double>(extra_k);
+  return base_mhz * 1e6 / derate;
+}
+
+double initiation_interval(const core::DesignConfig& design) {
+  return design.value_kind == core::ValueKind::kFloat32 ? 3.0 : 1.0;
+}
+
+TimingEstimate estimate_query_time(const core::DesignConfig& design,
+                                   const core::PacketLayout& layout,
+                                   std::uint64_t max_core_packets,
+                                   std::uint64_t source_nnz,
+                                   const HbmConfig& hbm,
+                                   const TimingOptions& options) {
+  core::validate(design);
+  validate(hbm);
+  if (options.fixed_overhead_s < 0.0) {
+    throw std::invalid_argument("TimingOptions: negative overhead");
+  }
+  if (design.cores > hbm.channels) {
+    throw std::invalid_argument(
+        "estimate_query_time: design uses more cores than HBM channels");
+  }
+
+  TimingEstimate estimate;
+  estimate.clock_hz = design_clock_hz(design);
+  estimate.initiation_interval = initiation_interval(design);
+
+  const double packet_bytes = layout.bytes_per_packet();
+  const double compute_rate = estimate.clock_hz / estimate.initiation_interval;
+  const double bandwidth_rate =
+      hbm.effective_channel_bytes_per_s() / packet_bytes;
+  estimate.packets_per_second_per_core = std::min(compute_rate, bandwidth_rate);
+  estimate.bandwidth_bound = bandwidth_rate <= compute_rate;
+
+  estimate.seconds =
+      static_cast<double>(max_core_packets) /
+          estimate.packets_per_second_per_core +
+      options.fixed_overhead_s;
+  estimate.nnz_per_second =
+      estimate.seconds > 0.0 ? static_cast<double>(source_nnz) / estimate.seconds
+                             : 0.0;
+  estimate.effective_bandwidth_bytes_per_s =
+      estimate.packets_per_second_per_core * packet_bytes * design.cores;
+  return estimate;
+}
+
+TimingEstimate estimate_query_time(const core::TopKAccelerator& accelerator,
+                                   std::uint64_t source_nnz, const HbmConfig& hbm,
+                                   const TimingOptions& options) {
+  return estimate_query_time(accelerator.config(), accelerator.layout(),
+                             accelerator.max_core_packets(), source_nnz, hbm,
+                             options);
+}
+
+}  // namespace topk::hbmsim

@@ -1,0 +1,70 @@
+// Analytic timing model for the multi-core FPGA design.
+//
+// There is no FPGA in this environment, so wall-clock execution time
+// is modelled instead of measured (DESIGN.md, substitution table).
+// The model applies the paper's own performance equation — each core
+// processes one B-non-zero packet per initiation interval at the
+// design clock, bounded by its HBM channel's effective bandwidth
+// (section IV-C: "our hardware design processes c*B non-zeros per
+// clock cycle") — to the *real* packet counts produced by the BS-CSR
+// encoder, plus a fixed host/launch overhead.
+//
+// Calibration anchors, all from the paper:
+//  * clock frequencies per design from Table II (253/240/249/204 MHz);
+//  * fixed-point pipelines run at II = 1; the float32 design's
+//    accumulation loop has a RAW dependence on the float adder, and
+//    II = 3 reproduces Figure 5's F32-vs-20b ratio (43x vs 106x);
+//  * the channel efficiency in HbmConfig reproduces the measured
+//    "57 billion non-zeros per second" for the 32-core 20-bit design.
+#pragma once
+
+#include "core/accelerator.hpp"
+#include "core/design.hpp"
+#include "core/packet_layout.hpp"
+#include "hbmsim/hbm.hpp"
+
+namespace topk::hbmsim {
+
+/// Modelled execution profile of one query.
+struct TimingEstimate {
+  double clock_hz = 0.0;
+  double initiation_interval = 1.0;
+  double packets_per_second_per_core = 0.0;  ///< min(clock/II, bw/packet)
+  double seconds = 0.0;                      ///< end-to-end latency
+  double nnz_per_second = 0.0;               ///< source nnz / seconds
+  double effective_bandwidth_bytes_per_s = 0.0;
+  bool bandwidth_bound = false;  ///< channel (not clock) limited
+};
+
+/// Tunable non-paper constants of the model.
+struct TimingOptions {
+  /// Host-side launch + result-readback overhead per query, seconds.
+  double fixed_overhead_s = 100e-6;
+};
+
+/// Design clock in Hz: Table II anchors for k = 8 (20b: 253 MHz,
+/// 25b: 240 MHz, 32b: 249 MHz, float32: 204 MHz), piecewise-linear in
+/// V between anchors, and derated for k > 8 (deeper argmin comparator
+/// chains lower the achievable clock, section IV-B).
+[[nodiscard]] double design_clock_hz(const core::DesignConfig& design);
+
+/// Pipeline initiation interval: 1 for fixed point, 3 for float32
+/// (floating-point accumulator RAW dependence).
+[[nodiscard]] double initiation_interval(const core::DesignConfig& design);
+
+/// Models the latency of streaming `max_core_packets` packets per core
+/// (the busiest core bounds the device) plus overhead.  `source_nnz`
+/// only feeds the reported throughput.  Throws std::invalid_argument
+/// on invalid configs.
+[[nodiscard]] TimingEstimate estimate_query_time(
+    const core::DesignConfig& design, const core::PacketLayout& layout,
+    std::uint64_t max_core_packets, std::uint64_t source_nnz,
+    const HbmConfig& hbm = alveo_u280(), const TimingOptions& options = {});
+
+/// Convenience overload pulling layout/packet counts from a built
+/// accelerator.
+[[nodiscard]] TimingEstimate estimate_query_time(
+    const core::TopKAccelerator& accelerator, std::uint64_t source_nnz,
+    const HbmConfig& hbm = alveo_u280(), const TimingOptions& options = {});
+
+}  // namespace topk::hbmsim

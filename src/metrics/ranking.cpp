@@ -1,0 +1,127 @@
+#include "metrics/ranking.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace topk::metrics {
+
+namespace {
+
+void check_no_duplicates(std::span<const std::uint32_t> list, const char* name) {
+  std::unordered_set<std::uint32_t> seen;
+  seen.reserve(list.size());
+  for (const std::uint32_t item : list) {
+    if (!seen.insert(item).second) {
+      throw std::invalid_argument(std::string("kendall_tau: duplicate item in ") +
+                                  name);
+    }
+  }
+}
+
+}  // namespace
+
+double precision_at_k(std::span<const std::uint32_t> retrieved,
+                      std::span<const std::uint32_t> relevant) {
+  if (relevant.empty()) {
+    throw std::invalid_argument("precision_at_k: empty relevant set");
+  }
+  std::unordered_set<std::uint32_t> relevant_set(relevant.begin(), relevant.end());
+  std::size_t hits = 0;
+  for (const std::uint32_t item : retrieved) {
+    hits += relevant_set.count(item);
+  }
+  return static_cast<double>(hits) / static_cast<double>(relevant_set.size());
+}
+
+double kendall_tau(std::span<const std::uint32_t> retrieved,
+                   std::span<const std::uint32_t> reference) {
+  check_no_duplicates(retrieved, "retrieved");
+  check_no_duplicates(reference, "reference");
+
+  std::unordered_map<std::uint32_t, std::size_t> reference_rank;
+  reference_rank.reserve(reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    reference_rank.emplace(reference[i], i);
+  }
+
+  // Ranks (in reference order) of the common items, listed in
+  // retrieved order.
+  std::vector<std::size_t> ranks;
+  for (const std::uint32_t item : retrieved) {
+    if (const auto it = reference_rank.find(item); it != reference_rank.end()) {
+      ranks.push_back(it->second);
+    }
+  }
+  const std::size_t n = ranks.size();
+  if (n < 2) {
+    return 1.0;
+  }
+
+  // O(n^2) pair counting; n <= K <= a few hundred in every experiment.
+  long long concordant = 0;
+  long long discordant = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (ranks[i] < ranks[j]) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const auto pairs = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  return static_cast<double>(concordant - discordant) / pairs;
+}
+
+double ndcg(std::span<const double> retrieved_gains,
+            std::span<const double> ideal_gains) {
+  if (retrieved_gains.size() > ideal_gains.size()) {
+    throw std::invalid_argument("ndcg: retrieved longer than ideal");
+  }
+  const auto dcg = [](std::span<const double> gains) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < gains.size(); ++i) {
+      sum += gains[i] / std::log2(static_cast<double>(i) + 2.0);
+    }
+    return sum;
+  };
+  const double ideal = dcg(ideal_gains);
+  if (ideal <= 0.0) {
+    return 1.0;
+  }
+  return dcg(retrieved_gains) / ideal;
+}
+
+TopKQuality evaluate_topk(std::span<const core::TopKEntry> retrieved,
+                          std::span<const core::TopKEntry> exact,
+                          const std::function<double(std::uint32_t)>& true_score) {
+  std::vector<std::uint32_t> retrieved_idx;
+  retrieved_idx.reserve(retrieved.size());
+  std::vector<double> retrieved_gains;
+  retrieved_gains.reserve(retrieved.size());
+  for (const core::TopKEntry& entry : retrieved) {
+    retrieved_idx.push_back(entry.index);
+    retrieved_gains.push_back(true_score(entry.index));
+  }
+
+  std::vector<std::uint32_t> exact_idx;
+  exact_idx.reserve(exact.size());
+  std::vector<double> ideal_gains;
+  ideal_gains.reserve(exact.size());
+  for (const core::TopKEntry& entry : exact) {
+    exact_idx.push_back(entry.index);
+    ideal_gains.push_back(entry.value);
+  }
+
+  TopKQuality quality;
+  quality.precision = precision_at_k(retrieved_idx, exact_idx);
+  quality.kendall_tau = kendall_tau(retrieved_idx, exact_idx);
+  quality.ndcg = ndcg(retrieved_gains, ideal_gains);
+  return quality;
+}
+
+}  // namespace topk::metrics

@@ -1,0 +1,58 @@
+// Ranking-quality metrics for Top-K retrieval (paper section V-D).
+//
+// The paper evaluates its approximation with three standard
+// recommender-system metrics [27]:
+//  * Precision@K — fraction of the exact top-K rows retrieved
+//    (order-insensitive);
+//  * Kendall's tau — pairwise order agreement between the retrieved
+//    ranking and the exact ranking, computed over the items common to
+//    both lists (order-sensitive);
+//  * NDCG — discounted cumulative gain of the retrieved list with the
+//    exact similarity scores as graded relevance, normalised by the
+//    ideal (exact) ordering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "core/topk_spmv.hpp"
+
+namespace topk::metrics {
+
+/// Precision@K: |retrieved ∩ relevant| / |relevant|.  Throws
+/// std::invalid_argument if `relevant` is empty.
+[[nodiscard]] double precision_at_k(std::span<const std::uint32_t> retrieved,
+                                    std::span<const std::uint32_t> relevant);
+
+/// Kendall's tau over the items present in both rankings: concordant
+/// minus discordant pairs over all pairs.  Lists with fewer than two
+/// common items agree trivially (returns 1).  Throws
+/// std::invalid_argument if either list contains duplicates.
+[[nodiscard]] double kendall_tau(std::span<const std::uint32_t> retrieved,
+                                 std::span<const std::uint32_t> reference);
+
+/// NDCG of a gain sequence in retrieved order against the ideal gain
+/// sequence (sorted descending).  Uses the standard log2(i + 2)
+/// position discount.  Returns 1 for an all-zero ideal.  Throws
+/// std::invalid_argument if retrieved is longer than ideal.
+[[nodiscard]] double ndcg(std::span<const double> retrieved_gains,
+                          std::span<const double> ideal_gains);
+
+/// All three metrics for a retrieved Top-K list against the exact one.
+struct TopKQuality {
+  double precision = 0.0;
+  double kendall_tau = 0.0;
+  double ndcg = 0.0;
+};
+
+/// Convenience evaluation of an approximate result against the exact
+/// Top-K.  `true_score(row)` must return the exact similarity of any
+/// retrieved row (needed for NDCG gains of rows outside the exact
+/// top-K).  Both lists must be sorted descending by their own scores.
+[[nodiscard]] TopKQuality evaluate_topk(
+    std::span<const core::TopKEntry> retrieved,
+    std::span<const core::TopKEntry> exact,
+    const std::function<double(std::uint32_t)>& true_score);
+
+}  // namespace topk::metrics

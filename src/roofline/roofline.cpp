@@ -1,0 +1,68 @@
+#include "roofline/roofline.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "hbmsim/timing_model.hpp"
+
+namespace topk::roofline {
+
+double attainable(const Ceiling& ceiling, double oi) {
+  if (ceiling.bandwidth_bytes_per_s <= 0.0) {
+    throw std::invalid_argument("attainable: bandwidth must be positive");
+  }
+  if (oi < 0.0) {
+    throw std::invalid_argument("attainable: negative operational intensity");
+  }
+  const double bandwidth_bound = ceiling.bandwidth_bytes_per_s * oi;
+  if (ceiling.compute_peak <= 0.0) {
+    return bandwidth_bound;
+  }
+  return std::min(ceiling.compute_peak, bandwidth_bound);
+}
+
+std::vector<RooflinePoint> ceiling_series(const Ceiling& ceiling, double oi_min,
+                                          double oi_max, int points) {
+  if (oi_min <= 0.0 || oi_max <= oi_min) {
+    throw std::invalid_argument("ceiling_series: bad OI range");
+  }
+  if (points < 2) {
+    throw std::invalid_argument("ceiling_series: need at least two points");
+  }
+  std::vector<RooflinePoint> series;
+  series.reserve(static_cast<std::size_t>(points));
+  const double log_min = std::log10(oi_min);
+  const double log_max = std::log10(oi_max);
+  for (int i = 0; i < points; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(points - 1);
+    const double oi = std::pow(10.0, log_min + t * (log_max - log_min));
+    series.push_back(RooflinePoint{oi, attainable(ceiling, oi)});
+  }
+  return series;
+}
+
+Ceiling fpga_ceiling(const core::DesignConfig& design,
+                     const core::PacketLayout& layout,
+                     const hbmsim::HbmConfig& hbm, int cores) {
+  if (cores <= 0 || cores > hbm.channels) {
+    throw std::invalid_argument("fpga_ceiling: cores out of range");
+  }
+  Ceiling ceiling;
+  ceiling.name = std::to_string(cores) + " cores";
+  ceiling.bandwidth_bytes_per_s = hbm.streaming_bytes_per_s(cores);
+  const double clock = hbmsim::design_clock_hz(design);
+  const double ii = hbmsim::initiation_interval(design);
+  ceiling.compute_peak =
+      static_cast<double>(cores) * layout.capacity * clock / ii;
+  return ceiling;
+}
+
+double bscsr_intensity(const core::PacketLayout& layout) {
+  return layout.nnz_per_byte();
+}
+
+double coo_intensity() { return 1.0 / 12.0; }
+
+double gpu_intensity(bool half) { return half ? 1.0 / 6.0 : 1.0 / 8.0; }
+
+}  // namespace topk::roofline

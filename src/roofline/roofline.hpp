@@ -1,0 +1,64 @@
+// Roofline-model helpers for Figure 6 (methodology of [4]).
+//
+// The paper's roofline uses non-zeros/second as "performance" and
+// non-zeros per byte streamed as "operational intensity": BS-CSR with
+// capacity B gives OI = B / 64 bytes, the COO baseline only 5/64.
+// Attainable performance at OI under bandwidth BW and compute peak P
+// is min(P, BW * OI).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/design.hpp"
+#include "core/packet_layout.hpp"
+#include "hbmsim/hbm.hpp"
+
+namespace topk::roofline {
+
+/// A point of the performance/OI plane.
+struct RooflinePoint {
+  double operational_intensity = 0.0;  ///< nnz per byte
+  double performance = 0.0;            ///< nnz per second
+};
+
+/// A machine ceiling: bandwidth roof + compute roof.
+struct Ceiling {
+  std::string name;
+  double bandwidth_bytes_per_s = 0.0;
+  double compute_peak = 0.0;  ///< nnz/s (infinite if 0)
+};
+
+/// Attainable performance min(peak, bw * oi); a zero peak means
+/// bandwidth-only.  Throws std::invalid_argument for non-positive
+/// bandwidth or negative oi.
+[[nodiscard]] double attainable(const Ceiling& ceiling, double oi);
+
+/// Log-spaced sweep of the ceiling between oi_min and oi_max
+/// inclusive.  Throws std::invalid_argument on a bad range or fewer
+/// than two points.
+[[nodiscard]] std::vector<RooflinePoint> ceiling_series(const Ceiling& ceiling,
+                                                        double oi_min,
+                                                        double oi_max,
+                                                        int points);
+
+/// Ceiling of our FPGA design with `cores` active (Figure 6a's "1/8/
+/// 16/32 cores" lines): bandwidth = cores * streaming channel BW,
+/// compute = cores * B * clock / II.
+[[nodiscard]] Ceiling fpga_ceiling(const core::DesignConfig& design,
+                                   const core::PacketLayout& layout,
+                                   const hbmsim::HbmConfig& hbm,
+                                   int cores);
+
+/// Operational intensity of a BS-CSR stream with capacity B (nnz/byte).
+[[nodiscard]] double bscsr_intensity(const core::PacketLayout& layout);
+
+/// Operational intensity of the naive COO stream of Figure 3
+/// (12 bytes per non-zero).
+[[nodiscard]] double coo_intensity();
+
+/// Operational intensity of a CSR-style F32/F16 GPU SpMV (value +
+/// index bytes per non-zero).
+[[nodiscard]] double gpu_intensity(bool half);
+
+}  // namespace topk::roofline

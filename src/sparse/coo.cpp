@@ -1,0 +1,88 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace topk::sparse {
+
+Coo::Coo(std::uint32_t rows, std::uint32_t cols) : rows_(rows), cols_(cols) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("Coo: matrix dimensions must be positive");
+  }
+}
+
+void Coo::reserve(std::size_t nnz) {
+  row_.reserve(nnz);
+  col_.reserve(nnz);
+  val_.reserve(nnz);
+}
+
+void Coo::push_back(std::uint32_t row, std::uint32_t col, float value) {
+  if (row >= rows_ || col >= cols_) {
+    throw std::out_of_range("Coo::push_back: coordinates out of range");
+  }
+  row_.push_back(row);
+  col_.push_back(col);
+  val_.push_back(value);
+}
+
+void Coo::sort_row_major() {
+  std::vector<std::size_t> order(nnz());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    if (row_[a] != row_[b]) {
+      return row_[a] < row_[b];
+    }
+    return col_[a] < col_[b];
+  });
+
+  std::vector<std::uint32_t> new_row(nnz());
+  std::vector<std::uint32_t> new_col(nnz());
+  std::vector<float> new_val(nnz());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    new_row[i] = row_[order[i]];
+    new_col[i] = col_[order[i]];
+    new_val[i] = val_[order[i]];
+  }
+  row_ = std::move(new_row);
+  col_ = std::move(new_col);
+  val_ = std::move(new_val);
+}
+
+bool Coo::is_canonical() const noexcept {
+  for (std::size_t i = 1; i < nnz(); ++i) {
+    if (row_[i - 1] > row_[i]) {
+      return false;
+    }
+    if (row_[i - 1] == row_[i] && col_[i - 1] >= col_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Coo::sum_duplicates() {
+  if (nnz() == 0) {
+    return;
+  }
+  if (!is_canonical()) {
+    sort_row_major();
+  }
+  std::size_t out = 0;
+  for (std::size_t i = 1; i < nnz(); ++i) {
+    if (row_[i] == row_[out] && col_[i] == col_[out]) {
+      val_[out] += val_[i];
+    } else {
+      ++out;
+      row_[out] = row_[i];
+      col_[out] = col_[i];
+      val_[out] = val_[i];
+    }
+  }
+  row_.resize(out + 1);
+  col_.resize(out + 1);
+  val_.resize(out + 1);
+}
+
+}  // namespace topk::sparse

@@ -1,0 +1,164 @@
+#include "sparse/io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace topk::sparse {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x42534353'52763101ULL;  // "BSCSRv1" tag
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::istream& is, T& value) {
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) {
+    throw std::runtime_error("sparse::load_binary: truncated stream");
+  }
+}
+
+template <typename T>
+void write_vector(std::ostream& os, const std::vector<T>& v) {
+  write_pod(os, static_cast<std::uint64_t>(v.size()));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vector(std::istream& is, std::uint64_t max_elems) {
+  std::uint64_t size = 0;
+  read_pod(is, size);
+  if (size > max_elems) {
+    throw std::runtime_error("sparse::load_binary: implausible array size");
+  }
+  std::vector<T> v(size);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(size * sizeof(T)));
+  if (!is) {
+    throw std::runtime_error("sparse::load_binary: truncated stream");
+  }
+  return v;
+}
+
+}  // namespace
+
+void save_binary(const Csr& matrix, std::ostream& os) {
+  write_pod(os, kMagic);
+  write_pod(os, matrix.rows());
+  write_pod(os, matrix.cols());
+  write_vector(os, matrix.row_ptr());
+  write_vector(os, matrix.col_idx());
+  write_vector(os, matrix.values());
+  if (!os) {
+    throw std::runtime_error("sparse::save_binary: write failure");
+  }
+}
+
+void save_binary(const Csr& matrix, const std::filesystem::path& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw std::runtime_error("sparse::save_binary: cannot open " + path.string());
+  }
+  save_binary(matrix, os);
+}
+
+Csr load_binary(std::istream& is) {
+  std::uint64_t magic = 0;
+  read_pod(is, magic);
+  if (magic != kMagic) {
+    throw std::runtime_error("sparse::load_binary: bad magic");
+  }
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  read_pod(is, rows);
+  read_pod(is, cols);
+  // 2^34 entries (~128 GB) is a generous upper bound used purely to
+  // reject corrupt headers before allocating.
+  constexpr std::uint64_t kMaxElems = 1ULL << 34;
+  auto row_ptr = read_vector<std::uint64_t>(is, kMaxElems);
+  auto col_idx = read_vector<std::uint32_t>(is, kMaxElems);
+  auto values = read_vector<float>(is, kMaxElems);
+  return Csr::from_parts(rows, cols, std::move(row_ptr), std::move(col_idx),
+                         std::move(values));
+}
+
+Csr load_binary(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("sparse::load_binary: cannot open " + path.string());
+  }
+  return load_binary(is);
+}
+
+void save_matrix_market(const Csr& matrix, const std::filesystem::path& path) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("sparse::save_matrix_market: cannot open " +
+                             path.string());
+  }
+  os << "%%MatrixMarket matrix coordinate real general\n";
+  os << matrix.rows() << ' ' << matrix.cols() << ' ' << matrix.nnz() << '\n';
+  for (std::uint32_t r = 0; r < matrix.rows(); ++r) {
+    const auto cols = matrix.row_cols(r);
+    const auto vals = matrix.row_values(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      os << (r + 1) << ' ' << (cols[i] + 1) << ' ' << vals[i] << '\n';
+    }
+  }
+  if (!os) {
+    throw std::runtime_error("sparse::save_matrix_market: write failure");
+  }
+}
+
+Csr load_matrix_market(const std::filesystem::path& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("sparse::load_matrix_market: cannot open " +
+                             path.string());
+  }
+  std::string line;
+  if (!std::getline(is, line) || line.rfind("%%MatrixMarket", 0) != 0) {
+    throw std::runtime_error("sparse::load_matrix_market: missing header");
+  }
+  if (line.find("coordinate") == std::string::npos) {
+    throw std::runtime_error("sparse::load_matrix_market: only coordinate supported");
+  }
+  // Skip comments.
+  do {
+    if (!std::getline(is, line)) {
+      throw std::runtime_error("sparse::load_matrix_market: missing size line");
+    }
+  } while (!line.empty() && line[0] == '%');
+
+  std::istringstream size_line(line);
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  std::uint64_t nnz = 0;
+  if (!(size_line >> rows >> cols >> nnz) || rows == 0 || cols == 0) {
+    throw std::runtime_error("sparse::load_matrix_market: bad size line");
+  }
+
+  Coo coo(static_cast<std::uint32_t>(rows), static_cast<std::uint32_t>(cols));
+  coo.reserve(nnz);
+  for (std::uint64_t i = 0; i < nnz; ++i) {
+    std::uint64_t r = 0;
+    std::uint64_t c = 0;
+    double v = 0.0;
+    if (!(is >> r >> c >> v) || r == 0 || c == 0 || r > rows || c > cols) {
+      throw std::runtime_error("sparse::load_matrix_market: bad entry");
+    }
+    coo.push_back(static_cast<std::uint32_t>(r - 1),
+                  static_cast<std::uint32_t>(c - 1), static_cast<float>(v));
+  }
+  return Csr::from_coo(std::move(coo));
+}
+
+}  // namespace topk::sparse

@@ -1,0 +1,70 @@
+#include "sparse/matrix_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace topk::sparse {
+
+RowDensityStats row_density_stats(const Csr& matrix) {
+  RowDensityStats stats;
+  stats.rows = matrix.rows();
+  stats.nnz = matrix.nnz();
+  if (matrix.rows() == 0) {
+    return stats;
+  }
+
+  std::vector<std::uint32_t> sizes(matrix.rows());
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  stats.min_nnz = UINT32_MAX;
+  for (std::uint32_t r = 0; r < matrix.rows(); ++r) {
+    const auto size = static_cast<std::uint32_t>(matrix.row_nnz(r));
+    sizes[r] = size;
+    stats.min_nnz = std::min(stats.min_nnz, size);
+    stats.max_nnz = std::max(stats.max_nnz, size);
+    stats.empty_rows += size == 0 ? 1 : 0;
+    sum += size;
+    sum_sq += static_cast<double>(size) * size;
+  }
+  const auto n = static_cast<double>(matrix.rows());
+  stats.mean_nnz = sum / n;
+  const double variance =
+      std::max(0.0, sum_sq / n - stats.mean_nnz * stats.mean_nnz);
+  stats.stddev_nnz = std::sqrt(variance);
+  stats.density =
+      static_cast<double>(matrix.nnz()) /
+      (static_cast<double>(matrix.rows()) * static_cast<double>(matrix.cols()));
+
+  // Gini via the sorted-rank formula: G = (2*sum_i i*x_i)/(n*sum x) -
+  // (n+1)/n with 1-based ranks over ascending x.
+  if (sum > 0.0) {
+    std::sort(sizes.begin(), sizes.end());
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      weighted += static_cast<double>(i + 1) * sizes[i];
+    }
+    stats.gini = 2.0 * weighted / (n * sum) - (n + 1.0) / n;
+    stats.gini = std::clamp(stats.gini, 0.0, 1.0);
+  }
+  return stats;
+}
+
+std::vector<std::uint64_t> row_density_histogram(const Csr& matrix, int buckets) {
+  if (buckets <= 0) {
+    throw std::invalid_argument("row_density_histogram: buckets must be positive");
+  }
+  std::vector<std::uint64_t> histogram(static_cast<std::size_t>(buckets), 0);
+  const std::size_t max_nnz = matrix.max_row_nnz();
+  const double width =
+      max_nnz == 0 ? 1.0 : static_cast<double>(max_nnz + 1) / buckets;
+  for (std::uint32_t r = 0; r < matrix.rows(); ++r) {
+    const auto bucket = std::min<std::size_t>(
+        static_cast<std::size_t>(static_cast<double>(matrix.row_nnz(r)) / width),
+        static_cast<std::size_t>(buckets) - 1);
+    ++histogram[bucket];
+  }
+  return histogram;
+}
+
+}  // namespace topk::sparse

@@ -1,0 +1,44 @@
+// Row-density statistics for sparse matrices.
+//
+// The paper's evaluation stresses that BS-CSR is "oblivious to the
+// matrix non-zero entries distribution" (section III-B): performance
+// depends only on total non-zeros, not on how they spread across
+// rows.  These helpers quantify that spread — summary moments, a
+// row-density histogram and the Gini coefficient of the row sizes —
+// so the benches can show that uniform and Gamma matrices with very
+// different imbalance stream identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace topk::sparse {
+
+/// Summary of the nnz-per-row distribution.
+struct RowDensityStats {
+  std::uint64_t rows = 0;
+  std::uint64_t nnz = 0;
+  std::uint64_t empty_rows = 0;
+  std::uint32_t min_nnz = 0;
+  std::uint32_t max_nnz = 0;
+  double mean_nnz = 0.0;
+  double stddev_nnz = 0.0;
+  /// Gini coefficient of the row sizes: 0 = perfectly uniform rows,
+  /// -> 1 = all non-zeros concentrated in few rows.
+  double gini = 0.0;
+  /// Fraction of the matrix occupied by non-zeros (nnz / (rows*cols)).
+  double density = 0.0;
+};
+
+/// Computes the summary in one pass plus a sort for the Gini.
+[[nodiscard]] RowDensityStats row_density_stats(const Csr& matrix);
+
+/// Histogram of nnz-per-row with `buckets` equal-width bins over
+/// [0, max_nnz]; returns per-bucket row counts.  Throws
+/// std::invalid_argument for non-positive bucket counts.
+[[nodiscard]] std::vector<std::uint64_t> row_density_histogram(const Csr& matrix,
+                                                               int buckets);
+
+}  // namespace topk::sparse

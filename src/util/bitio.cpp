@@ -1,0 +1,96 @@
+#include "util/bitio.hpp"
+
+#include <stdexcept>
+
+namespace topk::util {
+
+void BitWriter::append(std::uint64_t value, int bits) {
+  if (bits < 0 || bits > 64) {
+    throw std::invalid_argument("BitWriter::append: bits must be in [0, 64]");
+  }
+  if (bits == 0) {
+    if (value != 0) {
+      throw std::invalid_argument("BitWriter::append: non-zero value with 0 bits");
+    }
+    return;
+  }
+  if (bits < 64 && (value >> bits) != 0) {
+    throw std::invalid_argument("BitWriter::append: value does not fit in bits");
+  }
+  const std::size_t word = bit_size_ / 64;
+  const int offset = static_cast<int>(bit_size_ % 64);
+  if (words_.size() < word + 2) {
+    words_.resize(word + 2, 0);
+  }
+  words_[word] |= value << offset;
+  if (offset + bits > 64) {
+    words_[word + 1] |= value >> (64 - offset);
+  }
+  bit_size_ += static_cast<std::size_t>(bits);
+}
+
+void BitWriter::align_to(int bit_boundary) {
+  if (bit_boundary <= 0) {
+    throw std::invalid_argument("BitWriter::align_to: boundary must be positive");
+  }
+  const std::size_t boundary = static_cast<std::size_t>(bit_boundary);
+  const std::size_t rem = bit_size_ % boundary;
+  if (rem == 0) {
+    return;
+  }
+  std::size_t pad = boundary - rem;
+  while (pad > 0) {
+    const int chunk = pad > 64 ? 64 : static_cast<int>(pad);
+    append(0, chunk);
+    pad -= static_cast<std::size_t>(chunk);
+  }
+}
+
+std::vector<std::uint64_t> BitWriter::take_words() {
+  // Trim to exactly the words covering bit_size() so callers can rely
+  // on size() == ceil(bit_size / 64).
+  words_.resize((bit_size_ + 63) / 64);
+  std::vector<std::uint64_t> out = std::move(words_);
+  clear();
+  return out;
+}
+
+BitReader::BitReader(std::span<const std::uint64_t> words, std::size_t bit_limit)
+    : words_(words), bit_limit_(bit_limit) {
+  const std::size_t capacity = words.size() * 64;
+  if (bit_limit_ == SIZE_MAX || bit_limit_ > capacity) {
+    bit_limit_ = capacity;
+  }
+}
+
+std::uint64_t BitReader::read(std::size_t bit_pos, int bits) const {
+  if (bits < 0 || bits > 64) {
+    throw std::invalid_argument("BitReader::read: bits must be in [0, 64]");
+  }
+  if (bits == 0) {
+    return 0;
+  }
+  if (bit_pos + static_cast<std::size_t>(bits) > bit_limit_) {
+    throw std::out_of_range("BitReader::read: read past end of stream");
+  }
+  const std::size_t word = bit_pos / 64;
+  const int offset = static_cast<int>(bit_pos % 64);
+  std::uint64_t value = words_[word] >> offset;
+  if (offset + bits > 64) {
+    value |= words_[word + 1] << (64 - offset);
+  }
+  if (bits < 64) {
+    value &= (std::uint64_t{1} << bits) - 1;
+  }
+  return value;
+}
+
+int bits_for_value(std::uint64_t max_value) noexcept {
+  int bits = 1;
+  while (bits < 64 && (max_value >> bits) != 0) {
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace topk::util

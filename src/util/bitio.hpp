@@ -1,0 +1,79 @@
+// Bit-granular packing primitives used by the BS-CSR encoder/decoder.
+//
+// BS-CSR packets are 512-bit blocks whose fields (new_row flag, ptr,
+// idx, val arrays) have data-dependent widths (4..32 bits).  BitWriter
+// appends fields LSB-first into a growing word buffer; BitReader reads
+// them back from arbitrary bit offsets.  Both are deliberately simple
+// and fully bounds-checked: encoding happens once per matrix, and the
+// decoder models a hardware unit whose correctness matters more than
+// its software speed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace topk::util {
+
+/// Appends bit fields (up to 64 bits each) to a little-endian bit
+/// stream stored as 64-bit words.  Bit 0 of word 0 is the first bit.
+class BitWriter {
+ public:
+  /// Appends the low `bits` bits of `value`.  Throws
+  /// std::invalid_argument if `bits` is outside [0, 64] or `value` has
+  /// set bits above `bits`.
+  void append(std::uint64_t value, int bits);
+
+  /// Pads with zero bits so that bit_size() becomes a multiple of
+  /// `bit_boundary` (e.g. 512 to close a packet).  Throws
+  /// std::invalid_argument if `bit_boundary <= 0`.
+  void align_to(int bit_boundary);
+
+  /// Total number of bits appended so far (including alignment padding).
+  [[nodiscard]] std::size_t bit_size() const noexcept { return bit_size_; }
+
+  /// Backing words; the final word is zero-padded above bit_size().
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+    return words_;
+  }
+
+  /// Moves the backing words out, leaving the writer empty.
+  [[nodiscard]] std::vector<std::uint64_t> take_words();
+
+  void clear() noexcept {
+    words_.clear();
+    bit_size_ = 0;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t bit_size_ = 0;
+};
+
+/// Reads bit fields from a word buffer produced by BitWriter.
+class BitReader {
+ public:
+  /// `words` must outlive the reader.  `bit_limit` is the number of
+  /// valid bits (defaults to the full buffer).
+  explicit BitReader(std::span<const std::uint64_t> words,
+                     std::size_t bit_limit = SIZE_MAX);
+
+  /// Reads `bits` bits starting at absolute offset `bit_pos`.
+  /// Throws std::out_of_range when the read crosses the bit limit and
+  /// std::invalid_argument for `bits` outside [0, 64].
+  [[nodiscard]] std::uint64_t read(std::size_t bit_pos, int bits) const;
+
+  /// Number of addressable bits.
+  [[nodiscard]] std::size_t bit_size() const noexcept { return bit_limit_; }
+
+ private:
+  std::span<const std::uint64_t> words_;
+  std::size_t bit_limit_;
+};
+
+/// Convenience: number of bits needed to represent all values in
+/// [0, max_value] (i.e. ceil(log2(max_value + 1)), and 1 for 0).
+[[nodiscard]] int bits_for_value(std::uint64_t max_value) noexcept;
+
+}  // namespace topk::util

@@ -1,0 +1,108 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace topk::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("TablePrinter: header must not be empty");
+  }
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("TablePrinter: row width does not match header");
+  }
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TablePrinter::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      continue;
+    }
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  const auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  const auto print_separator = [&] {
+    os << '+';
+    for (const std::size_t w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+
+  print_separator();
+  print_cells(header_);
+  print_separator();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      print_separator();
+    } else {
+      print_cells(row.cells);
+    }
+  }
+  print_separator();
+  return os.str();
+}
+
+void TablePrinter::print(std::ostream& os) const { os << to_string(); }
+
+std::string format_double(double value, int digits) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(digits);
+  os << value;
+  return os.str();
+}
+
+std::string format_speedup(double ratio) {
+  std::ostringstream os;
+  if (std::llround(ratio * 10.0) >= 100) {  // rounds to >= 10.0
+    os << static_cast<long long>(std::llround(ratio)) << 'x';
+  } else {
+    os.setf(std::ios::fixed);
+    os.precision(1);
+    os << ratio << 'x';
+  }
+  return os.str();
+}
+
+std::string format_bytes(double bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  int unit = 0;
+  while (bytes >= 1000.0 && unit < 4) {
+    bytes /= 1000.0;
+    ++unit;
+  }
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(bytes < 10 ? 2 : (bytes < 100 ? 1 : 0));
+  os << bytes << ' ' << kUnits[unit];
+  return os.str();
+}
+
+}  // namespace topk::util

@@ -1,0 +1,57 @@
+// ASCII table rendering for the benchmark harness.
+//
+// Every bench binary reproduces a table or figure from the paper as
+// rows of text; TablePrinter keeps them aligned and consistent so the
+// output can be diffed against EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace topk::util {
+
+/// Column-aligned ASCII table.  Usage:
+///   TablePrinter t({"design", "time [ms]", "speedup"});
+///   t.add_row({"FPGA 20b", "2.63", "106x"});
+///   t.print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds a row; throws std::invalid_argument if the cell count does
+  /// not match the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator line at the current position.
+  void add_separator();
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+
+  /// Renders the whole table to a string (used by tests).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places (fixed
+/// notation), e.g. format_double(3.14159, 2) == "3.14".
+[[nodiscard]] std::string format_double(double value, int digits);
+
+/// Formats a ratio as the paper prints speedups, e.g. "106x".
+[[nodiscard]] std::string format_speedup(double ratio);
+
+/// Human-readable byte size ("1.7 GB", "412 MB").
+[[nodiscard]] std::string format_bytes(double bytes);
+
+}  // namespace topk::util

@@ -1,0 +1,27 @@
+// Wall-clock timing helper for the measured (CPU) side of the benches.
+#pragma once
+
+#include <chrono>
+
+namespace topk::util {
+
+/// Monotonic stopwatch.  Construction starts it; seconds()/millis()
+/// read the elapsed time without stopping.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace topk::util

@@ -1,0 +1,209 @@
+#include "core/accelerator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "baselines/cpu_topk_spmv.hpp"
+#include "core/precision_model.hpp"
+#include "metrics/ranking.hpp"
+#include "test_helpers.hpp"
+
+namespace topk::core {
+namespace {
+
+TEST(DesignConfig, NamedConstructorsAndNames) {
+  const DesignConfig d20 = DesignConfig::fixed(20);
+  EXPECT_EQ(d20.value_kind, ValueKind::kFixed);
+  EXPECT_EQ(d20.value_bits, 20);
+  EXPECT_EQ(d20.cores, 32);
+  EXPECT_EQ(d20.name(), "FPGA 20b 32C");
+
+  const DesignConfig f32 = DesignConfig::float32(16);
+  EXPECT_EQ(f32.value_kind, ValueKind::kFloat32);
+  EXPECT_EQ(f32.value_bits, 32);
+  EXPECT_EQ(f32.name(), "FPGA F32 16C");
+  EXPECT_EQ(to_string(ValueKind::kFixed), "fixed");
+  EXPECT_EQ(to_string(ValueKind::kFloat32), "float32");
+}
+
+TEST(DesignConfig, ValidateRejectsInconsistent) {
+  DesignConfig config;
+  config.value_bits = 1;
+  EXPECT_THROW(validate(config), std::invalid_argument);
+  config = {};
+  config.value_kind = ValueKind::kFloat32;
+  config.value_bits = 20;
+  EXPECT_THROW(validate(config), std::invalid_argument);
+  config = {};
+  config.cores = 0;
+  EXPECT_THROW(validate(config), std::invalid_argument);
+  config = {};
+  config.k = 0;
+  EXPECT_THROW(validate(config), std::invalid_argument);
+  config = {};
+  config.rows_per_packet = 0;
+  EXPECT_THROW(validate(config), std::invalid_argument);
+  config = {};
+  config.packet_bits = 100;
+  EXPECT_THROW(validate(config), std::invalid_argument);
+}
+
+TEST(TopKAccelerator, ConstructionValidates) {
+  const sparse::Csr matrix = test::small_random_matrix(100, 128, 8.0, 1);
+  DesignConfig config = DesignConfig::fixed(20, 4);
+  EXPECT_NO_THROW(TopKAccelerator(matrix, config));
+
+  config.cores = 200;  // more cores than rows
+  EXPECT_THROW(TopKAccelerator(matrix, config), std::invalid_argument);
+}
+
+TEST(TopKAccelerator, PartitionsAndStreamsConsistent) {
+  const sparse::Csr matrix = test::small_random_matrix(100, 128, 8.0, 2);
+  const DesignConfig config = DesignConfig::fixed(20, 8);
+  const TopKAccelerator accelerator(matrix, config);
+
+  EXPECT_EQ(accelerator.partitions().size(), 8u);
+  EXPECT_EQ(accelerator.core_streams().size(), 8u);
+  EXPECT_EQ(accelerator.rows(), 100u);
+  EXPECT_EQ(accelerator.cols(), 128u);
+
+  std::uint64_t total_entries = 0;
+  std::uint64_t max_packets = 0;
+  for (const BsCsrMatrix& stream : accelerator.core_streams()) {
+    total_entries += stream.source_nnz();
+    max_packets = std::max(max_packets, stream.num_packets());
+  }
+  EXPECT_EQ(total_entries, matrix.nnz());
+  EXPECT_EQ(accelerator.max_core_packets(), max_packets);
+  EXPECT_GT(accelerator.stream_bytes(), 0u);
+}
+
+TEST(TopKAccelerator, QueryValidatesArguments) {
+  const sparse::Csr matrix = test::small_random_matrix(64, 64, 6.0, 3);
+  const DesignConfig config = DesignConfig::fixed(20, 4);  // k*c = 32
+  const TopKAccelerator accelerator(matrix, config);
+  util::Xoshiro256 rng(4);
+  const auto x = sparse::generate_dense_vector(64, rng);
+
+  EXPECT_THROW((void)accelerator.query(std::vector<float>(32, 0.1f), 8),
+               std::invalid_argument);
+  EXPECT_THROW((void)accelerator.query(x, 0), std::invalid_argument);
+  EXPECT_THROW((void)accelerator.query(x, 33), std::invalid_argument);
+  EXPECT_NO_THROW((void)accelerator.query(x, 32));
+}
+
+TEST(TopKAccelerator, SinglePartitionIsExact) {
+  // c = 1, k = K: no approximation at all; only quantisation remains.
+  const sparse::Csr matrix = test::small_random_matrix(300, 256, 12.0, 5);
+  DesignConfig config = DesignConfig::fixed(20, 1);
+  config.k = 10;
+  const TopKAccelerator accelerator(matrix, config);
+  util::Xoshiro256 rng(6);
+  const auto x = sparse::generate_dense_vector(256, rng);
+
+  const QueryResult result = accelerator.query(x, 10);
+  const auto scores = test::reference_scores(matrix, x, ValueKind::kFixed, 20);
+  test::expect_exact_topk(result.entries, scores, 10);
+}
+
+TEST(TopKAccelerator, MultiCoreMatchesQuantizedReferenceWhenKLarge) {
+  // With k >= K every partition surfaces enough candidates for the
+  // merge to be exact over quantised scores.
+  const sparse::Csr matrix = test::small_random_matrix(400, 512, 20.0, 7);
+  DesignConfig config = DesignConfig::fixed(25, 8);
+  config.k = 16;
+  const TopKAccelerator accelerator(matrix, config);
+  util::Xoshiro256 rng(8);
+  const auto x = sparse::generate_dense_vector(512, rng);
+
+  const QueryResult result = accelerator.query(x, 16);
+  const auto scores = test::reference_scores(matrix, x, ValueKind::kFixed, 25);
+  test::expect_exact_topk(result.entries, scores, 16);
+  EXPECT_EQ(result.stats.rows_emitted, 400u);
+}
+
+TEST(TopKAccelerator, Float32DesignWorks) {
+  const sparse::Csr matrix = test::small_random_matrix(200, 128, 10.0, 9);
+  DesignConfig config = DesignConfig::float32(4);
+  config.k = 8;
+  const TopKAccelerator accelerator(matrix, config);
+  EXPECT_EQ(accelerator.layout().val_bits, 32);
+  util::Xoshiro256 rng(10);
+  const auto x = sparse::generate_dense_vector(128, rng);
+  const QueryResult result = accelerator.query(x, 8);
+  EXPECT_EQ(result.entries.size(), 8u);
+  // Approximate agreement with the exact CPU result.
+  const auto exact = baselines::cpu_topk_spmv(matrix, x, 8, 1);
+  std::unordered_set<std::uint32_t> exact_rows;
+  for (const TopKEntry& entry : exact) {
+    exact_rows.insert(entry.index);
+  }
+  int hits = 0;
+  for (const TopKEntry& entry : result.entries) {
+    hits += exact_rows.count(entry.index);
+  }
+  EXPECT_GE(hits, 7);  // float rounding may flip one borderline rank
+}
+
+TEST(TopKAccelerator, ApproximationPrecisionTracksModel) {
+  // Paper section III-A: measured precision should be close to the
+  // hypergeometric expectation.  Small N exaggerates the loss, which
+  // is exactly what the model predicts.
+  const sparse::Csr matrix = test::small_random_matrix(2000, 256, 10.0, 11);
+  DesignConfig config = DesignConfig::fixed(32, 16);
+  config.k = 2;  // deliberately starved so losses are visible
+  const TopKAccelerator accelerator(matrix, config);
+
+  constexpr int kTopK = 24;
+  const double expected =
+      expected_precision_closed(2000, 16, 2, kTopK);
+
+  util::Xoshiro256 rng(12);
+  double total_precision = 0.0;
+  constexpr int kQueries = 20;
+  for (int q = 0; q < kQueries; ++q) {
+    const auto x = sparse::generate_dense_vector(256, rng);
+    const QueryResult result = accelerator.query(x, kTopK);
+    const auto exact = baselines::cpu_topk_spmv(matrix, x, kTopK, 1);
+    std::unordered_set<std::uint32_t> exact_rows;
+    for (const TopKEntry& entry : exact) {
+      exact_rows.insert(entry.index);
+    }
+    int hits = 0;
+    for (const TopKEntry& entry : result.entries) {
+      hits += exact_rows.count(entry.index);
+    }
+    total_precision += static_cast<double>(hits) / kTopK;
+  }
+  const double measured = total_precision / kQueries;
+  EXPECT_NEAR(measured, expected, 0.08);
+  EXPECT_LT(measured, 1.0);  // the starved config must actually lose rows
+}
+
+TEST(TopKAccelerator, ThirtyTwoCoreDefaultOnRealisticMatrix) {
+  const sparse::Csr matrix = test::small_random_matrix(3200, 1024, 20.0, 13);
+  const TopKAccelerator accelerator(matrix, DesignConfig::fixed(20));
+  EXPECT_EQ(accelerator.layout().capacity, 15);
+  util::Xoshiro256 rng(14);
+  const auto x = sparse::generate_dense_vector(1024, rng);
+  const QueryResult result = accelerator.query(x, 100);
+  EXPECT_EQ(result.entries.size(), 100u);
+  EXPECT_EQ(result.stats.rows_dropped, 0u);
+  EXPECT_EQ(result.stats.rows_emitted, 3200u);
+
+  // Precision against exact: with c=32, k=8, K=100 on N=3200 the
+  // hypergeometric model predicts ~0.99; the measured precision (which
+  // also absorbs 20-bit quantisation noise) must track it.
+  const auto exact = baselines::cpu_topk_spmv(matrix, x, 100, 1);
+  const metrics::TopKQuality quality = metrics::evaluate_topk(
+      result.entries, exact,
+      [&](std::uint32_t row) { return matrix.row_dot(row, x); });
+  const double expected = expected_precision_closed(3200, 32, 8, 100);
+  EXPECT_NEAR(quality.precision, expected, 0.10);
+  EXPECT_GT(quality.ndcg, 0.9);
+}
+
+}  // namespace
+}  // namespace topk::core

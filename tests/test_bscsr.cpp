@@ -1,0 +1,255 @@
+#include "core/bscsr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/packet_layout.hpp"
+#include "fixed/fixed_point.hpp"
+#include "test_helpers.hpp"
+
+namespace topk::core {
+namespace {
+
+/// Expected decode of `matrix`: values quantised to the layout's
+/// format, empty rows replaced by the (0, 0) placeholder.
+sparse::Csr quantized_with_placeholders(const sparse::Csr& matrix, int val_bits,
+                                        ValueKind kind) {
+  const fixed::FixedFormat format{val_bits, 1};
+  sparse::Coo coo(matrix.rows(), matrix.cols());
+  for (std::uint32_t r = 0; r < matrix.rows(); ++r) {
+    const auto cols = matrix.row_cols(r);
+    const auto vals = matrix.row_values(r);
+    if (cols.empty()) {
+      coo.push_back(r, 0, 0.0f);
+      continue;
+    }
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      const float quantized =
+          kind == ValueKind::kFloat32
+              ? vals[i]
+              : static_cast<float>(fixed::dequantize(
+                    fixed::quantize(static_cast<double>(vals[i]), format),
+                    format));
+      coo.push_back(r, cols[i], quantized);
+    }
+  }
+  return sparse::Csr::from_coo(std::move(coo));
+}
+
+void expect_same_matrix(const sparse::Csr& a, const sparse::Csr& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(a.row_ptr(), b.row_ptr());
+  ASSERT_EQ(a.col_idx(), b.col_idx());
+  ASSERT_EQ(a.values(), b.values());
+}
+
+TEST(BsCsrEncode, PacketCountMatchesCeilDivision) {
+  const sparse::Csr matrix = test::small_random_matrix(100, 256, 10.0, 1);
+  const PacketLayout layout = PacketLayout::solve(matrix.cols(), 20);
+  const BsCsrMatrix encoded = encode_bscsr(matrix, layout, ValueKind::kFixed);
+  const std::uint64_t entries = encoded.stored_entries();
+  EXPECT_EQ(entries, matrix.nnz());  // no empty rows in this generator
+  const std::uint64_t expected_packets =
+      (entries + layout.capacity - 1) / layout.capacity;
+  EXPECT_EQ(encoded.num_packets(), expected_packets);
+  EXPECT_EQ(encoded.stream_bytes(), expected_packets * 64);
+  EXPECT_EQ(encoded.words().size(), expected_packets * 8);
+}
+
+TEST(BsCsrEncode, ValidatesArguments) {
+  const sparse::Csr matrix = test::small_random_matrix(10, 2048, 4.0, 2);
+  // idx_bits for cols=1024 cannot index 2048 columns.
+  const PacketLayout small = PacketLayout::solve(1024, 20);
+  EXPECT_THROW((void)encode_bscsr(matrix, small, ValueKind::kFixed),
+               std::invalid_argument);
+  // float32 demands 32-bit value slots.
+  const PacketLayout layout20 = PacketLayout::solve(2048, 20);
+  EXPECT_THROW((void)encode_bscsr(matrix, layout20, ValueKind::kFloat32),
+               std::invalid_argument);
+  EncodeOptions bad;
+  bad.max_rows_per_packet = -1;
+  EXPECT_THROW((void)encode_bscsr(matrix, layout20, ValueKind::kFixed, bad),
+               std::invalid_argument);
+}
+
+TEST(BsCsrDecode, RoundTripSmall) {
+  const sparse::Csr matrix = test::small_random_matrix(50, 128, 6.0, 3);
+  const PacketLayout layout = PacketLayout::solve(matrix.cols(), 20);
+  const BsCsrMatrix encoded = encode_bscsr(matrix, layout, ValueKind::kFixed);
+  expect_same_matrix(decode_bscsr(encoded),
+                     quantized_with_placeholders(matrix, 20, ValueKind::kFixed));
+}
+
+TEST(BsCsrDecode, RoundTripFloat32IsExact) {
+  const sparse::Csr matrix = test::small_random_matrix(80, 512, 15.0, 4);
+  const PacketLayout layout = PacketLayout::solve(matrix.cols(), 32);
+  const BsCsrMatrix encoded = encode_bscsr(matrix, layout, ValueKind::kFloat32);
+  const sparse::Csr decoded = decode_bscsr(encoded);
+  expect_same_matrix(decoded, matrix);
+}
+
+TEST(BsCsrDecode, AdversarialStructureRoundTrips) {
+  // Empty rows, single-entry rows, and one row spanning several
+  // packets.
+  const sparse::Csr matrix = test::adversarial_matrix(64);
+  const PacketLayout layout = PacketLayout::solve(matrix.cols(), 20);
+  const BsCsrMatrix encoded = encode_bscsr(matrix, layout, ValueKind::kFixed);
+  EXPECT_EQ(encoded.stats().placeholder_entries, 2u);
+  expect_same_matrix(decode_bscsr(encoded),
+                     quantized_with_placeholders(matrix, 20, ValueKind::kFixed));
+}
+
+TEST(BsCsrEncode, SingleRowSpanningManyPackets) {
+  // One row with 100 entries: every packet but the first must carry
+  // new_row = 0.
+  sparse::Coo coo(1, 128);
+  for (std::uint32_t c = 0; c < 100; ++c) {
+    coo.push_back(0, c, 0.5f);
+  }
+  const sparse::Csr matrix = sparse::Csr::from_coo(std::move(coo));
+  const PacketLayout layout = PacketLayout::solve(matrix.cols(), 20);
+  const BsCsrMatrix encoded = encode_bscsr(matrix, layout, ValueKind::kFixed);
+
+  PacketCursor cursor(encoded);
+  std::size_t packet_index = 0;
+  std::size_t total_boundaries = 0;
+  while (!cursor.done()) {
+    const PacketView view = cursor.next();
+    EXPECT_EQ(view.new_row, packet_index == 0);
+    total_boundaries += view.boundaries.size();
+    ++packet_index;
+  }
+  EXPECT_EQ(total_boundaries, 1u);  // exactly one row boundary overall
+  expect_same_matrix(decode_bscsr(encoded),
+                     quantized_with_placeholders(matrix, 20, ValueKind::kFixed));
+}
+
+TEST(BsCsrEncode, RowEndingExactlyAtPacketEdge) {
+  // Rows sized exactly B: every boundary lands on the packet edge and
+  // every packet starts a new row.
+  const PacketLayout layout = PacketLayout::solve(64, 20);
+  const int b = layout.capacity;
+  sparse::Coo coo(4, 64);
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    for (int i = 0; i < b; ++i) {
+      coo.push_back(r, static_cast<std::uint32_t>(i), 0.25f);
+    }
+  }
+  const sparse::Csr matrix = sparse::Csr::from_coo(std::move(coo));
+  const BsCsrMatrix encoded = encode_bscsr(matrix, layout, ValueKind::kFixed);
+  EXPECT_EQ(encoded.num_packets(), 4u);
+
+  PacketCursor cursor(encoded);
+  while (!cursor.done()) {
+    const PacketView view = cursor.next();
+    EXPECT_TRUE(view.new_row);
+    ASSERT_EQ(view.boundaries.size(), 1u);
+    EXPECT_EQ(view.boundaries[0], static_cast<std::uint32_t>(b));
+  }
+  expect_same_matrix(decode_bscsr(encoded),
+                     quantized_with_placeholders(matrix, 20, ValueKind::kFixed));
+}
+
+TEST(BsCsrEncode, MaxRowsPerPacketBoundsBoundaries) {
+  // Many single-entry rows would otherwise pack B boundaries into one
+  // packet; enforcement must cap them (at the price of padding).
+  sparse::Coo coo(60, 32);
+  for (std::uint32_t r = 0; r < 60; ++r) {
+    coo.push_back(r, r % 32, 0.5f);
+  }
+  const sparse::Csr matrix = sparse::Csr::from_coo(std::move(coo));
+  const PacketLayout layout = PacketLayout::solve(matrix.cols(), 20);
+
+  EncodeOptions options;
+  options.max_rows_per_packet = 4;
+  const BsCsrMatrix encoded =
+      encode_bscsr(matrix, layout, ValueKind::kFixed, options);
+  EXPECT_LE(encoded.stats().max_rows_in_packet, 4u);
+  EXPECT_EQ(encoded.num_packets(), 15u);  // 60 rows / 4 per packet
+  EXPECT_GT(encoded.stats().padded_slots, 0u);
+  expect_same_matrix(decode_bscsr(encoded),
+                     quantized_with_placeholders(matrix, 20, ValueKind::kFixed));
+}
+
+TEST(BsCsrEncode, UnconstrainedPacksManyRowsPerPacket) {
+  sparse::Coo coo(60, 32);
+  for (std::uint32_t r = 0; r < 60; ++r) {
+    coo.push_back(r, r % 32, 0.5f);
+  }
+  const sparse::Csr matrix = sparse::Csr::from_coo(std::move(coo));
+  const PacketLayout layout = PacketLayout::solve(matrix.cols(), 20);
+  const BsCsrMatrix encoded = encode_bscsr(matrix, layout, ValueKind::kFixed);
+  EXPECT_EQ(encoded.stats().max_rows_in_packet,
+            static_cast<std::uint64_t>(layout.capacity));
+}
+
+TEST(PacketCursor, ThrowsPastEnd) {
+  const sparse::Csr matrix = test::small_random_matrix(5, 32, 3.0, 6);
+  const BsCsrMatrix encoded =
+      encode_bscsr(matrix, PacketLayout::solve(32, 20), ValueKind::kFixed);
+  PacketCursor cursor(encoded);
+  while (!cursor.done()) {
+    (void)cursor.next();
+  }
+  EXPECT_THROW((void)cursor.next(), std::out_of_range);
+}
+
+/// Property sweep: encode -> decode is the identity (modulo value
+/// quantisation and empty-row placeholders) across layouts, value
+/// kinds, densities and distributions.
+struct RoundTripParam {
+  std::uint32_t rows;
+  std::uint32_t cols;
+  double mean_nnz;
+  int val_bits;
+  ValueKind kind;
+  sparse::RowDistribution distribution;
+  int max_rows_per_packet;  // 0 = unconstrained
+};
+
+class BsCsrRoundTrip : public ::testing::TestWithParam<RoundTripParam> {};
+
+TEST_P(BsCsrRoundTrip, EncodeDecodeIdentity) {
+  const RoundTripParam param = GetParam();
+  const sparse::Csr matrix = test::small_random_matrix(
+      param.rows, param.cols, param.mean_nnz, 1000 + param.rows,
+      param.distribution);
+  const PacketLayout layout =
+      PacketLayout::solve(param.cols, param.val_bits);
+  EncodeOptions options;
+  options.max_rows_per_packet = param.max_rows_per_packet;
+  const BsCsrMatrix encoded =
+      encode_bscsr(matrix, layout, param.kind, options);
+  expect_same_matrix(
+      decode_bscsr(encoded),
+      quantized_with_placeholders(matrix, param.val_bits, param.kind));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BsCsrRoundTrip,
+    ::testing::Values(
+        RoundTripParam{200, 512, 20.0, 20, ValueKind::kFixed,
+                       sparse::RowDistribution::kUniform, 0},
+        RoundTripParam{200, 512, 20.0, 25, ValueKind::kFixed,
+                       sparse::RowDistribution::kUniform, 0},
+        RoundTripParam{200, 512, 20.0, 32, ValueKind::kFixed,
+                       sparse::RowDistribution::kUniform, 0},
+        RoundTripParam{200, 512, 20.0, 32, ValueKind::kFloat32,
+                       sparse::RowDistribution::kUniform, 0},
+        RoundTripParam{300, 1024, 40.0, 20, ValueKind::kFixed,
+                       sparse::RowDistribution::kGamma, 0},
+        RoundTripParam{300, 1024, 40.0, 25, ValueKind::kFixed,
+                       sparse::RowDistribution::kGamma, 4},
+        RoundTripParam{500, 64, 2.0, 20, ValueKind::kFixed,
+                       sparse::RowDistribution::kGamma, 0},
+        RoundTripParam{500, 64, 2.0, 20, ValueKind::kFixed,
+                       sparse::RowDistribution::kGamma, 2},
+        RoundTripParam{64, 4096, 60.0, 12, ValueKind::kFixed,
+                       sparse::RowDistribution::kUniform, 0},
+        RoundTripParam{100, 128, 1.0, 8, ValueKind::kFixed,
+                       sparse::RowDistribution::kUniform, 1}));
+
+}  // namespace
+}  // namespace topk::core

@@ -1,0 +1,116 @@
+#include "core/bscsr_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/topk_spmv.hpp"
+#include "test_helpers.hpp"
+
+namespace topk::core {
+namespace {
+
+class BsCsrIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "topk_bscsr_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+BsCsrMatrix make_encoded(ValueKind kind, int val_bits) {
+  const sparse::Csr matrix = test::small_random_matrix(120, 256, 12.0, 91);
+  const PacketLayout layout = PacketLayout::solve(256, val_bits);
+  return encode_bscsr(matrix, layout, kind);
+}
+
+TEST_F(BsCsrIoTest, RoundTripPreservesEverything) {
+  for (const auto& [kind, bits] :
+       {std::pair{ValueKind::kFixed, 20}, {ValueKind::kFloat32, 32},
+        {ValueKind::kSignedFixed, 25}}) {
+    const BsCsrMatrix original = make_encoded(kind, bits);
+    const auto path = dir_ / "image.bin";
+    save_bscsr(original, path);
+    const BsCsrMatrix loaded = load_bscsr(path);
+
+    EXPECT_EQ(loaded.layout(), original.layout());
+    EXPECT_EQ(loaded.value_kind(), original.value_kind());
+    EXPECT_EQ(loaded.rows(), original.rows());
+    EXPECT_EQ(loaded.cols(), original.cols());
+    EXPECT_EQ(loaded.source_nnz(), original.source_nnz());
+    EXPECT_EQ(loaded.stored_entries(), original.stored_entries());
+    EXPECT_EQ(loaded.num_packets(), original.num_packets());
+    EXPECT_EQ(loaded.words(), original.words());
+    EXPECT_EQ(loaded.stats().padded_slots, original.stats().padded_slots);
+  }
+}
+
+TEST_F(BsCsrIoTest, LoadedImageStreamsIdentically) {
+  const BsCsrMatrix original = make_encoded(ValueKind::kFixed, 20);
+  std::stringstream buffer;
+  save_bscsr(original, buffer);
+  const BsCsrMatrix loaded = load_bscsr(buffer);
+
+  util::Xoshiro256 rng(92);
+  const auto x = sparse::generate_dense_vector(256, rng);
+  const KernelResult from_original = run_topk_spmv(original, x, 8, 8);
+  const KernelResult from_loaded = run_topk_spmv(loaded, x, 8, 8);
+  ASSERT_EQ(from_original.topk.size(), from_loaded.topk.size());
+  for (std::size_t i = 0; i < from_original.topk.size(); ++i) {
+    EXPECT_EQ(from_original.topk[i], from_loaded.topk[i]);
+  }
+}
+
+TEST_F(BsCsrIoTest, RejectsBadMagicAndTruncation) {
+  const auto path = dir_ / "garbage.bin";
+  std::ofstream(path, std::ios::binary) << "definitely not an image";
+  EXPECT_THROW((void)load_bscsr(path), std::runtime_error);
+
+  const BsCsrMatrix original = make_encoded(ValueKind::kFixed, 20);
+  std::stringstream buffer;
+  save_bscsr(original, buffer);
+  const std::string full = buffer.str();
+  std::istringstream truncated(full.substr(0, full.size() - 16));
+  EXPECT_THROW((void)load_bscsr(truncated), std::runtime_error);
+  EXPECT_THROW((void)load_bscsr(dir_ / "missing.bin"), std::runtime_error);
+}
+
+TEST_F(BsCsrIoTest, RejectsTamperedHeader) {
+  const BsCsrMatrix original = make_encoded(ValueKind::kFixed, 20);
+  std::stringstream buffer;
+  save_bscsr(original, buffer);
+  std::string bytes = buffer.str();
+  // Corrupt the capacity field (offset: magic 8 + packet/ptr/idx/val 16).
+  bytes[8 + 16] = 120;
+  std::istringstream corrupted(bytes);
+  EXPECT_THROW((void)load_bscsr(corrupted), std::runtime_error);
+}
+
+TEST(BsCsrFromParts, ValidatesConsistency) {
+  const BsCsrMatrix original = make_encoded(ValueKind::kFixed, 20);
+  // Word count mismatch.
+  EXPECT_THROW(
+      (void)BsCsrMatrix::from_parts(original.layout(), original.value_kind(),
+                                    original.rows(), original.cols(),
+                                    original.source_nnz(),
+                                    original.stored_entries(), {},
+                                    original.stats()),
+      std::invalid_argument);
+  // Entry count mismatch.
+  auto words = original.words();
+  EXPECT_THROW(
+      (void)BsCsrMatrix::from_parts(original.layout(), original.value_kind(),
+                                    original.rows(), original.cols(),
+                                    original.source_nnz(),
+                                    original.stored_entries() + 1,
+                                    std::move(words), original.stats()),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace topk::core

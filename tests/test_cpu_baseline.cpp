@@ -1,0 +1,120 @@
+#include "baselines/cpu_topk_spmv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "test_helpers.hpp"
+
+namespace topk::baselines {
+namespace {
+
+TEST(CpuTopK, MatchesSortReferenceSingleThread) {
+  const sparse::Csr matrix = test::small_random_matrix(1000, 256, 12.0, 21);
+  util::Xoshiro256 rng(22);
+  const auto x = sparse::generate_dense_vector(256, rng);
+  const auto heap_result = cpu_topk_spmv(matrix, x, 25, 1);
+  const auto sort_result = exact_topk_via_sort(matrix, x, 25);
+  ASSERT_EQ(heap_result.size(), sort_result.size());
+  for (std::size_t i = 0; i < heap_result.size(); ++i) {
+    EXPECT_EQ(heap_result[i].index, sort_result[i].index) << "rank " << i;
+    EXPECT_DOUBLE_EQ(heap_result[i].value, sort_result[i].value);
+  }
+}
+
+TEST(CpuTopK, ThreadCountDoesNotChangeResult) {
+  const sparse::Csr matrix = test::small_random_matrix(2000, 512, 20.0, 23);
+  util::Xoshiro256 rng(24);
+  const auto x = sparse::generate_dense_vector(512, rng);
+  const auto reference = cpu_topk_spmv(matrix, x, 50, 1);
+  for (const int threads : {2, 3, 4, 8}) {
+    const auto result = cpu_topk_spmv(matrix, x, 50, threads);
+    ASSERT_EQ(result.size(), reference.size()) << threads << " threads";
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      EXPECT_EQ(result[i].index, reference[i].index)
+          << threads << " threads, rank " << i;
+    }
+  }
+}
+
+TEST(CpuTopK, DefaultThreadsWork) {
+  const sparse::Csr matrix = test::small_random_matrix(500, 128, 8.0, 25);
+  util::Xoshiro256 rng(26);
+  const auto x = sparse::generate_dense_vector(128, rng);
+  const auto result = cpu_topk_spmv(matrix, x, 10);  // threads = 0 -> auto
+  EXPECT_EQ(result.size(), 10u);
+}
+
+TEST(CpuTopK, TopKLargerThanRowsReturnsAllRows) {
+  const sparse::Csr matrix = test::small_random_matrix(20, 64, 5.0, 27);
+  util::Xoshiro256 rng(28);
+  const auto x = sparse::generate_dense_vector(64, rng);
+  const auto result = cpu_topk_spmv(matrix, x, 100, 2);
+  EXPECT_EQ(result.size(), 20u);
+  for (std::size_t i = 1; i < result.size(); ++i) {
+    EXPECT_GE(result[i - 1].value, result[i].value);
+  }
+}
+
+TEST(CpuTopK, MoreThreadsThanRows) {
+  const sparse::Csr matrix = test::small_random_matrix(5, 32, 3.0, 29);
+  util::Xoshiro256 rng(30);
+  const auto x = sparse::generate_dense_vector(32, rng);
+  const auto result = cpu_topk_spmv(matrix, x, 3, 16);
+  EXPECT_EQ(result.size(), 3u);
+}
+
+TEST(CpuTopK, DeterministicTieBreakByRowIndex) {
+  // Two identical rows: the lower index must win the last slot.
+  sparse::Coo coo(4, 4);
+  coo.push_back(0, 0, 0.5f);
+  coo.push_back(1, 0, 0.5f);  // tie with row 0
+  coo.push_back(2, 1, 0.9f);
+  coo.push_back(3, 2, 0.1f);
+  const sparse::Csr matrix = sparse::Csr::from_coo(std::move(coo));
+  const std::vector<float> x{1.0f, 1.0f, 1.0f, 1.0f};
+  const auto result = cpu_topk_spmv(matrix, x, 2, 1);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0].index, 2u);
+  EXPECT_EQ(result[1].index, 0u);  // not 1: ties break to lower index
+}
+
+TEST(CpuTopK, EmptyRowsScoreZero) {
+  const sparse::Csr matrix = test::adversarial_matrix(64);
+  util::Xoshiro256 rng(31);
+  const auto x = sparse::generate_dense_vector(64, rng);
+  const auto result = cpu_topk_spmv(matrix, x, static_cast<int>(matrix.rows()), 2);
+  EXPECT_DOUBLE_EQ(result.back().value, 0.0);
+}
+
+TEST(CpuTopK, ValidatesArguments) {
+  const sparse::Csr matrix = test::small_random_matrix(10, 32, 3.0, 33);
+  const std::vector<float> x(32, 0.1f);
+  const std::vector<float> wrong(16, 0.1f);
+  EXPECT_THROW((void)cpu_topk_spmv(matrix, wrong, 5, 1), std::invalid_argument);
+  EXPECT_THROW((void)cpu_topk_spmv(matrix, x, 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)cpu_topk_spmv(matrix, x, 5, -2), std::invalid_argument);
+  EXPECT_THROW((void)exact_topk_via_sort(matrix, wrong, 5),
+               std::invalid_argument);
+  EXPECT_THROW((void)exact_topk_via_sort(matrix, x, 0), std::invalid_argument);
+}
+
+class ThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadSweep, AgreesWithSortReference) {
+  const sparse::Csr matrix = test::small_random_matrix(
+      777, 256, 15.0, 35, sparse::RowDistribution::kGamma);
+  util::Xoshiro256 rng(36);
+  const auto x = sparse::generate_dense_vector(256, rng);
+  const auto result = cpu_topk_spmv(matrix, x, 31, GetParam());
+  const auto reference = exact_topk_via_sort(matrix, x, 31);
+  ASSERT_EQ(result.size(), reference.size());
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    EXPECT_EQ(result[i].index, reference[i].index);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep, ::testing::Values(1, 2, 5, 7, 13));
+
+}  // namespace
+}  // namespace topk::baselines

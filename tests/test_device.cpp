@@ -1,0 +1,99 @@
+#include "hbmsim/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "baselines/cpu_topk_spmv.hpp"
+#include "test_helpers.hpp"
+
+namespace topk::hbmsim {
+namespace {
+
+using core::DesignConfig;
+
+TEST(DeviceSimulator, LoadsAndBindsChannels) {
+  const sparse::Csr matrix = test::small_random_matrix(640, 512, 10.0, 111);
+  DeviceSimulator device(matrix, DesignConfig::fixed(20, 8));
+  ASSERT_EQ(device.bindings().size(), 8u);
+  std::uint32_t previous_end = 0;
+  for (std::size_t i = 0; i < device.bindings().size(); ++i) {
+    const ChannelBinding& binding = device.bindings()[i];
+    EXPECT_EQ(binding.channel, static_cast<int>(i));
+    EXPECT_EQ(binding.row_begin, previous_end);
+    EXPECT_GT(binding.image_bytes, 0u);
+    previous_end = binding.row_end;
+  }
+  EXPECT_EQ(previous_end, matrix.rows());
+  EXPECT_GT(device.image_bytes(), 0u);
+  EXPECT_GT(device.hbm_utilization(), 0.0);
+  EXPECT_LT(device.hbm_utilization(), 0.001);  // tiny test matrix
+}
+
+TEST(DeviceSimulator, QueryMatchesAcceleratorAndCounts) {
+  const sparse::Csr matrix = test::small_random_matrix(640, 512, 10.0, 112);
+  const DesignConfig design = DesignConfig::fixed(20, 8);
+  DeviceSimulator device(matrix, design);
+  const core::TopKAccelerator reference(matrix, design);
+
+  util::Xoshiro256 rng(113);
+  const auto x = sparse::generate_dense_vector(512, rng);
+  const DeviceQueryResult from_device = device.query(x, 16);
+  const core::QueryResult from_accelerator = reference.query(x, 16);
+  ASSERT_EQ(from_device.result.entries.size(),
+            from_accelerator.entries.size());
+  for (std::size_t i = 0; i < from_accelerator.entries.size(); ++i) {
+    EXPECT_EQ(from_device.result.entries[i], from_accelerator.entries[i]);
+  }
+  EXPECT_GT(from_device.timing.seconds, 0.0);
+
+  EXPECT_EQ(device.counters().queries, 1u);
+  EXPECT_EQ(device.counters().bytes_streamed,
+            from_accelerator.stats.total_packets * 64);
+  EXPECT_GT(device.average_throughput(), 0.0);
+
+  (void)device.query(x, 16, /*host_threads=*/4);
+  EXPECT_EQ(device.counters().queries, 2u);
+}
+
+TEST(DeviceSimulator, RejectsTooManyChannels) {
+  const sparse::Csr matrix = test::small_random_matrix(640, 512, 10.0, 114);
+  BoardProfile narrow = board_u280();
+  narrow.hbm.channels = 4;
+  EXPECT_THROW(DeviceSimulator(matrix, DesignConfig::fixed(20, 8), narrow),
+               std::invalid_argument);
+}
+
+TEST(DeviceSimulator, RejectsFabricOverflow) {
+  const sparse::Csr matrix = test::small_random_matrix(640, 512, 10.0, 115);
+  BoardProfile tiny = board_u280();
+  tiny.resources.uram = 16;  // 8 cores need ~80 URAM
+  EXPECT_THROW(DeviceSimulator(matrix, DesignConfig::fixed(20, 8), tiny),
+               std::invalid_argument);
+}
+
+TEST(DeviceSimulator, RejectsHbmCapacityOverflow) {
+  const sparse::Csr matrix = test::small_random_matrix(640, 512, 10.0, 116);
+  BoardProfile small_memory = board_u280();
+  small_memory.hbm.capacity_bytes = 32 * 1024;  // 1 KiB per channel slice
+  EXPECT_THROW(
+      DeviceSimulator(matrix, DesignConfig::fixed(20, 8), small_memory),
+      std::invalid_argument);
+}
+
+TEST(DeviceSimulator, ResultsAreExactWhenUnapproximated) {
+  const sparse::Csr matrix = test::small_random_matrix(300, 256, 12.0, 117);
+  DesignConfig design = DesignConfig::fixed(32, 1);
+  design.k = 10;
+  DeviceSimulator device(matrix, design);
+  util::Xoshiro256 rng(118);
+  const auto x = sparse::generate_dense_vector(256, rng);
+  const auto result = device.query(x, 10);
+  const auto exact = baselines::cpu_topk_spmv(matrix, x, 10, 1);
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_EQ(result.result.entries[i].index, exact[i].index);
+  }
+}
+
+}  // namespace
+}  // namespace topk::hbmsim

@@ -1,0 +1,111 @@
+#include "baselines/gpu_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "baselines/cpu_topk_spmv.hpp"
+#include "test_helpers.hpp"
+
+namespace topk::baselines {
+namespace {
+
+TEST(GpuPerfModel, ValidatesConstants) {
+  EXPECT_NO_THROW(validate(GpuPerfModel{}));
+  GpuPerfModel model;
+  model.peak_bandwidth_gbps = 0.0;
+  EXPECT_THROW(validate(model), std::invalid_argument);
+  model = {};
+  model.spmv_efficiency_f32 = 1.5;
+  EXPECT_THROW(validate(model), std::invalid_argument);
+  model = {};
+  model.sort_pairs_per_second = -1.0;
+  EXPECT_THROW(validate(model), std::invalid_argument);
+  model = {};
+  model.fixed_overhead_s = -1.0;
+  EXPECT_THROW(validate(model), std::invalid_argument);
+}
+
+TEST(GpuPerfModel, SpmvTimeMatchesBandwidthArithmetic) {
+  const GpuPerfModel model;
+  const std::uint64_t nnz = 150'000'000;
+  // 8 bytes/nnz at 549 * 0.43 GB/s.
+  const double expected =
+      nnz * 8.0 / (549e9 * 0.43) + model.fixed_overhead_s;
+  EXPECT_NEAR(model.spmv_seconds(nnz, false), expected, 1e-9);
+  // F16 moves 6 bytes at lower efficiency.
+  EXPECT_LT(model.spmv_seconds(nnz, true), model.spmv_seconds(nnz, false));
+}
+
+TEST(GpuPerfModel, SortCostDominatesTopKForLargeN) {
+  const GpuPerfModel model;
+  const std::uint64_t rows = 10'000'000;
+  const std::uint64_t nnz = 200'000'000;
+  const double spmv = model.spmv_seconds(nnz, false);
+  const double topk = model.topk_seconds(nnz, rows, false);
+  EXPECT_GT(topk, spmv * 3.0);  // sorting 1e7 pairs swamps the SpMV
+}
+
+TEST(GpuPerfModel, ReproducesPaperScale) {
+  // Figure 5, N = 0.5e7 (~1.5e8 nnz): CPU 279 ms, GPU F32 SpMV-only
+  // ~55x -> ~5 ms.
+  const GpuPerfModel model;
+  const double seconds = model.spmv_seconds(150'000'000, false);
+  EXPECT_NEAR(seconds, 279e-3 / 55.0, 1e-3);
+}
+
+TEST(GpuF16, MatchesExactForWellSeparatedScores) {
+  // With few, well-separated rows the F16 rounding cannot permute the
+  // ranking.
+  sparse::Coo coo(4, 8);
+  coo.push_back(0, 0, 0.9f);
+  coo.push_back(1, 1, 0.5f);
+  coo.push_back(2, 2, 0.25f);
+  coo.push_back(3, 3, 0.06f);
+  const sparse::Csr matrix = sparse::Csr::from_coo(std::move(coo));
+  const std::vector<float> x(8, 0.35f);
+  const auto result = gpu_f16_topk_spmv(matrix, x, 3);
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0].index, 0u);
+  EXPECT_EQ(result[1].index, 1u);
+  EXPECT_EQ(result[2].index, 2u);
+}
+
+TEST(GpuF16, ScoresAreHalfPrecisionRounded) {
+  const sparse::Csr matrix = test::small_random_matrix(100, 128, 20.0, 41);
+  util::Xoshiro256 rng(42);
+  const auto x = sparse::generate_dense_vector(128, rng);
+  const auto f16 = gpu_f16_topk_spmv(matrix, x, 10);
+  const auto exact = cpu_topk_spmv(matrix, x, 10, 1);
+  // Scores must be close to exact but (almost surely) not identical:
+  // fp16 has ~3 decimal digits.
+  bool any_difference = false;
+  for (const auto& entry : f16) {
+    const double exact_score = matrix.row_dot(entry.index, x);
+    EXPECT_NEAR(entry.value, exact_score, 0.02);
+    any_difference |= entry.value != exact_score;
+  }
+  EXPECT_TRUE(any_difference);
+  // Top-10 overlap should still be high.
+  std::unordered_set<std::uint32_t> exact_rows;
+  for (const auto& entry : exact) {
+    exact_rows.insert(entry.index);
+  }
+  int hits = 0;
+  for (const auto& entry : f16) {
+    hits += exact_rows.count(entry.index);
+  }
+  EXPECT_GE(hits, 7);
+}
+
+TEST(GpuF16, ValidatesArguments) {
+  const sparse::Csr matrix = test::small_random_matrix(10, 32, 3.0, 43);
+  const std::vector<float> wrong(16, 0.1f);
+  const std::vector<float> x(32, 0.1f);
+  EXPECT_THROW((void)gpu_f16_topk_spmv(matrix, wrong, 5), std::invalid_argument);
+  EXPECT_THROW((void)gpu_f16_topk_spmv(matrix, x, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace topk::baselines

@@ -1,0 +1,113 @@
+#include "fixed/half.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace topk::fixed {
+namespace {
+
+TEST(HalfBits, KnownEncodings) {
+  EXPECT_EQ(float_to_half_bits(0.0f), 0x0000);
+  EXPECT_EQ(float_to_half_bits(-0.0f), 0x8000);
+  EXPECT_EQ(float_to_half_bits(1.0f), 0x3C00);
+  EXPECT_EQ(float_to_half_bits(-1.0f), 0xBC00);
+  EXPECT_EQ(float_to_half_bits(0.5f), 0x3800);
+  EXPECT_EQ(float_to_half_bits(2.0f), 0x4000);
+  EXPECT_EQ(float_to_half_bits(65504.0f), 0x7BFF);  // max finite half
+  EXPECT_EQ(float_to_half_bits(0.099976f), 0x2E66);
+}
+
+TEST(HalfBits, OverflowGoesToInfinity) {
+  EXPECT_EQ(float_to_half_bits(65536.0f), 0x7C00);
+  EXPECT_EQ(float_to_half_bits(-1e10f), 0xFC00);
+  EXPECT_EQ(float_to_half_bits(std::numeric_limits<float>::infinity()), 0x7C00);
+}
+
+TEST(HalfBits, NanPreserved) {
+  const std::uint16_t nan_bits = float_to_half_bits(std::nanf(""));
+  EXPECT_EQ(nan_bits & 0x7C00, 0x7C00);
+  EXPECT_NE(nan_bits & 0x03FF, 0);
+  EXPECT_TRUE(std::isnan(half_bits_to_float(nan_bits)));
+}
+
+TEST(HalfBits, SubnormalsRoundTrip) {
+  // Smallest positive subnormal half = 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(float_to_half_bits(tiny), 0x0001);
+  EXPECT_FLOAT_EQ(half_bits_to_float(0x0001), tiny);
+  // Largest subnormal: (1023/1024) * 2^-14.
+  const float max_subnormal = std::ldexp(1023.0f / 1024.0f, -14);
+  EXPECT_EQ(float_to_half_bits(max_subnormal), 0x03FF);
+  EXPECT_FLOAT_EQ(half_bits_to_float(0x03FF), max_subnormal);
+}
+
+TEST(HalfBits, UnderflowToZero) {
+  EXPECT_EQ(float_to_half_bits(std::ldexp(1.0f, -26)), 0x0000);
+  EXPECT_EQ(float_to_half_bits(-std::ldexp(1.0f, -26)), 0x8000);
+}
+
+TEST(HalfBits, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and 1 + 2^-10; the even
+  // mantissa (1.0, bits 0x3C00) must win.
+  const float halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(float_to_half_bits(halfway), 0x3C00);
+  // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9 -> round to even
+  // mantissa 2 (0x3C02).
+  const float halfway_up = 1.0f + 3.0f * std::ldexp(1.0f, -11);
+  EXPECT_EQ(float_to_half_bits(halfway_up), 0x3C02);
+}
+
+TEST(HalfBits, AllHalfValuesRoundTripThroughFloat) {
+  // Every finite half converts to float and back to the identical bits
+  // (float superset property).
+  for (std::uint32_t bits = 0; bits <= 0xFFFF; ++bits) {
+    const auto h = static_cast<std::uint16_t>(bits);
+    if ((h & 0x7C00) == 0x7C00 && (h & 0x03FF) != 0) {
+      continue;  // NaNs: payloads need not round-trip exactly
+    }
+    EXPECT_EQ(float_to_half_bits(half_bits_to_float(h)), h) << "bits=" << bits;
+  }
+}
+
+TEST(Half, ArithmeticRoundsEveryStep) {
+  const Half a = Half::from_float(0.1f);
+  const Half b = Half::from_float(0.2f);
+  const float sum = (a + b).to_float();
+  // Half(0.1) + Half(0.2) = 0.30004... rounded to half precision.
+  EXPECT_NEAR(sum, 0.3f, 2e-3f);
+  EXPECT_NE(sum, 0.1f + 0.2f);  // must differ from float arithmetic
+}
+
+TEST(Half, AccumulationDriftMatchesPrecisionLoss) {
+  // Summing 1000 copies of 0.001 in half precision drifts noticeably —
+  // the effect the GPU F16 accuracy curves of Figure 7 reflect.
+  Half acc = Half::from_float(0.0f);
+  const Half step = Half::from_float(0.001f);
+  for (int i = 0; i < 1000; ++i) {
+    acc = acc + step;
+  }
+  EXPECT_NEAR(acc.to_float(), 1.0f, 0.1f);
+  EXPECT_NE(acc.to_float(), 1.0f);
+}
+
+TEST(Half, ComparisonsWork) {
+  EXPECT_LT(Half::from_float(0.5f), Half::from_float(1.0f));
+  EXPECT_EQ(Half::from_float(0.25f), Half::from_float(0.25f));
+  EXPECT_EQ(Half::from_bits(0x3C00).to_float(), 1.0f);
+}
+
+TEST(Half, RandomValuesStayWithinRelativeTolerance) {
+  util::Xoshiro256 rng(41);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto value = static_cast<float>(rng.uniform(1e-3, 1.0));
+    const float back = Half::from_float(value).to_float();
+    EXPECT_NEAR(back, value, value * std::ldexp(1.0f, -10));
+  }
+}
+
+}  // namespace
+}  // namespace topk::fixed

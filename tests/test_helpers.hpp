@@ -1,0 +1,219 @@
+// Shared fixtures and reference implementations for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/design.hpp"
+#include "core/topk_spmv.hpp"
+#include "fixed/fixed_point.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/generator.hpp"
+#include "util/rng.hpp"
+
+namespace topk::test {
+
+/// Per-row scores computed with the same arithmetic as the streaming
+/// kernel, but directly from CSR — the bit-exact oracle the kernel
+/// must reproduce.  For kFixed, products/accumulation replicate the
+/// Q24.40 datapath; for kFloat32, float accumulation in column order
+/// (the kernel's packet-stream order within a row equals column
+/// order, so sums associate identically).
+inline std::vector<double> reference_scores(const sparse::Csr& matrix,
+                                            std::span<const float> x,
+                                            core::ValueKind kind,
+                                            int value_bits) {
+  std::vector<double> scores(matrix.rows(), 0.0);
+  if (kind == core::ValueKind::kFloat32) {
+    for (std::uint32_t r = 0; r < matrix.rows(); ++r) {
+      const auto cols = matrix.row_cols(r);
+      const auto vals = matrix.row_values(r);
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < cols.size(); ++i) {
+        acc += vals[i] * x[cols[i]];
+      }
+      scores[r] = static_cast<double>(acc);
+    }
+    return scores;
+  }
+  const fixed::FixedFormat val_format{value_bits, 1};
+  const fixed::FixedFormat vec_format{32, 1};
+  if (kind == core::ValueKind::kSignedFixed) {
+    for (std::uint32_t r = 0; r < matrix.rows(); ++r) {
+      const auto cols = matrix.row_cols(r);
+      const auto vals = matrix.row_values(r);
+      std::int64_t acc = 0;
+      for (std::size_t i = 0; i < cols.size(); ++i) {
+        const std::int64_t val_raw = fixed::sign_extend(
+            fixed::quantize_signed(static_cast<double>(vals[i]), val_format),
+            val_format.total_bits);
+        const std::int64_t vec_raw = fixed::sign_extend(
+            fixed::quantize_signed(static_cast<double>(x[cols[i]]), vec_format),
+            32);
+        const int shift =
+            val_format.frac_bits() + fixed::kVectorFracBits - fixed::kAccFracBits;
+        const std::int64_t product = val_raw * vec_raw;
+        acc += shift >= 0 ? (product >> shift) : (product << -shift);
+      }
+      scores[r] = std::ldexp(static_cast<double>(acc), -fixed::kAccFracBits);
+    }
+    return scores;
+  }
+  for (std::uint32_t r = 0; r < matrix.rows(); ++r) {
+    const auto cols = matrix.row_cols(r);
+    const auto vals = matrix.row_values(r);
+    fixed::FixedAccumulator acc;
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      const std::uint32_t val_raw =
+          fixed::quantize(static_cast<double>(vals[i]), val_format);
+      const std::uint32_t vec_raw =
+          fixed::quantize(static_cast<double>(x[cols[i]]), vec_format);
+      acc.add_product(val_raw, val_format.frac_bits(), vec_raw);
+    }
+    scores[r] = acc.to_double();
+  }
+  return scores;
+}
+
+/// A small matrix with signed values (components in [-1, 1]),
+/// L2-normalised rows — the kSignedFixed extension's target workload.
+inline sparse::Csr small_signed_matrix(std::uint32_t rows, std::uint32_t cols,
+                                       double mean_nnz, std::uint64_t seed) {
+  sparse::GeneratorConfig config;
+  config.rows = rows;
+  config.cols = cols;
+  config.mean_nnz_per_row = mean_nnz;
+  config.seed = seed;
+  config.l2_normalize = false;
+  const sparse::Csr unsigned_matrix = sparse::generate_matrix(config);
+
+  // Flip the sign of roughly half the entries, then normalise.
+  util::Xoshiro256 rng(seed * 2654435761u + 17);
+  sparse::Coo coo(rows, cols);
+  for (std::uint32_t r = 0; r < unsigned_matrix.rows(); ++r) {
+    const auto row_cols = unsigned_matrix.row_cols(r);
+    const auto row_vals = unsigned_matrix.row_values(r);
+    for (std::size_t i = 0; i < row_cols.size(); ++i) {
+      const float sign = (rng() & 1) ? 1.0f : -1.0f;
+      coo.push_back(r, row_cols[i], sign * row_vals[i]);
+    }
+  }
+  sparse::Csr matrix = sparse::Csr::from_coo(std::move(coo));
+  matrix.l2_normalize_rows();
+  return matrix;
+}
+
+/// A signed dense query vector (components in [-1, 1], unit norm).
+inline std::vector<float> signed_query(std::uint32_t cols, util::Xoshiro256& rng) {
+  std::vector<float> x(cols);
+  double norm_sq = 0.0;
+  for (auto& v : x) {
+    v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    norm_sq += static_cast<double>(v) * v;
+  }
+  const auto inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+  for (auto& v : x) {
+    v *= inv;
+  }
+  return x;
+}
+
+/// The top-k values of a score vector, descending (ties keep both).
+inline std::vector<double> topk_values(std::span<const double> scores, int k) {
+  std::vector<double> sorted(scores.begin(), scores.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  sorted.resize(std::min<std::size_t>(static_cast<std::size_t>(k), sorted.size()));
+  return sorted;
+}
+
+/// Asserts that `entries` is exactly the top-k of `scores`:
+/// descending order, each entry's value matches its row's reference
+/// score bit-for-bit, and the value multiset equals the reference
+/// top-k multiset (robust to tie-order permutations).
+inline void expect_exact_topk(std::span<const core::TopKEntry> entries,
+                              std::span<const double> scores, int k) {
+  ASSERT_EQ(entries.size(),
+            std::min<std::size_t>(static_cast<std::size_t>(k), scores.size()));
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GE(entries[i - 1].value, entries[i].value) << "not descending at " << i;
+  }
+  std::vector<double> got;
+  for (const core::TopKEntry& entry : entries) {
+    ASSERT_LT(entry.index, scores.size());
+    EXPECT_EQ(entry.value, scores[entry.index])
+        << "score mismatch for row " << entry.index;
+    got.push_back(entry.value);
+  }
+  const std::vector<double> expected = topk_values(scores, k);
+  std::vector<double> got_sorted = got;
+  std::sort(got_sorted.begin(), got_sorted.end(), std::greater<>());
+  EXPECT_EQ(got_sorted, expected);
+}
+
+/// Small deterministic random CSR for unit tests.
+inline sparse::Csr small_random_matrix(std::uint32_t rows, std::uint32_t cols,
+                                       double mean_nnz, std::uint64_t seed,
+                                       sparse::RowDistribution dist =
+                                           sparse::RowDistribution::kUniform) {
+  sparse::GeneratorConfig config;
+  config.rows = rows;
+  config.cols = cols;
+  config.mean_nnz_per_row = mean_nnz;
+  config.distribution = dist;
+  config.seed = seed;
+  return sparse::generate_matrix(config);
+}
+
+/// A matrix with deliberately pathological structure: empty rows,
+/// single-entry rows, and one long row spanning many packets.
+inline sparse::Csr adversarial_matrix(std::uint32_t cols) {
+  // Row 0: empty.  Row 1: one entry.  Row 2: long row (3 * cols / 4
+  // entries).  Rows 3..12: single entries.  Row 13: empty.
+  std::vector<std::uint64_t> row_ptr{0};
+  std::vector<std::uint32_t> col_idx;
+  std::vector<float> values;
+  util::Xoshiro256 rng(123);
+
+  const auto add_row = [&](std::uint32_t nnz) {
+    for (std::uint32_t i = 0; i < nnz; ++i) {
+      col_idx.push_back((i * 7 + 3) % cols);
+      values.push_back(static_cast<float>(rng.uniform(0.05, 1.0)));
+    }
+    row_ptr.push_back(col_idx.size());
+  };
+
+  add_row(0);
+  add_row(1);
+  add_row(cols * 3 / 4);
+  for (int i = 0; i < 10; ++i) {
+    add_row(1);
+  }
+  add_row(0);
+
+  // Column indices within a row must be sorted and unique for CSR
+  // canonical form; rebuild each row accordingly.
+  sparse::Coo coo(static_cast<std::uint32_t>(row_ptr.size() - 1), cols);
+  for (std::uint32_t r = 0; r + 1 < row_ptr.size(); ++r) {
+    std::vector<std::pair<std::uint32_t, float>> row;
+    for (std::uint64_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      row.emplace_back(col_idx[i], values[i]);
+    }
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.first == b.first;
+                          }),
+              row.end());
+    for (const auto& [c, v] : row) {
+      coo.push_back(r, c, v);
+    }
+  }
+  return sparse::Csr::from_coo(std::move(coo));
+}
+
+}  // namespace topk::test

@@ -1,0 +1,179 @@
+// End-to-end integration tests: the full pipeline the benches run,
+// at reduced scale — generate/sparsify a corpus, build the
+// accelerator, query, compare against the exact CPU baseline and the
+// GPU F16 emulation, and sanity-check the timing/resource models on
+// the same artefacts.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "baselines/cpu_topk_spmv.hpp"
+#include "baselines/gpu_model.hpp"
+#include "core/accelerator.hpp"
+#include "core/precision_model.hpp"
+#include "embed/sparsify.hpp"
+#include "hbmsim/power_model.hpp"
+#include "hbmsim/resource_model.hpp"
+#include "hbmsim/timing_model.hpp"
+#include "metrics/ranking.hpp"
+#include "test_helpers.hpp"
+
+namespace topk {
+namespace {
+
+TEST(Integration, SyntheticMatrixFullPipeline) {
+  // Table III-style synthetic matrix (shrunk), all four designs.
+  const sparse::Csr matrix = test::small_random_matrix(
+      6400, 1024, 20.0, 71, sparse::RowDistribution::kGamma);
+  util::Xoshiro256 rng(72);
+  const auto x = sparse::generate_dense_vector(1024, rng);
+  const auto exact = baselines::cpu_topk_spmv(matrix, x, 100, 2);
+  const auto true_score = [&](std::uint32_t row) {
+    return matrix.row_dot(row, x);
+  };
+
+  for (const core::DesignConfig& design :
+       {core::DesignConfig::fixed(20), core::DesignConfig::fixed(25),
+        core::DesignConfig::fixed(32), core::DesignConfig::float32()}) {
+    const core::TopKAccelerator accelerator(matrix, design);
+    const core::QueryResult result = accelerator.query(x, 100);
+    ASSERT_EQ(result.entries.size(), 100u) << design.name();
+
+    const metrics::TopKQuality quality =
+        metrics::evaluate_topk(result.entries, exact, true_score);
+    // Figure 7: precision stays high for every design even at K=100.
+    EXPECT_GT(quality.precision, 0.90) << design.name();
+    EXPECT_GT(quality.ndcg, 0.95) << design.name();
+    EXPECT_GT(quality.kendall_tau, 0.80) << design.name();
+
+    // Timing and resource models accept the same artefacts.
+    const auto timing = hbmsim::estimate_query_time(accelerator, matrix.nnz());
+    EXPECT_GT(timing.nnz_per_second, 0.0) << design.name();
+    const auto usage =
+        hbmsim::estimate_resources(design, accelerator.layout());
+    EXPECT_TRUE(hbmsim::fits_device(usage)) << design.name();
+    const auto power = hbmsim::fpga_power(design, accelerator.layout());
+    EXPECT_GT(power.device_w, 0.0);
+  }
+}
+
+TEST(Integration, SparsifiedCorpusPipeline) {
+  // The "Sparsified GloVe" path: dense corpus -> dictionary codes ->
+  // accelerator; a query near a known row must retrieve that row
+  // first.
+  embed::CorpusConfig corpus_config;
+  corpus_config.rows = 1500;
+  corpus_config.dim = 64;
+  corpus_config.clusters = 16;
+  corpus_config.seed = 73;
+  const embed::DenseEmbeddings corpus = embed::generate_glove_like(corpus_config);
+  const embed::Dictionary dictionary(512, 64, 74);
+  embed::SparsifyConfig sparsify_config;
+  sparsify_config.target_nnz = 20;
+  const sparse::Csr matrix =
+      embed::sparsify_corpus(corpus, dictionary, sparsify_config);
+
+  core::DesignConfig design = core::DesignConfig::fixed(20, 8);
+  const core::TopKAccelerator accelerator(matrix, design);
+
+  util::Xoshiro256 rng(75);
+  const std::uint32_t source_row = 321;
+  const auto x =
+      sparse::generate_query_near_row(matrix, source_row, 0.02, rng);
+  const core::QueryResult result = accelerator.query(x, 10);
+  ASSERT_FALSE(result.entries.empty());
+  EXPECT_EQ(result.entries.front().index, source_row);
+}
+
+TEST(Integration, Fig7StyleAccuracyOrdering) {
+  // 32-bit fixed must be at least as accurate as 20-bit on average,
+  // and both close to exact; GPU F16 shows visible degradation (the
+  // ordering of Figure 7).
+  const sparse::Csr matrix = test::small_random_matrix(3200, 512, 20.0, 76);
+  util::Xoshiro256 rng(77);
+
+  double ndcg20 = 0.0;
+  double ndcg32 = 0.0;
+  double ndcg_f16 = 0.0;
+  constexpr int kQueries = 5;
+  constexpr int kTopK = 50;
+  const core::TopKAccelerator acc20(matrix, core::DesignConfig::fixed(20));
+  const core::TopKAccelerator acc32(matrix, core::DesignConfig::fixed(32));
+  for (int q = 0; q < kQueries; ++q) {
+    const auto x = sparse::generate_dense_vector(512, rng);
+    const auto exact = baselines::cpu_topk_spmv(matrix, x, kTopK, 2);
+    const auto true_score = [&](std::uint32_t row) {
+      return matrix.row_dot(row, x);
+    };
+    ndcg20 += metrics::evaluate_topk(acc20.query(x, kTopK).entries, exact,
+                                     true_score)
+                  .ndcg;
+    ndcg32 += metrics::evaluate_topk(acc32.query(x, kTopK).entries, exact,
+                                     true_score)
+                  .ndcg;
+    ndcg_f16 += metrics::evaluate_topk(
+                    baselines::gpu_f16_topk_spmv(matrix, x, kTopK), exact,
+                    true_score)
+                    .ndcg;
+  }
+  EXPECT_GT(ndcg20 / kQueries, 0.97);
+  EXPECT_GT(ndcg32 / kQueries, 0.97);
+  EXPECT_GT(ndcg_f16 / kQueries, 0.90);
+  // 32-bit quantisation error is ~4000x smaller than 20-bit; its NDCG
+  // cannot be meaningfully worse.
+  EXPECT_GE(ndcg32 / kQueries, ndcg20 / kQueries - 0.005);
+}
+
+TEST(Integration, FailureInjectionBadConfigurations) {
+  const sparse::Csr matrix = test::small_random_matrix(100, 128, 8.0, 78);
+  // Cores > rows.
+  EXPECT_THROW(core::TopKAccelerator(matrix, core::DesignConfig::fixed(20, 128)),
+               std::invalid_argument);
+  // K beyond the k*c candidate pool.
+  const core::TopKAccelerator accelerator(matrix,
+                                          core::DesignConfig::fixed(20, 4));
+  util::Xoshiro256 rng(79);
+  const auto x = sparse::generate_dense_vector(128, rng);
+  EXPECT_THROW((void)accelerator.query(x, 4 * 8 + 1), std::invalid_argument);
+  // Vector of the wrong dimensionality.
+  const std::vector<float> wrong(64, 0.1f);
+  EXPECT_THROW((void)accelerator.query(wrong, 8), std::invalid_argument);
+  // Invalid design parameters surface at construction.
+  core::DesignConfig bad = core::DesignConfig::fixed(20, 4);
+  bad.value_bits = 40;
+  EXPECT_THROW(core::TopKAccelerator(matrix, bad), std::invalid_argument);
+}
+
+TEST(Integration, MeasuredPrecisionTracksTableIModel) {
+  // The bench-scale version of Table I: measured precision across
+  // random queries vs the closed-form expectation, c = 16, k = 8.
+  const sparse::Csr matrix = test::small_random_matrix(4000, 256, 10.0, 80);
+  core::DesignConfig design = core::DesignConfig::fixed(32, 16);
+  design.k = 8;
+  const core::TopKAccelerator accelerator(matrix, design);
+
+  util::Xoshiro256 rng(81);
+  constexpr int kTopK = 100;
+  constexpr int kQueries = 10;
+  double measured = 0.0;
+  for (int q = 0; q < kQueries; ++q) {
+    const auto x = sparse::generate_dense_vector(256, rng);
+    const auto exact = baselines::cpu_topk_spmv(matrix, x, kTopK, 2);
+    const auto result = accelerator.query(x, kTopK);
+    std::vector<std::uint32_t> retrieved;
+    std::vector<std::uint32_t> relevant;
+    for (const auto& entry : result.entries) {
+      retrieved.push_back(entry.index);
+    }
+    for (const auto& entry : exact) {
+      relevant.push_back(entry.index);
+    }
+    measured += metrics::precision_at_k(retrieved, relevant);
+  }
+  measured /= kQueries;
+  const double expected = core::expected_precision_closed(4000, 16, 8, kTopK);
+  EXPECT_NEAR(measured, expected, 0.05);
+}
+
+}  // namespace
+}  // namespace topk

@@ -1,0 +1,81 @@
+#include "sparse/matrix_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "test_helpers.hpp"
+
+namespace topk::sparse {
+namespace {
+
+TEST(RowDensityStats, HandComputedExample) {
+  // Rows with 0, 1, 2, 5 non-zeros.
+  Coo coo(4, 8);
+  coo.push_back(1, 0, 1.0f);
+  for (std::uint32_t c = 0; c < 2; ++c) {
+    coo.push_back(2, c, 1.0f);
+  }
+  for (std::uint32_t c = 0; c < 5; ++c) {
+    coo.push_back(3, c, 1.0f);
+  }
+  const Csr matrix = Csr::from_coo(std::move(coo));
+  const RowDensityStats stats = row_density_stats(matrix);
+  EXPECT_EQ(stats.rows, 4u);
+  EXPECT_EQ(stats.nnz, 8u);
+  EXPECT_EQ(stats.empty_rows, 1u);
+  EXPECT_EQ(stats.min_nnz, 0u);
+  EXPECT_EQ(stats.max_nnz, 5u);
+  EXPECT_DOUBLE_EQ(stats.mean_nnz, 2.0);
+  EXPECT_NEAR(stats.density, 8.0 / 32.0, 1e-12);
+  // Gini of {0,1,2,5}: 2*(1*0+2*1+3*2+4*5)/(4*8) - 5/4 = 56/32 - 1.25 = 0.5.
+  EXPECT_NEAR(stats.gini, 0.5, 1e-12);
+}
+
+TEST(RowDensityStats, UniformRowsHaveLowGini) {
+  const Csr uniform = test::small_random_matrix(
+      2000, 512, 20.0, 93, RowDistribution::kUniform);
+  const Csr gamma = test::small_random_matrix(
+      2000, 512, 20.0, 94, RowDistribution::kGamma);
+  const RowDensityStats uniform_stats = row_density_stats(uniform);
+  const RowDensityStats gamma_stats = row_density_stats(gamma);
+  // Gamma(3) is much more imbalanced than the bounded uniform.
+  EXPECT_LT(uniform_stats.gini, 0.2);
+  EXPECT_GT(gamma_stats.gini, uniform_stats.gini + 0.05);
+  EXPECT_NEAR(uniform_stats.mean_nnz, 20.0, 1.0);
+  EXPECT_NEAR(gamma_stats.mean_nnz, 20.0, 1.0);
+}
+
+TEST(RowDensityStats, ConstantRowsHaveZeroGini) {
+  Coo coo(5, 8);
+  for (std::uint32_t r = 0; r < 5; ++r) {
+    coo.push_back(r, r % 8, 1.0f);
+    coo.push_back(r, (r + 1) % 8, 1.0f);
+  }
+  const RowDensityStats stats = row_density_stats(Csr::from_coo(std::move(coo)));
+  EXPECT_NEAR(stats.gini, 0.0, 1e-12);
+  EXPECT_NEAR(stats.stddev_nnz, 0.0, 1e-12);
+}
+
+TEST(RowDensityHistogram, CountsSumToRows) {
+  const Csr matrix = test::small_random_matrix(1000, 256, 15.0, 95);
+  const auto histogram = row_density_histogram(matrix, 10);
+  ASSERT_EQ(histogram.size(), 10u);
+  EXPECT_EQ(std::accumulate(histogram.begin(), histogram.end(),
+                            std::uint64_t{0}),
+            matrix.rows());
+  EXPECT_THROW((void)row_density_histogram(matrix, 0), std::invalid_argument);
+}
+
+TEST(RowDensityHistogram, AdversarialMatrixSpread) {
+  const Csr matrix = test::adversarial_matrix(64);
+  const auto histogram = row_density_histogram(matrix, 4);
+  // Empty/single-entry rows in the first bucket, the long row in the
+  // last.
+  EXPECT_GT(histogram.front(), 0u);
+  EXPECT_GT(histogram.back(), 0u);
+}
+
+}  // namespace
+}  // namespace topk::sparse

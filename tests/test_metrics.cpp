@@ -1,0 +1,136 @@
+#include "metrics/ranking.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace topk::metrics {
+namespace {
+
+TEST(PrecisionAtK, ExactAndPartialOverlap) {
+  const std::vector<std::uint32_t> relevant{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(
+      precision_at_k(std::vector<std::uint32_t>{4, 3, 2, 1}, relevant), 1.0);
+  EXPECT_DOUBLE_EQ(
+      precision_at_k(std::vector<std::uint32_t>{1, 2, 9, 8}, relevant), 0.5);
+  EXPECT_DOUBLE_EQ(
+      precision_at_k(std::vector<std::uint32_t>{7, 8, 9, 10}, relevant), 0.0);
+}
+
+TEST(PrecisionAtK, OrderInsensitive) {
+  const std::vector<std::uint32_t> relevant{1, 2, 3};
+  EXPECT_DOUBLE_EQ(
+      precision_at_k(std::vector<std::uint32_t>{3, 1, 2}, relevant),
+      precision_at_k(std::vector<std::uint32_t>{1, 2, 3}, relevant));
+}
+
+TEST(PrecisionAtK, EmptyRelevantThrows) {
+  EXPECT_THROW(
+      (void)precision_at_k(std::vector<std::uint32_t>{1}, {}),
+      std::invalid_argument);
+}
+
+TEST(KendallTau, PerfectAgreement) {
+  const std::vector<std::uint32_t> a{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(kendall_tau(a, a), 1.0);
+}
+
+TEST(KendallTau, PerfectDisagreement) {
+  const std::vector<std::uint32_t> forward{1, 2, 3, 4};
+  const std::vector<std::uint32_t> reverse{4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(kendall_tau(forward, reverse), -1.0);
+}
+
+TEST(KendallTau, SingleSwap) {
+  // One adjacent transposition in 4 items: 5 concordant, 1 discordant
+  // -> tau = 4/6.
+  const std::vector<std::uint32_t> reference{1, 2, 3, 4};
+  const std::vector<std::uint32_t> swapped{2, 1, 3, 4};
+  EXPECT_NEAR(kendall_tau(swapped, reference), 4.0 / 6.0, 1e-12);
+}
+
+TEST(KendallTau, RestrictsToCommonItems) {
+  // Only items 1 and 3 are shared; they appear in the same order.
+  const std::vector<std::uint32_t> retrieved{1, 9, 3, 8};
+  const std::vector<std::uint32_t> reference{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(kendall_tau(retrieved, reference), 1.0);
+}
+
+TEST(KendallTau, FewCommonItemsAgreeTrivially) {
+  EXPECT_DOUBLE_EQ(kendall_tau(std::vector<std::uint32_t>{1},
+                               std::vector<std::uint32_t>{2}),
+                   1.0);
+}
+
+TEST(KendallTau, RejectsDuplicates) {
+  const std::vector<std::uint32_t> dup{1, 1};
+  const std::vector<std::uint32_t> ok{1, 2};
+  EXPECT_THROW((void)kendall_tau(dup, ok), std::invalid_argument);
+  EXPECT_THROW((void)kendall_tau(ok, dup), std::invalid_argument);
+}
+
+TEST(Ndcg, PerfectOrderIsOne) {
+  const std::vector<double> gains{3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(ndcg(gains, gains), 1.0);
+}
+
+TEST(Ndcg, HandComputedExample) {
+  // Retrieved gains (2, 3, 1) against ideal (3, 2, 1):
+  // DCG  = 2 + 3/log2(3) + 1/2 = 2.5 + 3/1.58496
+  // IDCG = 3 + 2/log2(3) + 1/2
+  const std::vector<double> retrieved{2.0, 3.0, 1.0};
+  const std::vector<double> ideal{3.0, 2.0, 1.0};
+  const double dcg = 2.0 + 3.0 / std::log2(3.0) + 1.0 / 2.0;
+  const double idcg = 3.0 + 2.0 / std::log2(3.0) + 1.0 / 2.0;
+  EXPECT_NEAR(ndcg(retrieved, ideal), dcg / idcg, 1e-12);
+}
+
+TEST(Ndcg, MissingTailLowersScore) {
+  const std::vector<double> ideal{3.0, 2.0, 1.0};
+  const std::vector<double> truncated{3.0, 2.0};
+  EXPECT_LT(ndcg(truncated, ideal), 1.0);
+  EXPECT_GT(ndcg(truncated, ideal), 0.8);
+}
+
+TEST(Ndcg, ZeroIdealIsOneAndLongRetrievedThrows) {
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(ndcg(zeros, zeros), 1.0);
+  const std::vector<double> longer{1.0, 2.0, 3.0};
+  EXPECT_THROW((void)ndcg(longer, zeros), std::invalid_argument);
+}
+
+TEST(EvaluateTopK, CombinesAllThreeMetrics) {
+  // Exact top-3: rows 10 (0.9), 11 (0.8), 12 (0.7).  Retrieved has 10
+  // and 12 in order plus an outsider 99 whose true score is 0.5.
+  const std::vector<core::TopKEntry> exact{{10, 0.9}, {11, 0.8}, {12, 0.7}};
+  const std::vector<core::TopKEntry> retrieved{{10, 0.9}, {12, 0.69}, {99, 0.55}};
+  const auto score = [](std::uint32_t row) {
+    switch (row) {
+      case 10: return 0.9;
+      case 11: return 0.8;
+      case 12: return 0.7;
+      case 99: return 0.5;
+      default: return 0.0;
+    }
+  };
+  const TopKQuality quality = evaluate_topk(retrieved, exact, score);
+  EXPECT_NEAR(quality.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(quality.kendall_tau, 1.0);  // common items in order
+  const double dcg = 0.9 + 0.7 / std::log2(3.0) + 0.5 / 2.0;
+  const double idcg = 0.9 + 0.8 / std::log2(3.0) + 0.7 / 2.0;
+  EXPECT_NEAR(quality.ndcg, dcg / idcg, 1e-12);
+}
+
+TEST(EvaluateTopK, PerfectRetrievalScoresOnes) {
+  const std::vector<core::TopKEntry> exact{{1, 0.5}, {2, 0.4}, {3, 0.3}};
+  const TopKQuality quality = evaluate_topk(
+      exact, exact, [&](std::uint32_t row) { return 0.6 - 0.1 * row; });
+  EXPECT_DOUBLE_EQ(quality.precision, 1.0);
+  EXPECT_DOUBLE_EQ(quality.kendall_tau, 1.0);
+  EXPECT_NEAR(quality.ndcg, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace topk::metrics

@@ -1,0 +1,124 @@
+#include "core/packet_layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace topk::core {
+namespace {
+
+TEST(PacketLayout, PaperDesignPointsForM1024) {
+  // Section IV-C: with M = 1024 (10 idx bits) a 512-bit packet holds
+  // B = 15 non-zeros at V = 20, 13 at V = 25, 11 at V = 32.
+  const PacketLayout v20 = PacketLayout::solve(1024, 20);
+  EXPECT_EQ(v20.capacity, 15);
+  EXPECT_EQ(v20.ptr_bits, 4);
+  EXPECT_EQ(v20.idx_bits, 10);
+  EXPECT_EQ(v20.used_bits(), 511);  // Figure 3: "511 bit, 15 values"
+
+  const PacketLayout v25 = PacketLayout::solve(1024, 25);
+  EXPECT_EQ(v25.capacity, 13);
+
+  const PacketLayout v32 = PacketLayout::solve(1024, 32);
+  EXPECT_EQ(v32.capacity, 11);
+}
+
+TEST(PacketLayout, PaperRangeOfB) {
+  // Section IV: "B ranges from 7 to 15" across realistic configs.
+  // Worst case: 32-bit idx and val.
+  const PacketLayout worst = PacketLayout::solve(0xFFFFFFFFu, 32);
+  EXPECT_EQ(worst.idx_bits, 32);
+  EXPECT_GE(worst.capacity, 7);
+  const PacketLayout best = PacketLayout::solve(512, 20);
+  EXPECT_LE(best.capacity, 16);
+}
+
+TEST(PacketLayout, M512UsesNineIdxBits) {
+  const PacketLayout layout = PacketLayout::solve(512, 20);
+  EXPECT_EQ(layout.idx_bits, 9);
+  EXPECT_EQ(layout.capacity, 15);
+}
+
+TEST(PacketLayout, FeasibilityInvariant) {
+  // For every solved layout: B slots fit, B+1 slots would not.
+  for (const std::uint32_t cols : {64u, 512u, 1024u, 4096u, 100'000u}) {
+    for (const int val_bits : {8, 10, 16, 20, 25, 32}) {
+      const PacketLayout layout = PacketLayout::solve(cols, val_bits);
+      EXPECT_LE(layout.used_bits(), layout.packet_bits);
+      const int next_ptr_bits =
+          layout.capacity + 1 > (1 << layout.ptr_bits) - 1 ? layout.ptr_bits + 1
+                                                           : layout.ptr_bits;
+      const long long next_used =
+          1LL + static_cast<long long>(layout.capacity + 1) *
+                    (next_ptr_bits + layout.idx_bits + layout.val_bits);
+      EXPECT_GT(next_used, layout.packet_bits)
+          << "cols=" << cols << " V=" << val_bits;
+    }
+  }
+}
+
+TEST(PacketLayout, PtrBitsCoverCapacity) {
+  for (const int val_bits : {8, 20, 32}) {
+    const PacketLayout layout = PacketLayout::solve(1024, val_bits);
+    EXPECT_GE((1 << layout.ptr_bits) - 1, layout.capacity);
+  }
+}
+
+TEST(PacketLayout, WiderPacketsHoldMore) {
+  const PacketLayout narrow = PacketLayout::solve(1024, 20, 256);
+  const PacketLayout wide = PacketLayout::solve(1024, 20, 1024);
+  EXPECT_LT(narrow.capacity, wide.capacity);
+  EXPECT_EQ(narrow.bytes_per_packet(), 32);
+  EXPECT_EQ(wide.words_per_packet(), 16);
+}
+
+TEST(PacketLayout, IntensityImprovesWithNarrowValues) {
+  // The core claim of Figure 3/6a: fewer value bits -> more non-zeros
+  // per transaction -> higher operational intensity.
+  const double oi20 = PacketLayout::solve(1024, 20).nnz_per_byte();
+  const double oi32 = PacketLayout::solve(1024, 32).nnz_per_byte();
+  EXPECT_GT(oi20, oi32);
+  EXPECT_NEAR(oi20, 15.0 / 64.0, 1e-12);
+  // Naive COO carries 12 bytes per non-zero -> 5 per 64-byte packet;
+  // BS-CSR at V=20 triples that (the paper's "2 to 3 times").
+  EXPECT_NEAR(oi20 / (5.0 / 64.0), 3.0, 1e-12);
+}
+
+TEST(PacketLayout, SolveRejectsBadArguments) {
+  EXPECT_THROW((void)PacketLayout::solve(0, 20), std::invalid_argument);
+  EXPECT_THROW((void)PacketLayout::solve(1024, 1), std::invalid_argument);
+  EXPECT_THROW((void)PacketLayout::solve(1024, 33), std::invalid_argument);
+  EXPECT_THROW((void)PacketLayout::solve(1024, 20, 100), std::invalid_argument);
+  EXPECT_THROW((void)PacketLayout::solve(1024, 20, 0), std::invalid_argument);
+  // 64-bit packet cannot hold one 32+32-bit entry.
+  EXPECT_THROW((void)PacketLayout::solve(0xFFFFFFFFu, 32, 64),
+               std::invalid_argument);
+}
+
+struct LayoutParam {
+  std::uint32_t cols;
+  int val_bits;
+  int expected_capacity;
+};
+
+class LayoutSweep : public ::testing::TestWithParam<LayoutParam> {};
+
+TEST_P(LayoutSweep, CapacityMatchesHandComputation) {
+  const LayoutParam param = GetParam();
+  const PacketLayout layout = PacketLayout::solve(param.cols, param.val_bits);
+  EXPECT_EQ(layout.capacity, param.expected_capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HandComputed, LayoutSweep,
+    ::testing::Values(LayoutParam{1024, 20, 15},  // paper 20-bit
+                      LayoutParam{1024, 25, 13},  // paper 25-bit
+                      LayoutParam{1024, 32, 11},  // paper 32-bit / F32
+                      LayoutParam{512, 20, 15},
+                      LayoutParam{512, 32, 11},   // 11*(4+9+32)+1 = 496
+                      LayoutParam{65536, 32, 9},  // 9*(4+16+32)+1 = 469
+                      LayoutParam{1024, 10, 20},  // 20*(5+10+10)+1 = 501
+                      LayoutParam{2, 2, 56}));    // 56*(6+1+2)+1 = 505
+
+}  // namespace
+}  // namespace topk::core

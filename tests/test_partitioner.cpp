@@ -1,0 +1,103 @@
+#include "core/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace topk::core {
+namespace {
+
+TEST(MakeRowPartitions, EvenSplit) {
+  const auto partitions = make_row_partitions(100, 4);
+  ASSERT_EQ(partitions.size(), 4u);
+  for (const Partition& partition : partitions) {
+    EXPECT_EQ(partition.rows(), 25u);
+  }
+  EXPECT_EQ(partitions.front().row_begin, 0u);
+  EXPECT_EQ(partitions.back().row_end, 100u);
+}
+
+TEST(MakeRowPartitions, RemainderSpreadOverFirstPartitions) {
+  const auto partitions = make_row_partitions(10, 3);
+  ASSERT_EQ(partitions.size(), 3u);
+  EXPECT_EQ(partitions[0].rows(), 4u);
+  EXPECT_EQ(partitions[1].rows(), 3u);
+  EXPECT_EQ(partitions[2].rows(), 3u);
+  // Contiguous and covering.
+  EXPECT_EQ(partitions[0].row_end, partitions[1].row_begin);
+  EXPECT_EQ(partitions[1].row_end, partitions[2].row_begin);
+}
+
+TEST(MakeRowPartitions, SizesDifferByAtMostOne) {
+  for (const std::uint32_t rows : {31u, 97u, 1000u, 12345u}) {
+    for (const int count : {1, 2, 7, 16, 28, 32}) {
+      if (static_cast<std::uint32_t>(count) > rows) {
+        continue;
+      }
+      const auto partitions = make_row_partitions(rows, count);
+      std::uint32_t min_size = rows;
+      std::uint32_t max_size = 0;
+      std::uint32_t total = 0;
+      for (const Partition& partition : partitions) {
+        min_size = std::min(min_size, partition.rows());
+        max_size = std::max(max_size, partition.rows());
+        total += partition.rows();
+      }
+      EXPECT_EQ(total, rows);
+      EXPECT_LE(max_size - min_size, 1u);
+    }
+  }
+}
+
+TEST(MakeRowPartitions, RejectsBadCounts) {
+  EXPECT_THROW((void)make_row_partitions(10, 0), std::invalid_argument);
+  EXPECT_THROW((void)make_row_partitions(10, -1), std::invalid_argument);
+  EXPECT_THROW((void)make_row_partitions(10, 11), std::invalid_argument);
+  EXPECT_NO_THROW((void)make_row_partitions(10, 10));
+}
+
+TEST(MergePartitionResults, RebasesIndicesAndSorts) {
+  const std::vector<Partition> partitions{{0, 50}, {50, 100}};
+  const std::vector<std::vector<TopKEntry>> per_partition{
+      {{3, 0.9}, {7, 0.5}},
+      {{0, 0.7}, {10, 0.6}},
+  };
+  const auto merged = merge_partition_results(per_partition, partitions, 3);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].index, 3u);    // 0.9 from partition 0
+  EXPECT_EQ(merged[1].index, 50u);   // 0.7 rebased from partition 1
+  EXPECT_EQ(merged[2].index, 60u);   // 0.6 rebased from partition 1
+}
+
+TEST(MergePartitionResults, TruncatesToTopK) {
+  const std::vector<Partition> partitions{{0, 10}};
+  const std::vector<std::vector<TopKEntry>> per_partition{
+      {{0, 0.1}, {1, 0.2}, {2, 0.3}}};
+  EXPECT_EQ(merge_partition_results(per_partition, partitions, 2).size(), 2u);
+  EXPECT_EQ(merge_partition_results(per_partition, partitions, 10).size(), 3u);
+}
+
+TEST(MergePartitionResults, TieBreaksByIndex) {
+  const std::vector<Partition> partitions{{0, 10}, {10, 20}};
+  const std::vector<std::vector<TopKEntry>> per_partition{
+      {{5, 0.5}},
+      {{1, 0.5}},
+  };
+  const auto merged = merge_partition_results(per_partition, partitions, 2);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].index, 5u);
+  EXPECT_EQ(merged[1].index, 11u);
+}
+
+TEST(MergePartitionResults, Validates) {
+  const std::vector<Partition> partitions{{0, 10}};
+  const std::vector<std::vector<TopKEntry>> wrong_count{{}, {}};
+  EXPECT_THROW((void)merge_partition_results(wrong_count, partitions, 1),
+               std::invalid_argument);
+  const std::vector<std::vector<TopKEntry>> ok{{}};
+  EXPECT_THROW((void)merge_partition_results(ok, partitions, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace topk::core

@@ -1,0 +1,152 @@
+#include "hbmsim/resource_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace topk::hbmsim {
+namespace {
+
+using core::DesignConfig;
+using core::PacketLayout;
+
+struct TableIIRow {
+  DesignConfig design;
+  double lut_frac;
+  double ff_frac;
+  double bram_frac;
+  double uram_frac;
+  double dsp_frac;
+  double clock_mhz;
+  double power_w;
+};
+
+class TableIIDesigns : public ::testing::TestWithParam<TableIIRow> {};
+
+TEST_P(TableIIDesigns, CalibratedDesignsReproduceTableII) {
+  const TableIIRow row = GetParam();
+  const PacketLayout layout =
+      PacketLayout::solve(1024, row.design.value_bits);
+  const ResourceUsage usage = estimate_resources(row.design, layout);
+  const ResourceFractions f = fractions(usage);
+  EXPECT_NEAR(f.lut, row.lut_frac, 1e-6);
+  EXPECT_NEAR(f.ff, row.ff_frac, 1e-6);
+  EXPECT_NEAR(f.bram, row.bram_frac, 1e-6);
+  EXPECT_NEAR(f.uram, row.uram_frac, 1e-6);
+  EXPECT_NEAR(f.dsp, row.dsp_frac, 1e-6);
+  EXPECT_NEAR(usage.clock_mhz, row.clock_mhz, 1e-6);
+  EXPECT_NEAR(usage.power_w, row.power_w, 1e-6);
+  EXPECT_TRUE(fits_device(usage));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, TableIIDesigns,
+    ::testing::Values(
+        TableIIRow{DesignConfig::fixed(20), 0.38, 0.35, 0.20, 0.33, 0.07,
+                   253.0, 34.0},
+        TableIIRow{DesignConfig::fixed(25), 0.38, 0.36, 0.20, 0.30, 0.11,
+                   240.0, 35.0},
+        TableIIRow{DesignConfig::fixed(32), 0.35, 0.33, 0.20, 0.27, 0.17,
+                   249.0, 35.0},
+        TableIIRow{DesignConfig::float32(), 0.44, 0.37, 0.20, 0.26, 0.19,
+                   204.0, 45.0}));
+
+TEST(ResourceModel, AnalyticPathTracksCalibrationWithinTolerance) {
+  // A 32-core design with a slightly different k leaves the calibration
+  // table and takes the analytic path; its estimates should stay close
+  // to the Table II figures for the same V.
+  DesignConfig design = DesignConfig::fixed(20);
+  design.k = 9;
+  const PacketLayout layout = PacketLayout::solve(1024, 20);
+  const ResourceUsage usage = estimate_resources(design, layout);
+  const ResourceFractions f = fractions(usage);
+  EXPECT_NEAR(f.lut, 0.38, 0.08);
+  EXPECT_NEAR(f.ff, 0.35, 0.08);
+  EXPECT_NEAR(f.uram, 0.33, 0.03);
+  EXPECT_NEAR(f.dsp, 0.07, 0.03);
+  EXPECT_TRUE(fits_device(usage));
+}
+
+TEST(ResourceModel, UramFollowsReplicationFormula) {
+  // Section IV-A: ceil(B/2) replicas of x per core (2 read ports per
+  // URAM), plus buffering.  Halving the cores must halve the URAM.
+  const PacketLayout layout = PacketLayout::solve(1024, 20);
+  const ResourceUsage at16 =
+      estimate_resources(DesignConfig::fixed(20, 16), layout);
+  EXPECT_NEAR(at16.uram, 16.0 * (8 + 2), 1e-9);  // ceil(15/2) = 8
+  const ResourceUsage at8 =
+      estimate_resources(DesignConfig::fixed(20, 8), layout);
+  EXPECT_NEAR(at16.uram / at8.uram, 2.0, 1e-9);
+}
+
+TEST(ResourceModel, DspGrowsWithValueWidth) {
+  // Across the paper's V range the per-lane DSP cost grows faster than
+  // the packet capacity shrinks.
+  double previous = 0.0;
+  for (const int bits : {20, 25, 32}) {
+    const DesignConfig design = DesignConfig::fixed(bits, 16);
+    const PacketLayout layout = PacketLayout::solve(1024, bits);
+    const double dsp = estimate_resources(design, layout).dsp;
+    EXPECT_GE(dsp, previous) << "V=" << bits;
+    previous = dsp;
+  }
+}
+
+TEST(ResourceModel, LutGrowsWithKandR) {
+  const PacketLayout layout = PacketLayout::solve(1024, 20);
+  DesignConfig small = DesignConfig::fixed(20, 16);
+  small.k = 4;
+  small.rows_per_packet = 4;
+  DesignConfig large = DesignConfig::fixed(20, 16);
+  large.k = 16;
+  large.rows_per_packet = 8;
+  EXPECT_LT(estimate_resources(small, layout).lut,
+            estimate_resources(large, layout).lut);
+}
+
+TEST(ResourceModel, HalvingRSavesTopKLogic) {
+  // Section IV-B: tracking r < B rows per packet saves resources (the
+  // paper reports up to 50% savings in the Top-K update stage).
+  const PacketLayout layout = PacketLayout::solve(1024, 20);
+  DesignConfig full = DesignConfig::fixed(20, 16);
+  full.rows_per_packet = layout.capacity;  // r = B
+  DesignConfig half = DesignConfig::fixed(20, 16);
+  half.rows_per_packet = layout.capacity / 2;
+  const double lut_full = estimate_resources(full, layout).lut;
+  const double lut_half = estimate_resources(half, layout).lut;
+  EXPECT_LT(lut_half, lut_full);
+}
+
+TEST(ResourceModel, SixtyFourCoreDesignWouldStillFit) {
+  // Section V: "we could easily place more cores given our design's
+  // low resource footprint" (the 32-channel HBM is the limit, not the
+  // fabric).
+  const PacketLayout layout = PacketLayout::solve(1024, 20);
+  const ResourceUsage usage =
+      estimate_resources(DesignConfig::fixed(20, 64), layout);
+  EXPECT_TRUE(fits_device(usage));
+}
+
+TEST(ResourceModel, FloatCostsMoreLogicThanFixed) {
+  const PacketLayout layout = PacketLayout::solve(1024, 32);
+  DesignConfig fixed32 = DesignConfig::fixed(32, 16);
+  DesignConfig float32 = DesignConfig::float32(16);
+  const ResourceUsage fixed_usage = estimate_resources(fixed32, layout);
+  const ResourceUsage float_usage = estimate_resources(float32, layout);
+  EXPECT_GT(float_usage.lut, fixed_usage.lut);
+  EXPECT_GT(float_usage.dsp, fixed_usage.dsp);
+  EXPECT_GT(float_usage.power_w, fixed_usage.power_w);
+}
+
+TEST(ResourceModel, FractionsDivideByDeviceTotals) {
+  ResourceUsage usage;
+  usage.lut = 1'097'419 / 2.0;
+  usage.uram = 480;
+  const ResourceFractions f = fractions(usage);
+  EXPECT_NEAR(f.lut, 0.5, 1e-12);
+  EXPECT_NEAR(f.uram, 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(f.dsp, 0.0);
+}
+
+}  // namespace
+}  // namespace topk::hbmsim

@@ -1,0 +1,114 @@
+#include "roofline/roofline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace topk::roofline {
+namespace {
+
+using core::DesignConfig;
+using core::PacketLayout;
+
+TEST(Attainable, BandwidthAndComputeRegimes) {
+  const Ceiling ceiling{"test", 100.0, 50.0};
+  EXPECT_DOUBLE_EQ(attainable(ceiling, 0.1), 10.0);  // bandwidth-bound
+  EXPECT_DOUBLE_EQ(attainable(ceiling, 10.0), 50.0);  // compute-bound
+  EXPECT_DOUBLE_EQ(attainable(ceiling, 0.5), 50.0);  // exactly at ridge
+}
+
+TEST(Attainable, ZeroPeakMeansBandwidthOnly) {
+  const Ceiling ceiling{"bw", 100.0, 0.0};
+  EXPECT_DOUBLE_EQ(attainable(ceiling, 100.0), 10000.0);
+}
+
+TEST(Attainable, Validates) {
+  EXPECT_THROW((void)attainable(Ceiling{"bad", 0.0, 1.0}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)attainable(Ceiling{"bad", 1.0, 1.0}, -1.0),
+               std::invalid_argument);
+}
+
+TEST(CeilingSeries, LogSpacedAndMonotone) {
+  const Ceiling ceiling{"test", 1e9, 1e10};
+  const auto series = ceiling_series(ceiling, 0.01, 10.0, 31);
+  ASSERT_EQ(series.size(), 31u);
+  EXPECT_NEAR(series.front().operational_intensity, 0.01, 1e-9);
+  EXPECT_NEAR(series.back().operational_intensity, 10.0, 1e-6);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GT(series[i].operational_intensity,
+              series[i - 1].operational_intensity);
+    EXPECT_GE(series[i].performance, series[i - 1].performance);
+  }
+}
+
+TEST(CeilingSeries, Validates) {
+  const Ceiling ceiling{"test", 1e9, 0.0};
+  EXPECT_THROW((void)ceiling_series(ceiling, 0.0, 1.0, 10),
+               std::invalid_argument);
+  EXPECT_THROW((void)ceiling_series(ceiling, 1.0, 0.5, 10),
+               std::invalid_argument);
+  EXPECT_THROW((void)ceiling_series(ceiling, 0.1, 1.0, 1),
+               std::invalid_argument);
+}
+
+TEST(FpgaCeiling, MatchesFigure6aLabels) {
+  // Figure 6a annotates: 1 core 13.2 GB/s, 8 cores 105.6, 16 cores
+  // 211.2, 32 cores 422.4.
+  const DesignConfig design = DesignConfig::fixed(20);
+  const PacketLayout layout = PacketLayout::solve(1024, 20);
+  const hbmsim::HbmConfig hbm = hbmsim::alveo_u280();
+  EXPECT_NEAR(fpga_ceiling(design, layout, hbm, 1).bandwidth_bytes_per_s,
+              13.2e9, 1e6);
+  EXPECT_NEAR(fpga_ceiling(design, layout, hbm, 8).bandwidth_bytes_per_s,
+              105.6e9, 1e6);
+  EXPECT_NEAR(fpga_ceiling(design, layout, hbm, 16).bandwidth_bytes_per_s,
+              211.2e9, 1e6);
+  EXPECT_NEAR(fpga_ceiling(design, layout, hbm, 32).bandwidth_bytes_per_s,
+              422.4e9, 1e6);
+  EXPECT_THROW((void)fpga_ceiling(design, layout, hbm, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)fpga_ceiling(design, layout, hbm, 33),
+               std::invalid_argument);
+}
+
+TEST(FpgaCeiling, ComputePeakIsCoresTimesBTimesClock) {
+  const DesignConfig design = DesignConfig::fixed(20);
+  const PacketLayout layout = PacketLayout::solve(1024, 20);
+  const auto ceiling =
+      fpga_ceiling(design, layout, hbmsim::alveo_u280(), 32);
+  EXPECT_NEAR(ceiling.compute_peak, 32.0 * 15.0 * 253e6, 1e3);
+}
+
+TEST(Intensity, BsCsrVersusCooMatchesFigure6a) {
+  // BS-CSR at V=20 (B=15) triples the naive COO intensity (B=5 per
+  // 64-byte packet): the "B=5 -> B=15" arrow of Figure 6a.
+  const PacketLayout layout = PacketLayout::solve(1024, 20);
+  EXPECT_NEAR(bscsr_intensity(layout) / coo_intensity(), 2.8125, 1e-9);
+  EXPECT_NEAR(coo_intensity(), 5.0 / 60.0, 1e-9);
+  EXPECT_NEAR(bscsr_intensity(layout), 15.0 / 64.0, 1e-12);
+}
+
+TEST(Intensity, GpuBytesPerNnz) {
+  EXPECT_NEAR(gpu_intensity(false), 0.125, 1e-12);
+  EXPECT_NEAR(gpu_intensity(true), 1.0 / 6.0, 1e-12);
+  EXPECT_GT(gpu_intensity(true), gpu_intensity(false));
+}
+
+TEST(Roofline, FpgaBeatsGpuDespiteLowerBandwidth) {
+  // The paper's headline roofline argument (Figure 6b): despite ~20%
+  // less bandwidth than the P100 (549 GB/s), the FPGA's higher
+  // operational intensity yields higher attainable performance.
+  const DesignConfig design = DesignConfig::fixed(20);
+  const PacketLayout layout = PacketLayout::solve(1024, 20);
+  const auto fpga = fpga_ceiling(design, layout, hbmsim::alveo_u280(), 32);
+  const Ceiling gpu{"P100", 549e9, 0.0};
+
+  const double fpga_perf = attainable(fpga, bscsr_intensity(layout));
+  const double gpu_perf = attainable(gpu, gpu_intensity(false));
+  EXPECT_LT(fpga.bandwidth_bytes_per_s, gpu.bandwidth_bytes_per_s);
+  EXPECT_GT(fpga_perf, gpu_perf);
+}
+
+}  // namespace
+}  // namespace topk::roofline

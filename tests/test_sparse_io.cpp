@@ -1,0 +1,106 @@
+#include "sparse/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "test_helpers.hpp"
+
+namespace topk::sparse {
+namespace {
+
+class SparseIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "topk_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SparseIoTest, BinaryRoundTrip) {
+  const Csr matrix = test::small_random_matrix(200, 128, 12.0, 3);
+  const auto path = dir_ / "matrix.bin";
+  save_binary(matrix, path);
+  const Csr loaded = load_binary(path);
+  EXPECT_EQ(loaded.rows(), matrix.rows());
+  EXPECT_EQ(loaded.cols(), matrix.cols());
+  EXPECT_EQ(loaded.row_ptr(), matrix.row_ptr());
+  EXPECT_EQ(loaded.col_idx(), matrix.col_idx());
+  EXPECT_EQ(loaded.values(), matrix.values());
+}
+
+TEST_F(SparseIoTest, BinaryRejectsBadMagic) {
+  const auto path = dir_ / "garbage.bin";
+  std::ofstream(path) << "not a matrix at all, definitely";
+  EXPECT_THROW((void)load_binary(path), std::runtime_error);
+}
+
+TEST_F(SparseIoTest, BinaryRejectsTruncated) {
+  const Csr matrix = test::small_random_matrix(50, 32, 6.0, 4);
+  std::ostringstream os;
+  save_binary(matrix, os);
+  const std::string full = os.str();
+  std::istringstream is(full.substr(0, full.size() / 2));
+  EXPECT_THROW((void)load_binary(is), std::runtime_error);
+}
+
+TEST_F(SparseIoTest, MissingFileThrows) {
+  EXPECT_THROW((void)load_binary(dir_ / "nope.bin"), std::runtime_error);
+  EXPECT_THROW((void)load_matrix_market(dir_ / "nope.mtx"), std::runtime_error);
+}
+
+TEST_F(SparseIoTest, MatrixMarketRoundTrip) {
+  const Csr matrix = test::small_random_matrix(60, 40, 5.0, 8);
+  const auto path = dir_ / "matrix.mtx";
+  save_matrix_market(matrix, path);
+  const Csr loaded = load_matrix_market(path);
+  EXPECT_EQ(loaded.rows(), matrix.rows());
+  EXPECT_EQ(loaded.cols(), matrix.cols());
+  EXPECT_EQ(loaded.row_ptr(), matrix.row_ptr());
+  EXPECT_EQ(loaded.col_idx(), matrix.col_idx());
+  for (std::size_t i = 0; i < matrix.nnz(); ++i) {
+    EXPECT_NEAR(loaded.values()[i], matrix.values()[i], 1e-6f);
+  }
+}
+
+TEST_F(SparseIoTest, MatrixMarketSkipsComments) {
+  const auto path = dir_ / "comments.mtx";
+  std::ofstream os(path);
+  os << "%%MatrixMarket matrix coordinate real general\n";
+  os << "% a comment line\n";
+  os << "% another\n";
+  os << "2 2 2\n";
+  os << "1 1 1.5\n";
+  os << "2 2 2.5\n";
+  os.close();
+  const Csr loaded = load_matrix_market(path);
+  EXPECT_EQ(loaded.rows(), 2u);
+  EXPECT_EQ(loaded.nnz(), 2u);
+  EXPECT_FLOAT_EQ(loaded.row_values(0)[0], 1.5f);
+}
+
+TEST_F(SparseIoTest, MatrixMarketRejectsMalformed) {
+  const auto bad_header = dir_ / "bad1.mtx";
+  std::ofstream(bad_header) << "hello world\n1 1 0\n";
+  EXPECT_THROW((void)load_matrix_market(bad_header), std::runtime_error);
+
+  const auto bad_entry = dir_ / "bad2.mtx";
+  std::ofstream(bad_entry) << "%%MatrixMarket matrix coordinate real general\n"
+                           << "2 2 1\n"
+                           << "3 1 1.0\n";  // row index out of range
+  EXPECT_THROW((void)load_matrix_market(bad_entry), std::runtime_error);
+
+  const auto bad_size = dir_ / "bad3.mtx";
+  std::ofstream(bad_size) << "%%MatrixMarket matrix coordinate real general\n"
+                          << "0 0 0\n";
+  EXPECT_THROW((void)load_matrix_market(bad_size), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace topk::sparse

@@ -1,0 +1,193 @@
+// Failure injection and randomised fuzzing of the BS-CSR stream path.
+//
+// The decoder and kernel must reject structurally corrupt streams
+// (non-monotone ptr fields, boundary values past the capacity, row
+// counts that do not add up) rather than silently mis-attributing
+// results — on the FPGA these conditions indicate a DMA or encoder
+// bug and the host must be able to detect them.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/bscsr.hpp"
+#include "core/topk_spmv.hpp"
+#include "test_helpers.hpp"
+#include "util/bitio.hpp"
+
+namespace topk::core {
+namespace {
+
+BsCsrMatrix encoded_fixture(std::uint64_t seed = 71) {
+  const sparse::Csr matrix = test::small_random_matrix(60, 64, 6.0, seed);
+  return encode_bscsr(matrix, PacketLayout::solve(64, 20), ValueKind::kFixed);
+}
+
+/// Rebuilds a stream with one ptr field of one packet overwritten.
+BsCsrMatrix with_ptr_field(const BsCsrMatrix& original, std::size_t packet,
+                           int field, std::uint32_t value) {
+  std::vector<std::uint64_t> words = original.words();
+  const PacketLayout& layout = original.layout();
+  const std::size_t base_bit =
+      packet * static_cast<std::size_t>(layout.packet_bits) + 1 +
+      static_cast<std::size_t>(field) * layout.ptr_bits;
+  // Clear then set the field bits.
+  for (int b = 0; b < layout.ptr_bits; ++b) {
+    const std::size_t bit = base_bit + static_cast<std::size_t>(b);
+    words[bit / 64] &= ~(std::uint64_t{1} << (bit % 64));
+    if ((value >> b) & 1u) {
+      words[bit / 64] |= std::uint64_t{1} << (bit % 64);
+    }
+  }
+  return BsCsrMatrix::from_parts(layout, original.value_kind(), original.rows(),
+                                 original.cols(), original.source_nnz(),
+                                 original.stored_entries(), std::move(words),
+                                 original.stats());
+}
+
+std::uint32_t read_ptr_field(const BsCsrMatrix& matrix, std::size_t packet,
+                             int field) {
+  util::BitReader reader(matrix.words());
+  const std::size_t base_bit =
+      packet * static_cast<std::size_t>(matrix.layout().packet_bits) + 1 +
+      static_cast<std::size_t>(field) * matrix.layout().ptr_bits;
+  return static_cast<std::uint32_t>(
+      reader.read(base_bit, matrix.layout().ptr_bits));
+}
+
+TEST(StreamRobustness, NonMonotonePtrDetected) {
+  const BsCsrMatrix original = encoded_fixture();
+  // Make the second boundary smaller than the first: malformed.
+  const std::uint32_t first = read_ptr_field(original, 0, 0);
+  ASSERT_GT(first, 1u);  // need room below it
+  const BsCsrMatrix corrupt = with_ptr_field(original, 0, 1, first - 1);
+  PacketCursor cursor(corrupt);
+  EXPECT_THROW((void)cursor.next(), std::runtime_error);
+}
+
+TEST(StreamRobustness, BoundaryAfterPaddingDetected) {
+  const BsCsrMatrix original = encoded_fixture();
+  const PacketLayout& layout = original.layout();
+  // Write a zero into an early ptr slot while later slots are
+  // non-zero: padding must be terminal.
+  const std::uint32_t second = read_ptr_field(original, 0, 1);
+  ASSERT_GT(second, 0u);  // the fixture has 2+ rows per packet
+  const BsCsrMatrix corrupt = with_ptr_field(original, 0, 0, 0);
+  PacketCursor cursor(corrupt);
+  EXPECT_THROW((void)cursor.next(), std::runtime_error);
+  (void)layout;
+}
+
+TEST(StreamRobustness, KernelRejectsRowCountMismatch) {
+  const BsCsrMatrix original = encoded_fixture();
+  // Inject an extra boundary into a zero (padding or value) slot of
+  // the final packet so the stream "contains" one more row than the
+  // matrix declares.
+  const std::size_t last_packet =
+      static_cast<std::size_t>(original.num_packets()) - 1;
+  // Find the first zero ptr slot of the last packet.
+  int free_slot = -1;
+  for (int f = 0; f < original.layout().capacity; ++f) {
+    if (read_ptr_field(original, last_packet, f) == 0) {
+      free_slot = f;
+      break;
+    }
+  }
+  ASSERT_GE(free_slot, 1);
+  const std::uint32_t previous =
+      read_ptr_field(original, last_packet, free_slot - 1);
+  ASSERT_LT(previous, static_cast<std::uint32_t>(original.layout().capacity));
+  const BsCsrMatrix corrupt =
+      with_ptr_field(original, last_packet, free_slot, previous + 1);
+
+  const std::vector<float> x(original.cols(), 0.1f);
+  EXPECT_THROW((void)run_topk_spmv(corrupt, x, 8, 8), std::runtime_error);
+  EXPECT_THROW((void)decode_bscsr(corrupt), std::runtime_error);
+}
+
+TEST(StreamRobustness, TruncatedWordBufferRejectedAtConstruction) {
+  const BsCsrMatrix original = encoded_fixture();
+  std::vector<std::uint64_t> words = original.words();
+  words.pop_back();
+  EXPECT_THROW((void)BsCsrMatrix::from_parts(
+                   original.layout(), original.value_kind(), original.rows(),
+                   original.cols(), original.source_nnz(),
+                   original.stored_entries(), std::move(words),
+                   original.stats()),
+               std::invalid_argument);
+}
+
+/// Randomised fuzz: random shapes, densities, value widths and packet
+/// sizes; encode -> kernel must equal the bit-exact oracle every time.
+TEST(StreamFuzz, RandomConfigurationsMatchOracle) {
+  util::Xoshiro256 rng(2026);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto rows = static_cast<std::uint32_t>(2 + rng.bounded(300));
+    const auto cols = static_cast<std::uint32_t>(2 + rng.bounded(2048));
+    const double mean_nnz =
+        1.0 + rng.uniform() * std::min<double>(cols - 1, 30.0);
+    const int val_bits = 4 + static_cast<int>(rng.bounded(29));  // 4..32
+    const int packet_bits = 64 * static_cast<int>(2 + rng.bounded(15));
+    const int k = 1 + static_cast<int>(rng.bounded(16));
+
+    sparse::GeneratorConfig config;
+    config.rows = rows;
+    config.cols = cols;
+    config.mean_nnz_per_row = mean_nnz;
+    config.distribution = (trial % 2 == 0) ? sparse::RowDistribution::kUniform
+                                           : sparse::RowDistribution::kGamma;
+    config.seed = 5000 + static_cast<std::uint64_t>(trial);
+    const sparse::Csr matrix = sparse::generate_matrix(config);
+
+    PacketLayout layout;
+    try {
+      layout = PacketLayout::solve(cols, val_bits, packet_bits);
+    } catch (const std::invalid_argument&) {
+      continue;  // infeasible tiny packet; not this test's subject
+    }
+    const auto encoded = encode_bscsr(matrix, layout, ValueKind::kFixed);
+    const auto x = sparse::generate_dense_vector(cols, rng);
+    const KernelResult result =
+        run_topk_spmv(encoded, x, k, layout.capacity);
+    const auto scores =
+        test::reference_scores(matrix, x, ValueKind::kFixed, val_bits);
+    test::expect_exact_topk(result.topk, scores, k);
+    ASSERT_EQ(result.stats.rows_emitted, matrix.rows())
+        << "trial " << trial << " rows=" << rows << " cols=" << cols
+        << " V=" << val_bits << " packet=" << packet_bits;
+  }
+}
+
+/// Fuzz the encoder's r-enforcement: with max_rows_per_packet == r the
+/// kernel must never drop a row, whatever the shape.
+TEST(StreamFuzz, EnforcedEncoderNeverDrops) {
+  util::Xoshiro256 rng(2027);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto rows = static_cast<std::uint32_t>(2 + rng.bounded(200));
+    const auto cols = static_cast<std::uint32_t>(8 + rng.bounded(256));
+    const int r = 1 + static_cast<int>(rng.bounded(6));
+
+    sparse::GeneratorConfig config;
+    config.rows = rows;
+    config.cols = cols;
+    config.mean_nnz_per_row = 1.0 + rng.uniform() * 4.0;  // adversarial
+    config.seed = 6000 + static_cast<std::uint64_t>(trial);
+    const sparse::Csr matrix = sparse::generate_matrix(config);
+
+    const PacketLayout layout = PacketLayout::solve(cols, 20);
+    EncodeOptions options;
+    options.max_rows_per_packet = r;
+    const auto encoded =
+        encode_bscsr(matrix, layout, ValueKind::kFixed, options);
+    EXPECT_LE(encoded.stats().max_rows_in_packet,
+              static_cast<std::uint64_t>(r));
+
+    const auto x = sparse::generate_dense_vector(cols, rng);
+    const KernelResult result = run_topk_spmv(encoded, x, 8, r);
+    EXPECT_EQ(result.stats.rows_dropped, 0u) << "trial " << trial;
+    const auto scores = test::reference_scores(matrix, x, ValueKind::kFixed, 20);
+    test::expect_exact_topk(result.topk, scores, 8);
+  }
+}
+
+}  // namespace
+}  // namespace topk::core

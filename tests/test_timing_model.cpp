@@ -1,0 +1,172 @@
+#include "hbmsim/timing_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "test_helpers.hpp"
+
+namespace topk::hbmsim {
+namespace {
+
+using core::DesignConfig;
+using core::PacketLayout;
+
+TEST(HbmConfig, DefaultsMatchPaperFigures) {
+  const HbmConfig hbm = alveo_u280();
+  EXPECT_EQ(hbm.channels, 32);
+  // 460 GB/s aggregate peak over 32 channels.
+  EXPECT_NEAR(hbm.peak_channel_gbps * hbm.channels, 460.0, 0.5);
+  // Figure 6a: "32 cores, 422.4 GB/s" streaming ceiling.
+  EXPECT_NEAR(hbm.streaming_bytes_per_s(32), 422.4e9, 1e6);
+  EXPECT_NEAR(hbm.streaming_bytes_per_s(1), 13.2e9, 1e6);
+  EXPECT_NO_THROW(validate(hbm));
+}
+
+TEST(HbmConfig, ValidateRejectsBadValues) {
+  HbmConfig hbm;
+  hbm.channels = 0;
+  EXPECT_THROW(validate(hbm), std::invalid_argument);
+  hbm = {};
+  hbm.measured_efficiency = 0.0;
+  EXPECT_THROW(validate(hbm), std::invalid_argument);
+  hbm = {};
+  hbm.measured_efficiency = 1.5;
+  EXPECT_THROW(validate(hbm), std::invalid_argument);
+  hbm = {};
+  hbm.streaming_channel_gbps = 20.0;  // above peak
+  EXPECT_THROW(validate(hbm), std::invalid_argument);
+  hbm = {};
+  hbm.capacity_bytes = 0;
+  EXPECT_THROW(validate(hbm), std::invalid_argument);
+}
+
+TEST(DesignClock, TableIIAnchors) {
+  EXPECT_NEAR(design_clock_hz(DesignConfig::fixed(20)), 253e6, 1e3);
+  EXPECT_NEAR(design_clock_hz(DesignConfig::fixed(25)), 240e6, 1e3);
+  EXPECT_NEAR(design_clock_hz(DesignConfig::fixed(32)), 249e6, 1e3);
+  EXPECT_NEAR(design_clock_hz(DesignConfig::float32()), 204e6, 1e3);
+}
+
+TEST(DesignClock, InterpolatesBetweenAnchorsAndDeratesForLargeK) {
+  const double clock22 = design_clock_hz(DesignConfig::fixed(22));
+  EXPECT_LT(clock22, 253e6);
+  EXPECT_GT(clock22, 240e6);
+
+  DesignConfig big_k = DesignConfig::fixed(20);
+  big_k.k = 16;
+  EXPECT_LT(design_clock_hz(big_k), 253e6);
+  DesignConfig small_k = DesignConfig::fixed(20);
+  small_k.k = 4;  // below 8: no bonus, same as anchor
+  EXPECT_NEAR(design_clock_hz(small_k), 253e6, 1e3);
+}
+
+TEST(InitiationInterval, FixedOneFloatThree) {
+  EXPECT_DOUBLE_EQ(initiation_interval(DesignConfig::fixed(20)), 1.0);
+  EXPECT_DOUBLE_EQ(initiation_interval(DesignConfig::float32()), 3.0);
+}
+
+TEST(TimingModel, ReproducesPaperHeadlineThroughput) {
+  // Paper section V-A: the 32-core design finds the Top-K of a matrix
+  // with 1e7 rows and 2e8 non-zeros in under 4 ms, sustaining "over 57
+  // billion non-zeros per second".
+  const DesignConfig design = DesignConfig::fixed(20);
+  const PacketLayout layout = PacketLayout::solve(1024, 20);
+  ASSERT_EQ(layout.capacity, 15);
+  const std::uint64_t nnz = 200'000'000;
+  const std::uint64_t packets_per_core =
+      nnz / (32ULL * static_cast<std::uint64_t>(layout.capacity)) + 1;
+
+  const TimingEstimate estimate =
+      estimate_query_time(design, layout, packets_per_core, nnz);
+  EXPECT_LT(estimate.seconds, 4e-3);
+  EXPECT_GT(estimate.nnz_per_second, 50e9);
+  EXPECT_LT(estimate.nnz_per_second, 65e9);
+  EXPECT_TRUE(estimate.bandwidth_bound);  // fixed point saturates the channel
+}
+
+TEST(TimingModel, DesignOrderingMatchesFigure5) {
+  // Figure 5 (N = 1e7): 20b > 25b > 32b fixed > float32.
+  const std::uint64_t nnz = 100'000'000;
+  const auto latency = [&](const DesignConfig& design) {
+    const PacketLayout layout = PacketLayout::solve(1024, design.value_bits);
+    const std::uint64_t packets =
+        nnz / (32ULL * static_cast<std::uint64_t>(layout.capacity)) + 1;
+    return estimate_query_time(design, layout, packets, nnz).seconds;
+  };
+  const double t20 = latency(DesignConfig::fixed(20));
+  const double t25 = latency(DesignConfig::fixed(25));
+  const double t32 = latency(DesignConfig::fixed(32));
+  const double tf32 = latency(DesignConfig::float32());
+  EXPECT_LT(t20, t25);
+  EXPECT_LT(t25, t32);
+  EXPECT_LT(t32, tf32);
+
+  // The float design is ~2.4x slower than 20b (Figure 5: 106x vs 43x
+  // speedups -> ratio ~2.47).
+  EXPECT_NEAR(tf32 / t20, 2.45, 0.35);
+}
+
+TEST(TimingModel, FloatDesignIsComputeBound) {
+  const DesignConfig design = DesignConfig::float32();
+  const PacketLayout layout = PacketLayout::solve(1024, 32);
+  const TimingEstimate estimate =
+      estimate_query_time(design, layout, 1'000'000, 10'000'000);
+  EXPECT_FALSE(estimate.bandwidth_bound);
+  EXPECT_NEAR(estimate.packets_per_second_per_core, 204e6 / 3.0, 1e3);
+}
+
+TEST(TimingModel, ScalesLinearlyWithPackets) {
+  const DesignConfig design = DesignConfig::fixed(20);
+  const PacketLayout layout = PacketLayout::solve(1024, 20);
+  TimingOptions options;
+  options.fixed_overhead_s = 0.0;
+  const double t1 =
+      estimate_query_time(design, layout, 1'000'000, 1, alveo_u280(), options)
+          .seconds;
+  const double t2 =
+      estimate_query_time(design, layout, 2'000'000, 1, alveo_u280(), options)
+          .seconds;
+  EXPECT_NEAR(t2 / t1, 2.0, 1e-9);
+}
+
+TEST(TimingModel, EffectiveBandwidthScalesWithCores) {
+  // Figure 6's key observation: performance scales linearly with the
+  // number of HBM channels used.
+  const PacketLayout layout = PacketLayout::solve(1024, 20);
+  double previous = 0.0;
+  for (const int cores : {1, 8, 16, 32}) {
+    const DesignConfig design = DesignConfig::fixed(20, cores);
+    const TimingEstimate estimate =
+        estimate_query_time(design, layout, 1'000'000, 15'000'000);
+    EXPECT_GT(estimate.effective_bandwidth_bytes_per_s, previous);
+    EXPECT_NEAR(estimate.effective_bandwidth_bytes_per_s,
+                cores * alveo_u280().effective_channel_bytes_per_s(), 1e6);
+    previous = estimate.effective_bandwidth_bytes_per_s;
+  }
+}
+
+TEST(TimingModel, ValidatesArguments) {
+  const PacketLayout layout = PacketLayout::solve(1024, 20);
+  const DesignConfig too_many_cores = DesignConfig::fixed(20, 64);
+  EXPECT_THROW(
+      (void)estimate_query_time(too_many_cores, layout, 1000, 1000),
+      std::invalid_argument);
+  TimingOptions bad;
+  bad.fixed_overhead_s = -1.0;
+  EXPECT_THROW((void)estimate_query_time(DesignConfig::fixed(20), layout, 1000,
+                                         1000, alveo_u280(), bad),
+               std::invalid_argument);
+}
+
+TEST(TimingModel, AcceleratorOverloadUsesItsGeometry) {
+  const sparse::Csr matrix = test::small_random_matrix(320, 1024, 20.0, 15);
+  const core::TopKAccelerator accelerator(matrix,
+                                          DesignConfig::fixed(20, 4));
+  const TimingEstimate estimate = estimate_query_time(accelerator, matrix.nnz());
+  EXPECT_GT(estimate.seconds, 0.0);
+  EXPECT_GT(estimate.nnz_per_second, 0.0);
+}
+
+}  // namespace
+}  // namespace topk::hbmsim

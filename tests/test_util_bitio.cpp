@@ -1,0 +1,128 @@
+#include "util/bitio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace topk::util {
+namespace {
+
+TEST(BitWriter, AppendsSingleBits) {
+  BitWriter writer;
+  writer.append(1, 1);
+  writer.append(0, 1);
+  writer.append(1, 1);
+  EXPECT_EQ(writer.bit_size(), 3u);
+  EXPECT_EQ(writer.words()[0] & 0x7u, 0b101u);
+}
+
+TEST(BitWriter, AppendsAcrossWordBoundary) {
+  BitWriter writer;
+  writer.append(0, 60);
+  writer.append(0xFF, 8);  // spans bits 60..67
+  BitReader reader(writer.words(), writer.bit_size());
+  EXPECT_EQ(reader.read(60, 8), 0xFFu);
+  EXPECT_EQ(reader.read(0, 60), 0u);
+}
+
+TEST(BitWriter, Appends64BitValues) {
+  BitWriter writer;
+  writer.append(0xDEADBEEFCAFEF00DULL, 64);
+  writer.append(0x123456789ABCDEFULL, 64);
+  BitReader reader(writer.words(), writer.bit_size());
+  EXPECT_EQ(reader.read(0, 64), 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(reader.read(64, 64), 0x123456789ABCDEFULL);
+}
+
+TEST(BitWriter, RejectsOversizedValue) {
+  BitWriter writer;
+  EXPECT_THROW(writer.append(0b100, 2), std::invalid_argument);
+  EXPECT_THROW(writer.append(1, 0), std::invalid_argument);
+  EXPECT_THROW(writer.append(1, 65), std::invalid_argument);
+  EXPECT_THROW(writer.append(1, -1), std::invalid_argument);
+}
+
+TEST(BitWriter, ZeroBitsOfZeroIsNoop) {
+  BitWriter writer;
+  writer.append(0, 0);
+  EXPECT_EQ(writer.bit_size(), 0u);
+}
+
+TEST(BitWriter, AlignPadsWithZeros) {
+  BitWriter writer;
+  writer.append(0x3, 2);
+  writer.align_to(512);
+  EXPECT_EQ(writer.bit_size(), 512u);
+  writer.append(1, 1);
+  writer.align_to(512);
+  EXPECT_EQ(writer.bit_size(), 1024u);
+  BitReader reader(writer.words(), writer.bit_size());
+  EXPECT_EQ(reader.read(2, 64), 0u);
+  EXPECT_EQ(reader.read(512, 1), 1u);
+}
+
+TEST(BitWriter, AlignOnBoundaryIsNoop) {
+  BitWriter writer;
+  writer.append(0xFFFF, 16);
+  writer.align_to(16);
+  EXPECT_EQ(writer.bit_size(), 16u);
+  EXPECT_THROW(writer.align_to(0), std::invalid_argument);
+}
+
+TEST(BitWriter, TakeWordsTrimsAndResets) {
+  BitWriter writer;
+  writer.append(0x1, 1);
+  const std::vector<std::uint64_t> words = writer.take_words();
+  EXPECT_EQ(words.size(), 1u);
+  EXPECT_EQ(writer.bit_size(), 0u);
+  EXPECT_TRUE(writer.words().empty());
+}
+
+TEST(BitReader, BoundsChecked) {
+  BitWriter writer;
+  writer.append(0xABCD, 16);
+  BitReader reader(writer.words(), writer.bit_size());
+  EXPECT_EQ(reader.bit_size(), 16u);
+  EXPECT_THROW((void)reader.read(9, 8), std::out_of_range);
+  EXPECT_THROW((void)reader.read(0, 65), std::invalid_argument);
+  EXPECT_EQ(reader.read(0, 0), 0u);
+}
+
+TEST(BitRoundTrip, RandomFieldsSurviveRoundTrip) {
+  Xoshiro256 rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitWriter writer;
+    std::vector<std::pair<std::uint64_t, int>> fields;
+    for (int i = 0; i < 200; ++i) {
+      const int bits = 1 + static_cast<int>(rng.bounded(64));
+      const std::uint64_t value =
+          bits == 64 ? rng() : rng() & ((std::uint64_t{1} << bits) - 1);
+      fields.emplace_back(value, bits);
+      writer.append(value, bits);
+    }
+    BitReader reader(writer.words(), writer.bit_size());
+    std::size_t pos = 0;
+    for (const auto& [value, bits] : fields) {
+      EXPECT_EQ(reader.read(pos, bits), value);
+      pos += static_cast<std::size_t>(bits);
+    }
+  }
+}
+
+TEST(BitsForValue, MatchesCeilLog2) {
+  EXPECT_EQ(bits_for_value(0), 1);
+  EXPECT_EQ(bits_for_value(1), 1);
+  EXPECT_EQ(bits_for_value(2), 2);
+  EXPECT_EQ(bits_for_value(3), 2);
+  EXPECT_EQ(bits_for_value(4), 3);
+  EXPECT_EQ(bits_for_value(15), 4);  // the paper's B = 15 ptr width
+  EXPECT_EQ(bits_for_value(16), 5);
+  EXPECT_EQ(bits_for_value(1023), 10);  // idx bits for M = 1024
+  EXPECT_EQ(bits_for_value(0xFFFFFFFFFFFFFFFFULL), 64);
+}
+
+}  // namespace
+}  // namespace topk::util

@@ -1,0 +1,70 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace topk::util {
+namespace {
+
+TEST(TablePrinter, RendersAlignedColumns) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "12345"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 12345 |"), std::string::npos);
+}
+
+TEST(TablePrinter, SeparatorRows) {
+  TablePrinter table({"a"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"2"});
+  const std::string out = table.to_string();
+  // header top + header bottom + mid separator + final = 4 rules
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find("+--"); pos != std::string::npos;
+       pos = out.find("+--", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TablePrinter, RejectsMismatchedRow) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), std::invalid_argument);
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinter, PrintWritesToStream) {
+  TablePrinter table({"x"});
+  table.add_row({"y"});
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_EQ(os.str(), table.to_string());
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(FormatDouble, RespectsDigits) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-1.005, 1), "-1.0");
+}
+
+TEST(FormatSpeedup, MatchesPaperStyle) {
+  EXPECT_EQ(format_speedup(106.4), "106x");
+  EXPECT_EQ(format_speedup(2.04), "2.0x");
+  EXPECT_EQ(format_speedup(9.96), "10x");
+}
+
+TEST(FormatBytes, PicksUnits) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1.7e9), "1.70 GB");
+  EXPECT_EQ(format_bytes(412e6), "412 MB");
+}
+
+}  // namespace
+}  // namespace topk::util
