@@ -43,7 +43,12 @@ inline BenchArgs parse_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     const auto int_value = [&](std::string_view prefix) {
-      return std::stoll(std::string(arg.substr(prefix.size())));
+      try {
+        return std::stoll(std::string(arg.substr(prefix.size())));
+      } catch (const std::exception&) {
+        std::cerr << "invalid integer in argument: " << arg << "\n";
+        std::exit(2);
+      }
     };
     if (arg == "--full") {
       args.full = true;

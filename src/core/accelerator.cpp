@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "serve/thread_pool.hpp"
+
 namespace topk::core {
 
 TopKAccelerator::TopKAccelerator(const sparse::Csr& matrix,
@@ -73,27 +75,22 @@ QueryResult TopKAccelerator::query(std::span<const float> x, int top_k,
   }
   const int threads = resolve_threads(options.threads, streams_.size());
 
+  // Quantise the query once and stream every core with the same raws —
+  // the per-query amortisation the hardware gets for free from its
+  // single URAM copy of x.
+  std::vector<std::uint32_t> raw_storage;
+  const QuantizedQuery quantized =
+      quantize_query(x, config_.value_kind, raw_storage);
+
+  // parallel_for runs inline on the calling thread when threads <= 1,
+  // so no separate sequential branch is needed.
   std::vector<KernelResult> per_core(streams_.size());
-  const auto run_range = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      per_core[i] =
-          run_topk_spmv(streams_[i], x, config_.k, config_.rows_per_packet);
-    }
-  };
-  if (threads <= 1) {
-    run_range(0, streams_.size());
-  } else {
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) {
-      const std::size_t begin = streams_.size() * t / threads;
-      const std::size_t end = streams_.size() * (t + 1) / threads;
-      workers.emplace_back([&, begin, end] { run_range(begin, end); });
-    }
-    for (std::thread& worker : workers) {
-      worker.join();
-    }
-  }
+  serve::ThreadPool& pool = serve::shared_pool();
+  pool.ensure_workers(threads - 1);
+  pool.parallel_for(streams_.size(), threads, [&](std::size_t i) {
+    per_core[i] = run_topk_spmv(streams_[i], quantized, config_.k,
+                                config_.rows_per_packet);
+  });
 
   ExecutionStats stats;
   std::vector<std::vector<TopKEntry>> candidates_per_core;
@@ -104,6 +101,8 @@ QueryResult TopKAccelerator::query(std::span<const float> x, int top_k,
         std::max(stats.max_core_packets, result.stats.packets);
     stats.rows_dropped += result.stats.rows_dropped;
     stats.rows_emitted += result.stats.rows_emitted;
+    stats.max_rows_in_packet =
+        std::max(stats.max_rows_in_packet, result.stats.max_rows_in_packet);
     candidates_per_core.push_back(std::move(result.topk));
   }
 
@@ -111,6 +110,20 @@ QueryResult TopKAccelerator::query(std::span<const float> x, int top_k,
   out.entries = merge_partition_results(candidates_per_core, partitions_, top_k);
   out.stats = stats;
   return out;
+}
+
+void TopKAccelerator::validate_batch(
+    const std::vector<std::vector<float>>& queries, int top_k) const {
+  for (const auto& x : queries) {
+    if (x.size() != cols_) {
+      throw std::invalid_argument(
+          "TopKAccelerator::validate_batch: vector size mismatch");
+    }
+  }
+  if (top_k <= 0 ||
+      top_k > static_cast<std::int64_t>(config_.k) * config_.cores) {
+    throw std::invalid_argument("TopKAccelerator::validate_batch: invalid top_k");
+  }
 }
 
 std::vector<QueryResult> TopKAccelerator::query_batch(
@@ -121,38 +134,16 @@ std::vector<QueryResult> TopKAccelerator::query_batch(
     return results;
   }
   const int threads = resolve_threads(options.threads, queries.size());
+  validate_batch(queries, top_k);  // so worker threads never throw
 
-  // Pre-validate so worker threads never throw.
-  for (const auto& x : queries) {
-    if (x.size() != cols_) {
-      throw std::invalid_argument(
-          "TopKAccelerator::query_batch: vector size mismatch");
-    }
-  }
-  const auto run_range = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      results[i] = query(queries[i], top_k);
-    }
-  };
-  // Validate top_k once up front (query() would throw inside workers).
-  if (top_k <= 0 ||
-      top_k > static_cast<std::int64_t>(config_.k) * config_.cores) {
-    throw std::invalid_argument("TopKAccelerator::query_batch: invalid top_k");
-  }
-  if (threads <= 1) {
-    run_range(0, queries.size());
-  } else {
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) {
-      const std::size_t begin = queries.size() * t / threads;
-      const std::size_t end = queries.size() * (t + 1) / threads;
-      workers.emplace_back([&, begin, end] { run_range(begin, end); });
-    }
-    for (std::thread& worker : workers) {
-      worker.join();
-    }
-  }
+  // Dynamic per-query scheduling on the shared pool: a worker claims
+  // the next unstarted query as soon as it finishes one, so one slow
+  // query no longer stalls a whole static block of the batch.
+  serve::ThreadPool& pool = serve::shared_pool();
+  pool.ensure_workers(threads - 1);
+  pool.parallel_for(queries.size(), threads, [&](std::size_t i) {
+    results[i] = query(queries[i], top_k);
+  });
   return results;
 }
 

@@ -31,6 +31,10 @@ struct ExecutionStats {
   std::uint64_t max_core_packets = 0;
   std::uint64_t rows_dropped = 0;
   std::uint64_t rows_emitted = 0;
+  /// Most rows finished within a single packet on any core — compare
+  /// against the design's r budget (rows_per_packet) to see how close
+  /// the stream comes to dropping rows.
+  std::uint64_t max_rows_in_packet = 0;
 };
 
 /// Result of one query.
@@ -41,10 +45,11 @@ struct QueryResult {
 
 /// Host-side execution options.  On the FPGA the c cores run
 /// concurrently by construction; the software simulator reproduces
-/// that with worker threads over the per-core streams.
+/// that on the shared persistent pool (serve::shared_pool()) with
+/// dynamic work claiming over the per-core streams.
 struct QueryOptions {
-  /// Worker threads for one query's core streams (0 = hardware
-  /// concurrency, 1 = sequential).
+  /// Maximum concurrency for one query's core streams (0 = hardware
+  /// concurrency, 1 = sequential on the calling thread).
   int threads = 1;
 };
 
@@ -72,6 +77,13 @@ class TopKAccelerator {
   [[nodiscard]] std::vector<QueryResult> query_batch(
       const std::vector<std::vector<float>>& queries, int top_k,
       const QueryOptions& options = {}) const;
+
+  /// Validates batch arguments without running anything: every vector
+  /// must have cols() elements and top_k must lie in (0, k * cores].
+  /// Throws std::invalid_argument otherwise.  Shared by query_batch()
+  /// and the serving layer so the bounds live in one place.
+  void validate_batch(const std::vector<std::vector<float>>& queries,
+                      int top_k) const;
 
   [[nodiscard]] const DesignConfig& config() const noexcept { return config_; }
   [[nodiscard]] const PacketLayout& layout() const noexcept { return layout_; }

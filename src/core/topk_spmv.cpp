@@ -239,9 +239,37 @@ class Float32Arith {
 
 }  // namespace
 
+QuantizedQuery quantize_query(std::span<const float> x, ValueKind kind,
+                              std::vector<std::uint32_t>& raw_storage) {
+  switch (kind) {
+    case ValueKind::kFloat32:
+      raw_storage.clear();
+      break;
+    case ValueKind::kSignedFixed:
+      raw_storage = quantize_vector_signed(x);
+      break;
+    case ValueKind::kFixed:
+      raw_storage = quantize_vector(x);
+      break;
+  }
+  return QuantizedQuery{x, raw_storage};
+}
+
 KernelResult run_topk_spmv(const BsCsrMatrix& matrix, std::span<const float> x,
                            int k, int rows_per_packet) {
   if (x.size() != matrix.cols()) {
+    throw std::invalid_argument("run_topk_spmv: vector size mismatch");
+  }
+  std::vector<std::uint32_t> raw_storage;
+  const QuantizedQuery query =
+      quantize_query(x, matrix.value_kind(), raw_storage);
+  return run_topk_spmv(matrix, query, k, rows_per_packet);
+}
+
+KernelResult run_topk_spmv(const BsCsrMatrix& matrix,
+                           const QuantizedQuery& query, int k,
+                           int rows_per_packet) {
+  if (query.x.size() != matrix.cols()) {
     throw std::invalid_argument("run_topk_spmv: vector size mismatch");
   }
   if (k <= 0) {
@@ -252,18 +280,26 @@ KernelResult run_topk_spmv(const BsCsrMatrix& matrix, std::span<const float> x,
   }
 
   if (matrix.value_kind() == ValueKind::kFloat32) {
-    return run_kernel(matrix, Float32Arith(x), k, rows_per_packet);
+    if (!query.raw.empty()) {
+      throw std::invalid_argument(
+          "run_topk_spmv: raw span given for a float32 stream");
+    }
+    return run_kernel(matrix, Float32Arith(query.x), k, rows_per_packet);
+  }
+  if (query.raw.size() != matrix.cols()) {
+    throw std::invalid_argument(
+        "run_topk_spmv: quantised raw size mismatch for fixed-point stream");
   }
   if (matrix.value_kind() == ValueKind::kSignedFixed) {
-    const std::vector<std::uint32_t> x_raw = quantize_vector_signed(x);
     const fixed::FixedFormat format = matrix.value_format();
     return run_kernel(
-        matrix, SignedFixedArith(x_raw, format.total_bits, format.frac_bits()),
-        k, rows_per_packet);
+        matrix,
+        SignedFixedArith(query.raw, format.total_bits, format.frac_bits()), k,
+        rows_per_packet);
   }
-  const std::vector<std::uint32_t> x_raw = quantize_vector(x);
   const int frac_bits = matrix.value_format().frac_bits();
-  return run_kernel(matrix, FixedArith(x_raw, frac_bits), k, rows_per_packet);
+  return run_kernel(matrix, FixedArith(query.raw, frac_bits), k,
+                    rows_per_packet);
 }
 
 }  // namespace topk::core

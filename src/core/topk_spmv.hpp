@@ -88,6 +88,33 @@ struct KernelResult {
                                          std::span<const float> x, int k,
                                          int rows_per_packet);
 
+/// A query vector that has already been through the URAM quantisation
+/// stage.  `raw` holds the Q1.31 (kFixed) or S.31 (kSignedFixed) raws
+/// and must be empty for kFloat32 streams, which read `x` directly.
+/// Both spans are views: the caller owns the storage.
+struct QuantizedQuery {
+  std::span<const float> x;
+  std::span<const std::uint32_t> raw;
+};
+
+/// Quantises `x` once for the given arithmetic — the per-query
+/// amortisation hook: a multi-core accelerator quantises the vector a
+/// single time and streams every core with the same raws, instead of
+/// re-deriving them per core.  `raw_storage` receives the raws (left
+/// empty for kFloat32) and must stay alive as long as the returned
+/// views are used.
+[[nodiscard]] QuantizedQuery quantize_query(
+    std::span<const float> x, ValueKind kind,
+    std::vector<std::uint32_t>& raw_storage);
+
+/// Kernel entry point over a pre-quantised query.  Bit-identical to
+/// the span-of-float overload (quantisation is element-wise and
+/// deterministic); throws std::invalid_argument if the raw span's
+/// presence or size does not match the stream's value kind.
+[[nodiscard]] KernelResult run_topk_spmv(const BsCsrMatrix& matrix,
+                                         const QuantizedQuery& query, int k,
+                                         int rows_per_packet);
+
 /// Quantises a dense query vector to the Q1.31 raws the URAM stage
 /// stores (section IV-A).  Exposed so callers can amortise the
 /// conversion across partitions.

@@ -1,0 +1,157 @@
+#include "serve/query_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "serve/thread_pool.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace topk::serve {
+
+namespace {
+
+int resolve_workers(int requested) {
+  if (requested < 0) {
+    throw std::invalid_argument("EngineConfig: negative worker count");
+  }
+  if (requested == 0) {
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    return hw > 0 ? hw : 1;
+  }
+  return requested;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const core::TopKAccelerator& accelerator,
+                         EngineConfig config)
+    : accelerator_(accelerator),
+      workers_(resolve_workers(config.workers)),
+      max_pending_(config.max_pending) {
+  if (max_pending_ == 0) {
+    throw std::invalid_argument("EngineConfig: max_pending must be positive");
+  }
+  // Grow the shared pool up front so the first request is not the one
+  // paying thread-creation cost.  At least one worker is kept even for
+  // workers = 1, so submit() is genuinely asynchronous (a zero-worker
+  // pool would run posted tasks inline on the submitting thread).
+  shared_pool().ensure_workers(std::max(workers_ - 1, 1));
+}
+
+QueryEngine::~QueryEngine() { drain(); }
+
+core::QueryResult QueryEngine::query(std::span<const float> x,
+                                     int top_k) const {
+  util::WallTimer timer;
+  core::QueryOptions options;
+  options.threads = workers_;
+  core::QueryResult result = accelerator_.query(x, top_k, options);
+  record_latency(timer.millis());
+  return result;
+}
+
+std::vector<core::QueryResult> QueryEngine::query_batch(
+    const std::vector<std::vector<float>>& queries, int top_k) const {
+  // The accelerator's batch path already claims whole queries
+  // dynamically from the shared pool; the engine adds the worker
+  // budget and per-query latency capture.
+  std::vector<core::QueryResult> results(queries.size());
+  if (queries.empty()) {
+    return results;
+  }
+  accelerator_.validate_batch(queries, top_k);
+  ThreadPool& pool = shared_pool();
+  pool.ensure_workers(workers_ - 1);
+  pool.parallel_for(queries.size(), workers_, [&](std::size_t i) {
+    util::WallTimer timer;
+    results[i] = accelerator_.query(queries[i], top_k);
+    record_latency(timer.millis());
+  });
+  return results;
+}
+
+std::future<core::QueryResult> QueryEngine::submit(std::vector<float> x,
+                                                   int top_k) {
+  {
+    // Bounded admission: block while max_pending requests are in
+    // flight.  This is the serving tier's backpressure valve — callers
+    // slow down instead of the queue growing without bound.
+    std::unique_lock<std::mutex> lock(pending_mutex_);
+    pending_cv_.wait(lock, [this] { return pending_ < max_pending_; });
+    ++pending_;
+  }
+
+  auto promise = std::make_shared<std::promise<core::QueryResult>>();
+  std::future<core::QueryResult> future = promise->get_future();
+  shared_pool().post(
+      [this, promise, x = std::move(x), top_k]() mutable {
+        try {
+          util::WallTimer timer;
+          // Same core-stream fan-out as query(): at low load the
+          // helpers start immediately (latency), at high load they
+          // queue behind other submitted requests and the claiming
+          // thread runs the streams itself (throughput).
+          core::QueryOptions options;
+          options.threads = workers_;
+          core::QueryResult result = accelerator_.query(x, top_k, options);
+          record_latency(timer.millis());
+          promise->set_value(std::move(result));
+        } catch (...) {
+          promise->set_exception(std::current_exception());
+        }
+        {
+          // Notify under the lock: once a drain()ing destructor sees
+          // pending_ == 0 it may free the engine, so no member may be
+          // touched after this block releases the mutex.
+          std::lock_guard<std::mutex> lock(pending_mutex_);
+          --pending_;
+          pending_cv_.notify_all();
+        }
+      });
+  return future;
+}
+
+std::size_t QueryEngine::pending() const {
+  std::lock_guard<std::mutex> lock(pending_mutex_);
+  return pending_;
+}
+
+void QueryEngine::drain() {
+  std::unique_lock<std::mutex> lock(pending_mutex_);
+  pending_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void QueryEngine::record_latency(double millis) const {
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  lifetime_latency_.add(millis);
+  if (latency_window_.size() < kLatencyWindow) {
+    latency_window_.push_back(millis);
+  } else {
+    latency_window_[latency_window_next_] = millis;
+    latency_window_next_ = (latency_window_next_ + 1) % kLatencyWindow;
+  }
+}
+
+LatencySummary QueryEngine::latency_summary() const {
+  LatencySummary summary;
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    summary.count = lifetime_latency_.count();
+    summary.mean_ms = lifetime_latency_.mean();
+    summary.max_ms = lifetime_latency_.max();
+    window = latency_window_;
+  }
+  if (window.empty()) {
+    return summary;
+  }
+  summary.p50_ms = util::quantile(window, 0.5);
+  summary.p95_ms = util::quantile(window, 0.95);
+  summary.p99_ms = util::quantile(window, 0.99);
+  return summary;
+}
+
+}  // namespace topk::serve

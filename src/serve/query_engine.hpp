@@ -1,0 +1,134 @@
+// Serving facade over a TopKAccelerator: the host-side component a
+// real-time retrieval service talks to.
+//
+// What it adds over calling the accelerator directly:
+//   * a persistent worker budget (no per-call thread spawning — all
+//     execution runs on serve::shared_pool() with dynamic claiming);
+//   * synchronous query_batch() with per-query dynamic scheduling;
+//   * an async submit() -> std::future path with a bounded request
+//     queue (blocking backpressure, the standard admission control of
+//     a serving tier);
+//   * latency instrumentation: every query served through the engine
+//     is timed, and latency_summary() reports count/mean/p50/p95/p99
+//     via util::RunningStats and util::quantile.
+//
+// The wrapped accelerator quantises each query vector exactly once and
+// reuses the raws across all core streams (core::quantize_query), so
+// every path through the engine gets the amortised conversion.
+//
+// Thread-safety: all public methods may be called concurrently.  The
+// destructor blocks until all pending async requests have completed,
+// and futures stay valid past the engine's lifetime (the shared state
+// is owned by the request).  The referenced accelerator must outlive
+// the engine.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <future>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "util/stats.hpp"
+
+namespace topk::serve {
+
+/// Configuration of one engine instance.
+struct EngineConfig {
+  /// Maximum concurrency per operation (0 = hardware concurrency).
+  /// query() fans its core streams across up to this many threads;
+  /// query_batch() fans whole queries instead.
+  int workers = 0;
+  /// Bound on queued-but-unfinished async requests; submit() blocks
+  /// (backpressure) once this many are in flight.
+  std::size_t max_pending = 1024;
+};
+
+/// Latency digest in milliseconds.  count/mean/max cover the engine's
+/// whole lifetime; the percentiles cover the most recent
+/// QueryEngine::kLatencyWindow samples (a bounded ring buffer, so a
+/// long-lived serving process never accumulates unbounded history).
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+class QueryEngine {
+ public:
+  /// Throws std::invalid_argument for negative workers or a zero
+  /// max_pending.
+  explicit QueryEngine(const core::TopKAccelerator& accelerator,
+                       EngineConfig config = {});
+
+  /// Blocks until all pending async requests have finished.
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Synchronous single query: core streams fan out across the worker
+  /// budget.  Bit-identical to accelerator.query(x, top_k) at any
+  /// worker count.  Throws like TopKAccelerator::query.
+  [[nodiscard]] core::QueryResult query(std::span<const float> x,
+                                        int top_k) const;
+
+  /// Synchronous batch: whole queries are claimed dynamically by up to
+  /// `workers` threads (each query runs its core streams sequentially,
+  /// maximising throughput).  Results align with input order and are
+  /// bit-identical to per-query query() calls.
+  [[nodiscard]] std::vector<core::QueryResult> query_batch(
+      const std::vector<std::vector<float>>& queries, int top_k) const;
+
+  /// Async path: enqueues the query and returns immediately with a
+  /// future (unless max_pending requests are already in flight, in
+  /// which case it blocks until a slot frees — bounded-queue
+  /// backpressure).  The request executes with the same core-stream
+  /// fan-out as query(), so a lone request on an idle engine gets
+  /// full parallelism while concurrent requests degrade gracefully
+  /// to one thread each.  The vector is moved/copied into the
+  /// request, so the caller may free its buffer at once.  Validation
+  /// errors surface through the future as std::invalid_argument.
+  [[nodiscard]] std::future<core::QueryResult> submit(std::vector<float> x,
+                                                      int top_k);
+
+  /// Requests admitted via submit() whose futures are not yet ready.
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Blocks until no async request is in flight.
+  void drain();
+
+  /// Digest over every query served so far (sync and async).
+  [[nodiscard]] LatencySummary latency_summary() const;
+
+  [[nodiscard]] const core::TopKAccelerator& accelerator() const noexcept {
+    return accelerator_;
+  }
+  [[nodiscard]] int workers() const noexcept { return workers_; }
+
+  /// Ring-buffer capacity backing the percentile estimates.
+  static constexpr std::size_t kLatencyWindow = 4096;
+
+ private:
+  void record_latency(double millis) const;
+
+  const core::TopKAccelerator& accelerator_;
+  int workers_;
+  std::size_t max_pending_;
+
+  mutable std::mutex pending_mutex_;
+  std::condition_variable pending_cv_;
+  std::size_t pending_ = 0;
+
+  mutable std::mutex latency_mutex_;
+  mutable util::RunningStats lifetime_latency_;
+  mutable std::vector<double> latency_window_;
+  mutable std::size_t latency_window_next_ = 0;
+};
+
+}  // namespace topk::serve

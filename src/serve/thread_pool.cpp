@@ -1,0 +1,163 @@
+#include "serve/thread_pool.hpp"
+
+#include <atomic>
+#include <algorithm>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+
+namespace topk::serve {
+
+namespace {
+
+/// Shared state of one parallel_for call.  Helpers posted to the task
+/// queue hold a shared_ptr, so the job outlives the caller's stack
+/// frame even if a helper wakes up after the loop already finished.
+struct ParallelJob {
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+
+  std::mutex mutex;
+  std::condition_variable done;
+  std::exception_ptr first_exception;
+
+  /// Claims items until the counter runs out.  Exceptions do not cancel
+  /// remaining items (every index runs exactly once regardless); only
+  /// the first one is kept for the caller to rethrow.
+  void run() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!first_exception) {
+          first_exception = std::current_exception();
+        }
+      }
+      if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(mutex);
+        done.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int workers) {
+  if (workers < 0) {
+    throw std::invalid_argument("ThreadPool: negative worker count");
+  }
+  ensure_workers(workers);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& thread : threads_) {
+    thread.join();
+  }
+}
+
+int ThreadPool::workers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(threads_.size());
+}
+
+void ThreadPool::ensure_workers(int workers) {
+  const int target = std::min(workers, kMaxWorkers);
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (static_cast<int>(threads_.size()) < target) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        return;  // stopping_ and drained
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!stopping_ && !threads_.empty()) {
+      tasks_.push_back(std::move(task));
+      work_available_.notify_one();
+      return;
+    }
+  }
+  task();  // no workers (or shutting down): run inline
+}
+
+void ThreadPool::parallel_for(std::size_t n, int concurrency,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  const int helper_budget =
+      static_cast<int>(std::min<std::size_t>(
+          n - 1, concurrency > 1 ? static_cast<std::size_t>(concurrency - 1) : 0));
+  if (helper_budget == 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  auto job = std::make_shared<ParallelJob>();
+  job->n = n;
+  job->fn = &fn;
+
+  int helpers = helper_budget;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    helpers = std::min(helpers, static_cast<int>(threads_.size()));
+    if (!stopping_) {
+      for (int h = 0; h < helpers; ++h) {
+        tasks_.push_back([job] { job->run(); });
+      }
+      if (helpers == 1) {
+        work_available_.notify_one();
+      } else if (helpers > 1) {
+        work_available_.notify_all();
+      }
+    }
+  }
+
+  job->run();  // caller participates: progress is guaranteed
+
+  std::unique_lock<std::mutex> lock(job->mutex);
+  job->done.wait(lock, [&] {
+    return job->completed.load(std::memory_order_acquire) == job->n;
+  });
+  if (job->first_exception) {
+    std::rethrow_exception(job->first_exception);
+  }
+}
+
+ThreadPool& shared_pool() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+}  // namespace topk::serve

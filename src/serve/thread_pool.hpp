@@ -1,0 +1,82 @@
+// Persistent worker pool for the host serving layer.
+//
+// The seed's TopKAccelerator spawned and joined raw std::threads on
+// every query() / query_batch() call and split work with static block
+// partitioning.  This pool replaces both costs: workers are created
+// once and reused across calls, and parallel_for() hands out items one
+// at a time through an atomic counter, so a skewed item (a long core
+// stream, an expensive query) never stalls a whole static block —
+// the dynamic-scheduling argument of the all-pairs-similarity serving
+// literature (see PAPERS.md).
+//
+// Deadlock-free nesting: the thread that calls parallel_for() always
+// participates in the loop, so every job completes even if no pool
+// worker is free.  Pool workers may therefore call parallel_for()
+// themselves (the async serving path does) without risk.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace topk::serve {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` persistent threads (0 is valid: every
+  /// parallel_for then runs entirely on the calling thread).
+  /// Throws std::invalid_argument for negative counts.
+  explicit ThreadPool(int workers = 0);
+
+  /// Drains queued tasks, then stops and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Current persistent worker count.
+  [[nodiscard]] int workers() const;
+
+  /// Grows the pool to at least `workers` threads (never shrinks).
+  /// Counts above kMaxWorkers are clamped.
+  void ensure_workers(int workers);
+
+  /// Runs fn(i) for every i in [0, n).  The calling thread participates
+  /// and up to `concurrency - 1` pool workers help, each claiming items
+  /// dynamically from a shared atomic counter; total concurrency is
+  /// therefore at most `concurrency` (values < 1 mean "calling thread
+  /// only").  Blocks until all n items finished; if any invocation
+  /// threw, the first exception is rethrown here.  Item-to-thread
+  /// assignment is nondeterministic, so callers must make fn(i) write
+  /// only to slot i of preallocated storage for deterministic results.
+  void parallel_for(std::size_t n, int concurrency,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Enqueues a fire-and-forget task.  With zero workers the task runs
+  /// inline.  Never blocks (the queue is unbounded; bounded admission
+  /// is the QueryEngine's job).
+  void post(std::function<void()> task);
+
+  /// Upper bound on pool size accepted by ensure_workers().
+  static constexpr int kMaxWorkers = 256;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool shared by TopKAccelerator::query / query_batch and
+/// any QueryEngine that does not own a private pool.  Lazily
+/// constructed; grows on demand up to ThreadPool::kMaxWorkers.
+[[nodiscard]] ThreadPool& shared_pool();
+
+}  // namespace topk::serve

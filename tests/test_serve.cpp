@@ -1,0 +1,259 @@
+// Tests for the serving layer: the persistent ThreadPool, the
+// QueryEngine facade (sync, batched, async), and the surfaced
+// max_rows_in_packet execution counter.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/thread_pool.hpp"
+#include "test_helpers.hpp"
+
+namespace topk::serve {
+namespace {
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, RejectsNegativeWorkerCount) {
+  EXPECT_THROW(ThreadPool(-1), std::invalid_argument);
+}
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                              std::size_t{64}, std::size_t{1000}}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, 4, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " of " << n;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsOnCaller) {
+  ThreadPool pool(0);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  pool.parallel_for(8, 1, [&](std::size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const auto& id : seen) {
+    EXPECT_EQ(id, caller);
+  }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossManyCalls) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(10, 3, [&](std::size_t i) {
+      sum += static_cast<int>(i);
+    });
+    EXPECT_EQ(sum.load(), 45) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, PropagatesFirstException) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(20, 4,
+                        [&](std::size_t i) {
+                          ++ran;
+                          if (i == 7) {
+                            throw std::runtime_error("boom");
+                          }
+                        }),
+      std::runtime_error);
+  // Exceptions record but do not cancel: every item still ran.
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> leaf{0};
+  pool.parallel_for(4, 3, [&](std::size_t) {
+    pool.parallel_for(4, 3, [&](std::size_t) { ++leaf; });
+  });
+  EXPECT_EQ(leaf.load(), 16);
+}
+
+TEST(ThreadPoolTest, PostedTasksRun) {
+  std::promise<int> promise;
+  auto future = promise.get_future();
+  {
+    ThreadPool pool(1);
+    pool.post([&] { promise.set_value(41); });
+    EXPECT_EQ(future.get(), 41);
+  }  // destructor drains and joins
+}
+
+TEST(ThreadPoolTest, EnsureWorkersGrowsButNeverShrinks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.workers(), 1);
+  pool.ensure_workers(3);
+  EXPECT_EQ(pool.workers(), 3);
+  pool.ensure_workers(2);
+  EXPECT_EQ(pool.workers(), 3);
+}
+
+// -------------------------------------------------------------- QueryEngine
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  QueryEngineTest()
+      : matrix_(test::small_random_matrix(800, 256, 12.0, 97)),
+        accelerator_(matrix_, core::DesignConfig::fixed(20, 8)) {}
+
+  [[nodiscard]] std::vector<std::vector<float>> make_queries(int count,
+                                                             std::uint64_t seed) {
+    util::Xoshiro256 rng(seed);
+    std::vector<std::vector<float>> queries;
+    queries.reserve(static_cast<std::size_t>(count));
+    for (int q = 0; q < count; ++q) {
+      queries.push_back(sparse::generate_dense_vector(256, rng));
+    }
+    return queries;
+  }
+
+  sparse::Csr matrix_;
+  core::TopKAccelerator accelerator_;
+};
+
+TEST_F(QueryEngineTest, WorkerCountDoesNotChangeResults) {
+  const auto queries = make_queries(6, 201);
+  const core::QueryResult reference = accelerator_.query(queries[0], 32);
+  const int oversubscribed =
+      4 * std::max(1u, std::thread::hardware_concurrency());
+  for (const int workers : {1, 2, 8, 16, oversubscribed}) {
+    QueryEngine engine(accelerator_, {.workers = workers});
+    const core::QueryResult result = engine.query(queries[0], 32);
+    ASSERT_EQ(result.entries.size(), reference.entries.size())
+        << workers << " workers";
+    for (std::size_t i = 0; i < result.entries.size(); ++i) {
+      EXPECT_EQ(result.entries[i], reference.entries[i])
+          << workers << " workers, rank " << i;
+    }
+    EXPECT_EQ(result.stats.total_packets, reference.stats.total_packets);
+    EXPECT_EQ(result.stats.max_rows_in_packet,
+              reference.stats.max_rows_in_packet);
+  }
+}
+
+TEST_F(QueryEngineTest, BatchMatchesSingleThreadedQueries) {
+  const auto queries = make_queries(9, 202);
+  for (const int workers : {1, 2, 8, 16}) {
+    QueryEngine engine(accelerator_, {.workers = workers});
+    const auto batch = engine.query_batch(queries, 16);
+    ASSERT_EQ(batch.size(), queries.size());
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const core::QueryResult individual = accelerator_.query(queries[q], 16);
+      ASSERT_EQ(batch[q].entries.size(), individual.entries.size())
+          << workers << " workers, query " << q;
+      for (std::size_t i = 0; i < individual.entries.size(); ++i) {
+        EXPECT_EQ(batch[q].entries[i], individual.entries[i])
+            << workers << " workers, query " << q << ", rank " << i;
+      }
+    }
+  }
+}
+
+TEST_F(QueryEngineTest, BatchValidatesUpFront) {
+  QueryEngine engine(accelerator_, {.workers = 2});
+  auto queries = make_queries(2, 203);
+  EXPECT_THROW((void)engine.query_batch(queries, 0), std::invalid_argument);
+  EXPECT_THROW((void)engine.query_batch(queries, 8 * 8 + 1),
+               std::invalid_argument);
+  queries.push_back(std::vector<float>(17, 0.0f));
+  EXPECT_THROW((void)engine.query_batch(queries, 8), std::invalid_argument);
+  EXPECT_TRUE(engine.query_batch({}, 8).empty());
+}
+
+TEST_F(QueryEngineTest, SubmitResultsAlignWithSubmissionOrder) {
+  const auto queries = make_queries(12, 204);
+  QueryEngine engine(accelerator_, {.workers = 4});
+  std::vector<std::future<core::QueryResult>> futures;
+  futures.reserve(queries.size());
+  for (const auto& x : queries) {
+    futures.push_back(engine.submit(x, 16));
+  }
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const core::QueryResult expected = accelerator_.query(queries[q], 16);
+    const core::QueryResult got = futures[q].get();
+    ASSERT_EQ(got.entries.size(), expected.entries.size()) << "query " << q;
+    for (std::size_t i = 0; i < expected.entries.size(); ++i) {
+      EXPECT_EQ(got.entries[i], expected.entries[i])
+          << "query " << q << ", rank " << i;
+    }
+  }
+  engine.drain();
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST_F(QueryEngineTest, SubmitPropagatesValidationErrorsThroughFuture) {
+  QueryEngine engine(accelerator_, {.workers = 2});
+  auto wrong_size = engine.submit(std::vector<float>(17, 0.0f), 8);
+  EXPECT_THROW((void)wrong_size.get(), std::invalid_argument);
+  auto bad_topk = engine.submit(make_queries(1, 205)[0], 8 * 8 + 1);
+  EXPECT_THROW((void)bad_topk.get(), std::invalid_argument);
+  // The engine stays serviceable after failed requests.
+  auto good = engine.submit(make_queries(1, 206)[0], 8);
+  EXPECT_EQ(good.get().entries.size(), 8u);
+}
+
+TEST_F(QueryEngineTest, BoundedQueueBackpressureStillCompletesEverything) {
+  const auto queries = make_queries(10, 207);
+  QueryEngine engine(accelerator_, {.workers = 2, .max_pending = 2});
+  std::vector<std::future<core::QueryResult>> futures;
+  for (const auto& x : queries) {
+    futures.push_back(engine.submit(x, 8));  // blocks when 2 in flight
+  }
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().entries.size(), 8u);
+  }
+}
+
+TEST_F(QueryEngineTest, RejectsBadConfig) {
+  EXPECT_THROW(QueryEngine(accelerator_, {.workers = -1}),
+               std::invalid_argument);
+  EXPECT_THROW(QueryEngine(accelerator_, {.max_pending = 0}),
+               std::invalid_argument);
+}
+
+TEST_F(QueryEngineTest, LatencySummaryCountsEveryServedQuery) {
+  const auto queries = make_queries(5, 208);
+  QueryEngine engine(accelerator_, {.workers = 2});
+  EXPECT_EQ(engine.latency_summary().count, 0u);
+  (void)engine.query(queries[0], 8);
+  (void)engine.query_batch(queries, 8);
+  engine.submit(queries[1], 8).get();
+  const LatencySummary summary = engine.latency_summary();
+  EXPECT_EQ(summary.count, 1u + queries.size() + 1u);
+  EXPECT_GE(summary.p50_ms, 0.0);
+  EXPECT_GE(summary.p99_ms, summary.p50_ms);
+  EXPECT_GE(summary.max_ms, summary.p99_ms);
+  EXPECT_GT(summary.mean_ms, 0.0);
+}
+
+// ----------------------------------------------------- ExecutionStats fix
+
+TEST_F(QueryEngineTest, MaxRowsInPacketSurfacesInExecutionStats) {
+  util::Xoshiro256 rng(209);
+  const auto x = sparse::generate_dense_vector(256, rng);
+  const core::QueryResult result = accelerator_.query(x, 32);
+  // The aggregate must equal the busiest packet across the per-core
+  // encoder stats — the kernel re-counts exactly what the encoder laid
+  // out.
+  std::uint64_t expected = 0;
+  for (const auto& stream : accelerator_.core_streams()) {
+    expected = std::max(expected, stream.stats().max_rows_in_packet);
+  }
+  EXPECT_GT(result.stats.max_rows_in_packet, 0u);
+  EXPECT_EQ(result.stats.max_rows_in_packet, expected);
+}
+
+}  // namespace
+}  // namespace topk::serve
