@@ -17,6 +17,7 @@
 
 #include "core/design.hpp"
 #include "embed/sparsify.hpp"
+#include "index/registry.hpp"
 #include "sparse/generator.hpp"
 
 namespace topk::bench {
@@ -27,6 +28,25 @@ struct BenchArgs {
   int queries = 0;          ///< per-config query count (0 = bench default)
   std::uint64_t seed = 42;  ///< master seed
   int threads = 0;          ///< CPU baseline threads (0 = hardware)
+  std::string backend;      ///< restrict to one registered backend ("" = all)
+
+  /// The backends this run covers: the one named by --backend, or
+  /// every registered backend.  Exits with the registered names when
+  /// --backend names an unknown one.
+  [[nodiscard]] std::vector<std::string> selected_backends() const {
+    if (backend.empty()) {
+      return index::registered_backends();
+    }
+    if (!index::has_backend(backend)) {
+      std::cerr << "unknown --backend=" << backend << " (registered:";
+      for (const std::string& name : index::registered_backends()) {
+        std::cerr << ' ' << name;
+      }
+      std::cerr << ")\n";
+      std::exit(2);
+    }
+    return {backend};
+  }
 
   /// Scales a paper-scale row count down unless --full is given.
   [[nodiscard]] std::uint32_t scale_rows(double paper_rows,
@@ -58,9 +78,11 @@ inline BenchArgs parse_args(int argc, char** argv) {
       args.seed = static_cast<std::uint64_t>(int_value("--seed="));
     } else if (arg.rfind("--threads=", 0) == 0) {
       args.threads = static_cast<int>(int_value("--threads="));
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      args.backend = std::string(arg.substr(std::string_view("--backend=").size()));
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: bench [--full] [--queries=N] [--seed=N] "
-                   "[--threads=N]\n";
+                   "[--threads=N] [--backend=NAME]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << arg << "\n";

@@ -2,22 +2,31 @@
 // the four FPGA designs over the CPU baseline, for K = 100, plus the
 // section V-B power-efficiency claims.
 //
-// The CPU baseline is *measured* on this machine (a from-scratch
-// sparse_dot_topn equivalent).  FPGA and GPU times are *modelled*
-// (DESIGN.md substitution): the FPGA model runs on the real per-core
-// packet counts of the BS-CSR encoder; the GPU model is the calibrated
-// P100 bandwidth model.  Absolute speedups therefore depend on this
+// Every execution strategy now runs through the unified
+// index::SimilarityIndex API: one loop over the registered backends
+// produces every bar of the figure, and --backend=<name> restricts the
+// sweep to a single backend (the measured cpu-heap reference always
+// runs — it is the denominator of every speedup).
+//
+// The CPU baseline is *measured* on this machine (the cpu-heap
+// backend).  FPGA and GPU times are *modelled* (DESIGN.md
+// substitution): the FPGA model runs on the real per-core packet
+// counts of the BS-CSR encoder; the GPU model is the calibrated P100
+// bandwidth model.  Absolute speedups therefore depend on this
 // machine's CPU; the paper's reported speedups are printed alongside
 // and the *ordering* (20b > 25b > 32b > F32 > GPU > CPU) is the
 // reproduced shape.
+#include <algorithm>
 #include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
 
-#include "baselines/cpu_topk_spmv.hpp"
-#include "baselines/gpu_model.hpp"
 #include "bench_common.hpp"
-#include "core/accelerator.hpp"
 #include "hbmsim/power_model.hpp"
 #include "hbmsim/timing_model.hpp"
+#include "index/backends.hpp"
+#include "index/registry.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -25,73 +34,149 @@ namespace {
 
 using topk::bench::BenchArgs;
 using topk::core::DesignConfig;
-using topk::core::TopKAccelerator;
 using topk::util::format_double;
 using topk::util::format_speedup;
 
 constexpr int kTopK = 100;
 
+/// One bar of the figure: a backend variant's end-to-end time at
+/// paper-scale sizes.
+struct PlatformTiming {
+  std::string platform;
+  double seconds = 0.0;
+  bool modelled = false;
+};
+
 struct FamilyResult {
   std::string label;
-  double cpu_seconds = 0.0;
-  double gpu_f32_spmv = 0.0;
-  double gpu_f32_topk = 0.0;
-  double gpu_f16_spmv = 0.0;
-  double gpu_f16_topk = 0.0;
-  std::vector<double> fpga_seconds;   // one per design
-  double fpga20_gnnz_per_s = 0.0;     // paper-scale throughput estimate
+  double cpu_seconds = 0.0;           ///< measured reference (denominator)
+  std::vector<PlatformTiming> timings;
+  double fpga20_seconds = 0.0;        ///< for the V-B power section
+  double gpu_f32_spmv_seconds = 0.0;
+  double fpga20_gnnz_per_s = 0.0;
 };
+
+/// Measures one backend's single-query wall time: best of `repeats`.
+double measure_query_seconds(const topk::index::SimilarityIndex& index,
+                             std::span<const float> x, int threads,
+                             int repeats) {
+  topk::index::QueryOptions options;
+  options.threads = threads;
+  double best = 1e30;
+  for (int i = 0; i < repeats; ++i) {
+    topk::util::WallTimer timer;
+    const auto result = index.query(x, kTopK, options);
+    best = std::min(best, timer.seconds());
+    if (result.entries.size() != static_cast<std::size_t>(kTopK)) {
+      std::cerr << "unexpected result size from " << index.describe().backend
+                << "\n";
+      std::exit(1);
+    }
+  }
+  return best;
+}
 
 // All platforms are extrapolated to paper-scale non-zero counts before
 // speedups are formed: the CPU scan, the GPU bandwidth model and the
 // FPGA packet model are all linear in nnz, and per-query fixed
 // overheads would otherwise dominate the shrunken default matrices.
 FamilyResult run_family(const BenchArgs& args, std::string label,
-                        const topk::sparse::Csr& matrix, double scale) {
+                        std::shared_ptr<const topk::sparse::Csr> matrix,
+                        double scale,
+                        const std::vector<std::string>& backends) {
   FamilyResult result;
   result.label = std::move(label);
 
-  // Measured CPU baseline: median of a few runs.
   topk::util::Xoshiro256 rng(args.seed + 7);
-  const auto x = topk::sparse::generate_dense_vector(matrix.cols(), rng);
+  const auto x = topk::sparse::generate_dense_vector(matrix->cols(), rng);
   const int repeats = args.queries > 0 ? args.queries : 3;
-  double best = 1e30;
-  for (int i = 0; i < repeats; ++i) {
-    topk::util::WallTimer timer;
-    const auto topk_result =
-        topk::baselines::cpu_topk_spmv(matrix, x, kTopK, args.threads);
-    best = std::min(best, timer.seconds());
-    if (topk_result.size() != kTopK) {
-      std::cerr << "unexpected CPU result size\n";
-      std::exit(1);
-    }
-  }
-  result.cpu_seconds = best * scale;  // the CPU scan is nnz-linear
 
   const auto paper_nnz = static_cast<std::uint64_t>(
-      static_cast<double>(matrix.nnz()) * scale);
+      static_cast<double>(matrix->nnz()) * scale);
   const auto paper_rows = static_cast<std::uint64_t>(
-      static_cast<double>(matrix.rows()) * scale);
+      static_cast<double>(matrix->rows()) * scale);
 
-  // Modelled GPU baseline at paper-scale sizes.
-  const topk::baselines::GpuPerfModel gpu;
-  result.gpu_f32_spmv = gpu.spmv_seconds(paper_nnz, false);
-  result.gpu_f32_topk = gpu.topk_seconds(paper_nnz, paper_rows, false);
-  result.gpu_f16_spmv = gpu.spmv_seconds(paper_nnz, true);
-  result.gpu_f16_topk = gpu.topk_seconds(paper_nnz, paper_rows, true);
+  const auto selected = [&](const char* name) {
+    return std::find(backends.begin(), backends.end(), name) != backends.end();
+  };
 
-  // Modelled FPGA designs on real encoded packet counts (scaled).
-  for (const DesignConfig& design : topk::bench::paper_designs()) {
-    const TopKAccelerator accelerator(matrix, design);
-    const auto packets = static_cast<std::uint64_t>(
-        static_cast<double>(accelerator.max_core_packets()) * scale);
-    result.fpga_seconds.push_back(
-        topk::hbmsim::estimate_query_time(design, accelerator.layout(), packets,
-                                          paper_nnz)
-            .seconds);
+  // Measured CPU reference — always runs (speedup denominator).
+  {
+    const topk::index::CpuHeapIndex cpu(matrix);
+    result.cpu_seconds =
+        measure_query_seconds(cpu, x, args.threads, repeats) * scale;
+    if (selected("cpu-heap")) {
+      result.timings.push_back({"CPU heap (measured)", result.cpu_seconds,
+                                false});
+    }
   }
-  result.fpga20_gnnz_per_s =
-      static_cast<double>(paper_nnz) / result.fpga_seconds[0] / 1e9;
+
+  // One loop over the registered backends produces every other bar.
+  for (const std::string& name : backends) {
+    if (name == "cpu-heap") {
+      continue;  // already measured above
+    }
+    if (name == "exact-sort") {
+      const topk::index::ExactSortIndex exact(matrix);
+      // The O(N log N) strawman: one repeat is plenty for a reference
+      // the paper's section II only argues against.
+      result.timings.push_back(
+          {"CPU full-sort (measured)",
+           measure_query_seconds(exact, x, args.threads, 1) * scale, false});
+    } else if (name == "gpu-f16") {
+      const auto index = topk::index::make_index(name, matrix);
+      const auto* gpu =
+          dynamic_cast<const topk::index::GpuModelIndex*>(index.get());
+      if (gpu == nullptr) {
+        continue;  // a re-registered "gpu-f16" without the model
+      }
+      const auto& model = gpu->perf_model();
+      result.gpu_f32_spmv_seconds = model.spmv_seconds(paper_nnz, false);
+      result.timings.push_back(
+          {"GPU F32 SpMV only", result.gpu_f32_spmv_seconds, true});
+      result.timings.push_back(
+          {"GPU F32 +sort", model.topk_seconds(paper_nnz, paper_rows, false),
+           true});
+      result.timings.push_back(
+          {"GPU F16 SpMV only", model.spmv_seconds(paper_nnz, true), true});
+      result.timings.push_back(
+          {"GPU F16 +sort", model.topk_seconds(paper_nnz, paper_rows, true),
+           true});
+    } else if (name == "fpga-sim") {
+      // Modelled FPGA designs on real encoded packet counts (scaled).
+      for (const DesignConfig& design : topk::bench::paper_designs()) {
+        topk::index::IndexOptions options;
+        options.design = design;
+        const auto index = topk::index::make_index(name, matrix, options);
+        const auto* fpga =
+            dynamic_cast<const topk::index::FpgaSimIndex*>(index.get());
+        if (fpga == nullptr) {
+          continue;
+        }
+        const auto& accelerator = fpga->accelerator();
+        const auto packets = static_cast<std::uint64_t>(
+            static_cast<double>(accelerator.max_core_packets()) * scale);
+        const double seconds =
+            topk::hbmsim::estimate_query_time(design, accelerator.layout(),
+                                              packets, paper_nnz)
+                .seconds;
+        result.timings.push_back({design.name(), seconds, true});
+        if (result.fpga20_seconds == 0.0) {
+          result.fpga20_seconds = seconds;
+          result.fpga20_gnnz_per_s =
+              static_cast<double>(paper_nnz) / seconds / 1e9;
+        }
+      }
+    } else {
+      // A backend registered after this bench was written still gets a
+      // measured bar — the point of the registry.
+      const auto index = topk::index::make_index(name, matrix);
+      result.timings.push_back(
+          {name + " (measured)",
+           measure_query_seconds(*index, x, args.threads, repeats) * scale,
+           false});
+    }
+  }
   return result;
 }
 
@@ -100,10 +185,15 @@ FamilyResult run_family(const BenchArgs& args, std::string label,
 int main(int argc, char** argv) {
   const BenchArgs args = topk::bench::parse_args(argc, argv);
   const double shrink = args.full ? 1.0 : 20.0;
+  const std::vector<std::string> backends = args.selected_backends();
 
   std::cout << "Reproducing paper Figure 5 (speedup vs CPU, K = " << kTopK
             << ").  CPU measured on this machine; FPGA/GPU modelled "
-               "(DESIGN.md).\n";
+               "(DESIGN.md).\nBackends:";
+  for (const std::string& name : backends) {
+    std::cout << ' ' << name;
+  }
+  std::cout << "  (select one with --backend=<name>)\n";
   if (!args.full) {
     std::cout << "(rows scaled by 1/" << shrink << "; --full for paper scale)\n";
   }
@@ -112,93 +202,96 @@ int main(int argc, char** argv) {
   std::vector<FamilyResult> results;
   std::uint64_t offset = 0;
   for (const double paper_rows : {0.5e7, 1.0e7, 1.5e7}) {
-    const auto matrix = topk::bench::make_table3_matrix(
-        args, paper_rows, 1024, 20.0, topk::sparse::RowDistribution::kUniform,
-        offset++);
-    results.push_back(run_family(args,
-                                 "N = " + format_double(paper_rows / 1e7, 1) +
-                                     "e7",
-                                 matrix, shrink));
+    const auto matrix = std::make_shared<const topk::sparse::Csr>(
+        topk::bench::make_table3_matrix(args, paper_rows, 1024, 20.0,
+                                        topk::sparse::RowDistribution::kUniform,
+                                        offset++));
+    results.push_back(run_family(
+        args, "N = " + format_double(paper_rows / 1e7, 1) + "e7", matrix,
+        shrink, backends));
   }
   {
-    const auto glove = topk::bench::make_glove_like_matrix(args);
-    results.push_back(
-        run_family(args, "Sparse GloVe-like", glove, args.full ? 1.0 : 100.0));
+    const auto glove = std::make_shared<const topk::sparse::Csr>(
+        topk::bench::make_glove_like_matrix(args));
+    results.push_back(run_family(args, "Sparse GloVe-like", glove,
+                                 args.full ? 1.0 : 100.0, backends));
   }
 
-  const auto designs = topk::bench::paper_designs();
   topk::util::TablePrinter table(
-      {"Matrix", "CPU [ms]", "GPU F32", "GPU F32+sort", "GPU F16",
-       "GPU F16+sort", "FPGA 20b", "FPGA 25b", "FPGA 32b", "FPGA F32"});
+      {"Matrix", "Platform", "Time [ms]", "Speedup vs CPU", "Kind"});
   for (const FamilyResult& r : results) {
-    table.add_row({r.label, format_double(r.cpu_seconds * 1e3, 1),
-                   format_speedup(r.cpu_seconds / r.gpu_f32_spmv),
-                   format_speedup(r.cpu_seconds / r.gpu_f32_topk),
-                   format_speedup(r.cpu_seconds / r.gpu_f16_spmv),
-                   format_speedup(r.cpu_seconds / r.gpu_f16_topk),
-                   format_speedup(r.cpu_seconds / r.fpga_seconds[0]),
-                   format_speedup(r.cpu_seconds / r.fpga_seconds[1]),
-                   format_speedup(r.cpu_seconds / r.fpga_seconds[2]),
-                   format_speedup(r.cpu_seconds / r.fpga_seconds[3])});
+    for (const PlatformTiming& t : r.timings) {
+      table.add_row({r.label, t.platform, format_double(t.seconds * 1e3, 2),
+                     format_speedup(r.cpu_seconds / t.seconds),
+                     t.modelled ? "modelled" : "measured"});
+    }
   }
   table.print(std::cout);
 
-  std::cout << "\nFPGA-vs-GPU ratios (machine-independent):\n";
-  topk::util::TablePrinter ratio_table(
-      {"Matrix", "FPGA 20b vs GPU F32 (SpMV only)",
-       "FPGA 20b vs GPU F32 (+sort)", "FPGA throughput [Gnnz/s est.]"});
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const FamilyResult& r = results[i];
-    // Scale-invariant: both sides are linear in nnz.
-    const double vs_ideal = r.gpu_f32_spmv / r.fpga_seconds[0];
-    const double vs_sorting = r.gpu_f32_topk / r.fpga_seconds[0];
-    ratio_table.add_row({r.label, format_double(vs_ideal, 2) + "x",
-                         format_double(vs_sorting, 2) + "x",
-                         format_double(r.fpga20_gnnz_per_s, 1)});
+  const bool have_fpga = results[1].fpga20_seconds > 0.0;
+  const bool have_gpu = results[1].gpu_f32_spmv_seconds > 0.0;
+
+  if (have_fpga && have_gpu) {
+    std::cout << "\nFPGA-vs-GPU ratios (machine-independent):\n";
+    topk::util::TablePrinter ratio_table(
+        {"Matrix", "FPGA 20b vs GPU F32 (SpMV only)",
+         "FPGA throughput [Gnnz/s est.]"});
+    for (const FamilyResult& r : results) {
+      if (r.fpga20_seconds == 0.0 || r.gpu_f32_spmv_seconds == 0.0) {
+        continue;
+      }
+      // Scale-invariant: both sides are linear in nnz.
+      ratio_table.add_row(
+          {r.label,
+           format_double(r.gpu_f32_spmv_seconds / r.fpga20_seconds, 2) + "x",
+           format_double(r.fpga20_gnnz_per_s, 1)});
+    }
+    ratio_table.print(std::cout);
   }
-  ratio_table.print(std::cout);
 
-  // Section V-B: power efficiency.
-  const auto layout20 = topk::core::PacketLayout::solve(1024, 20);
-  const auto fpga_power =
-      topk::hbmsim::fpga_power(DesignConfig::fixed(20), layout20);
-  const auto cpu_power = topk::hbmsim::cpu_power();
-  const auto gpu_power = topk::hbmsim::gpu_power();
-  const FamilyResult& mid = results[1];
-  const double fpga_perf = 1.0 / mid.fpga_seconds[0];
-  const double gpu_perf = 1.0 / mid.gpu_f32_spmv;
-  const double cpu_perf = 1.0 / mid.cpu_seconds;
+  // Section V-B: power efficiency (needs all three platforms).
+  if (have_fpga && have_gpu) {
+    const auto layout20 = topk::core::PacketLayout::solve(1024, 20);
+    const auto fpga_power =
+        topk::hbmsim::fpga_power(DesignConfig::fixed(20), layout20);
+    const auto cpu_power = topk::hbmsim::cpu_power();
+    const auto gpu_power = topk::hbmsim::gpu_power();
+    const FamilyResult& mid = results[1];
+    const double fpga_perf = 1.0 / mid.fpga20_seconds;
+    const double gpu_perf = 1.0 / mid.gpu_f32_spmv_seconds;
+    const double cpu_perf = 1.0 / mid.cpu_seconds;
 
-  std::cout << "\n[Section V-B] Performance/Watt, N = 1e7 row family:\n";
-  topk::util::TablePrinter power_table({"Comparison", "This repo", "Paper"});
-  power_table.add_row(
-      {"FPGA 20b vs idealized GPU (board only)",
-       format_double(topk::hbmsim::performance_per_watt(fpga_perf, fpga_power,
-                                                        false) /
-                         topk::hbmsim::performance_per_watt(gpu_perf, gpu_power,
-                                                            false),
-                     1) +
-           "x",
-       "14.2x"});
-  power_table.add_row(
-      {"FPGA 20b vs idealized GPU (incl. host)",
-       format_double(topk::hbmsim::performance_per_watt(fpga_perf, fpga_power,
-                                                        true) /
-                         topk::hbmsim::performance_per_watt(gpu_perf, gpu_power,
-                                                            true),
-                     1) +
-           "x",
-       "7.7x"});
-  power_table.add_row(
-      {"FPGA 20b vs CPU",
-       format_double(topk::hbmsim::performance_per_watt(fpga_perf, fpga_power,
-                                                        true) /
-                         topk::hbmsim::performance_per_watt(cpu_perf, cpu_power,
-                                                            true),
-                     0) +
-           "x",
-       "~400x"});
-  power_table.print(std::cout);
+    std::cout << "\n[Section V-B] Performance/Watt, N = 1e7 row family:\n";
+    topk::util::TablePrinter power_table({"Comparison", "This repo", "Paper"});
+    power_table.add_row(
+        {"FPGA 20b vs idealized GPU (board only)",
+         format_double(topk::hbmsim::performance_per_watt(fpga_perf, fpga_power,
+                                                          false) /
+                           topk::hbmsim::performance_per_watt(gpu_perf,
+                                                              gpu_power, false),
+                       1) +
+             "x",
+         "14.2x"});
+    power_table.add_row(
+        {"FPGA 20b vs idealized GPU (incl. host)",
+         format_double(topk::hbmsim::performance_per_watt(fpga_perf, fpga_power,
+                                                          true) /
+                           topk::hbmsim::performance_per_watt(gpu_perf,
+                                                              gpu_power, true),
+                       1) +
+             "x",
+         "7.7x"});
+    power_table.add_row(
+        {"FPGA 20b vs CPU",
+         format_double(topk::hbmsim::performance_per_watt(fpga_perf, fpga_power,
+                                                          true) /
+                           topk::hbmsim::performance_per_watt(cpu_perf,
+                                                              cpu_power, true),
+                       0) +
+             "x",
+         "~400x"});
+    power_table.print(std::cout);
+  }
 
   std::cout << "\nPaper reference speedups (Figure 5): GPU F32 51-55x, GPU "
                "F16 58-62x, FPGA 20b 101-106x, 25b 86-89x, 32b 75-89x, F32 "

@@ -1,60 +1,82 @@
-// Quickstart: build an accelerator over a synthetic embedding matrix
-// and run one Top-K similarity query.
+// Quickstart: build a similarity index over a synthetic embedding
+// matrix through the multi-backend registry and run one Top-K query.
 //
 //   $ ./quickstart
 //
-// Walks through the whole public API in ~50 lines: generate a sparse
-// embedding collection, configure the paper's default design (32
-// cores, 20-bit fixed point, k = 8), query, and read the results and
-// execution statistics.
+// Walks through the whole public API in ~60 lines: generate a sparse
+// embedding collection, list the registered backends, build the FPGA
+// simulator backend by name (the paper's default design: 32 cores,
+// 20-bit fixed point, k = 8), query, and cross-check the result
+// against the exact CPU backend through the very same interface.
 #include <iostream>
+#include <memory>
 
-#include "core/accelerator.hpp"
-#include "hbmsim/timing_model.hpp"
+#include "index/registry.hpp"
 #include "sparse/generator.hpp"
 #include "util/rng.hpp"
 
 int main() {
   // 1. An embedding collection: 100k sparse embeddings of dimension
   //    1024 with ~20 non-zeros each, L2-normalised (so dot products
-  //    are cosine similarities).
+  //    are cosine similarities).  Shared ownership lets several
+  //    backends index the same matrix without copies.
   topk::sparse::GeneratorConfig generator;
   generator.rows = 100'000;
   generator.cols = 1024;
   generator.mean_nnz_per_row = 20.0;
   generator.seed = 1;
-  const topk::sparse::Csr matrix = topk::sparse::generate_matrix(generator);
-  std::cout << "Matrix: " << matrix.rows() << " x " << matrix.cols() << ", "
-            << matrix.nnz() << " non-zeros\n";
+  const auto matrix = std::make_shared<const topk::sparse::Csr>(
+      topk::sparse::generate_matrix(generator));
+  std::cout << "Matrix: " << matrix->rows() << " x " << matrix->cols() << ", "
+            << matrix->nnz() << " non-zeros\n";
 
-  // 2. The paper's default design: 32 cores (one HBM channel each),
-  //    20-bit unsigned fixed point, top k = 8 per partition.
-  const topk::core::DesignConfig design = topk::core::DesignConfig::fixed(20);
-  const topk::core::TopKAccelerator accelerator(matrix, design);
-  std::cout << "Design:  " << design.name() << ", B = "
-            << accelerator.layout().capacity << " nnz/packet, device image "
-            << accelerator.stream_bytes() / (1 << 20) << " MiB\n";
+  // 2. Every execution strategy of the paper is a registered backend.
+  std::cout << "Backends:";
+  for (const std::string& name : topk::index::registered_backends()) {
+    std::cout << ' ' << name;
+  }
+  std::cout << '\n';
 
-  // 3. A dense query embedding similar to row 4242.
+  // 3. Build the FPGA simulator by name — the paper's default design.
+  topk::index::IndexOptions options;
+  options.design = topk::core::DesignConfig::fixed(20);
+  const auto fpga = topk::index::make_index("fpga-sim", matrix, options);
+  const auto description = fpga->describe();
+  std::cout << "Index:   " << description.backend << " (" << description.detail
+            << "), device image " << description.memory_bytes / (1 << 20)
+            << " MiB, top_k <= " << description.max_top_k << "\n";
+
+  // 4. A dense query embedding similar to row 4242.
   topk::util::Xoshiro256 rng(2);
   const std::vector<float> x =
-      topk::sparse::generate_query_near_row(matrix, 4242, 0.05, rng);
+      topk::sparse::generate_query_near_row(*matrix, 4242, 0.05, rng);
 
-  // 4. Query the top 10 most similar embeddings.
-  const topk::core::QueryResult result = accelerator.query(x, 10);
-  std::cout << "\nTop-10 most similar rows:\n";
+  // 5. Query the top 10 most similar embeddings.
+  const topk::index::QueryResult result = fpga->query(x, 10);
+  std::cout << "\nTop-10 most similar rows (fpga-sim):\n";
   for (const topk::core::TopKEntry& entry : result.entries) {
     std::cout << "  row " << entry.index << "  score " << entry.value << '\n';
   }
 
-  // 5. Execution statistics and the modelled on-device latency.
-  std::cout << "\nStreamed " << result.stats.total_packets
-            << " packets (max/core " << result.stats.max_core_packets
-            << "), rows dropped: " << result.stats.rows_dropped << '\n';
-  const auto timing = topk::hbmsim::estimate_query_time(accelerator, matrix.nnz());
-  std::cout << "Modelled U280 latency: " << timing.seconds * 1e3 << " ms ("
-            << timing.nnz_per_second / 1e9 << " Gnnz/s, "
-            << (timing.bandwidth_bound ? "bandwidth" : "compute")
-            << "-bound)\n";
+  // 6. Execution statistics: the backend-neutral counters plus the
+  //    FPGA extension payload, and the modelled on-device latency.
+  const topk::core::ExecutionStats* device = topk::index::fpga_stats(result);
+  std::cout << "\nScanned " << result.stats.rows_scanned << " rows; streamed "
+            << device->total_packets << " packets (max/core "
+            << device->max_core_packets << "), rows dropped: "
+            << device->rows_dropped << '\n';
+  std::cout << "Modelled U280 latency: " << result.stats.modelled_seconds * 1e3
+            << " ms\n";
+
+  // 7. The exact CPU baseline is one make_index call away — same
+  //    matrix, same interface, ground-truth scores.
+  const auto exact = topk::index::make_index("cpu-heap", matrix);
+  const auto exact_result = exact->query(x, 10);
+  std::cout << "\nExact top-1 (cpu-heap): row "
+            << exact_result.entries.front().index
+            << (exact_result.entries.front().index ==
+                        result.entries.front().index
+                    ? " — agrees with the accelerator.\n"
+                    : " — differs from the accelerator.\n");
   return 0;
 }

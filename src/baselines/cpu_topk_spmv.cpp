@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "serve/thread_pool.hpp"
+
 namespace topk::baselines {
 
 namespace {
@@ -76,22 +78,21 @@ std::vector<core::TopKEntry> cpu_topk_spmv(const sparse::Csr& matrix,
   if (threads == 1) {
     scan_rows(matrix, x, 0, matrix.rows(), top_k, heaps[0]);
   } else {
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<std::size_t>(threads));
+    // Static row ranges (each range writes only its own heap slot, so
+    // results are deterministic), executed on the shared persistent
+    // pool — no per-call thread spawning, matching the serving tier's
+    // worker model.
     const std::uint32_t rows = matrix.rows();
-    for (int t = 0; t < threads; ++t) {
-      const std::uint32_t begin = static_cast<std::uint32_t>(
-          static_cast<std::uint64_t>(rows) * t / threads);
-      const std::uint32_t end = static_cast<std::uint32_t>(
-          static_cast<std::uint64_t>(rows) * (t + 1) / threads);
-      workers.emplace_back([&, begin, end, t] {
-        scan_rows(matrix, x, begin, end, top_k,
-                  heaps[static_cast<std::size_t>(t)]);
-      });
-    }
-    for (std::thread& worker : workers) {
-      worker.join();
-    }
+    serve::ThreadPool& pool = serve::shared_pool();
+    pool.ensure_workers(threads - 1);
+    pool.parallel_for(
+        static_cast<std::size_t>(threads), threads, [&](std::size_t t) {
+          const std::uint32_t begin = static_cast<std::uint32_t>(
+              static_cast<std::uint64_t>(rows) * t / threads);
+          const std::uint32_t end = static_cast<std::uint32_t>(
+              static_cast<std::uint64_t>(rows) * (t + 1) / threads);
+          scan_rows(matrix, x, begin, end, top_k, heaps[t]);
+        });
   }
 
   std::vector<core::TopKEntry> merged;

@@ -2,11 +2,13 @@
 //
 // A from-scratch equivalent of sparse_dot_topn [1], the paper's CPU
 // baseline: a multi-threaded C++ Top-K SpMV over CSR.  Rows are split
-// into per-thread ranges; each thread scans its rows, keeps a local
-// size-K min-heap of (score, row), and the per-thread heaps are merged
-// at the end.  Scores use double accumulation, so with threads == 1 or
-// many this routine is *exact* — it doubles as the accuracy ground
-// truth for the approximate designs (section V-D).
+// into per-thread ranges executed on the shared persistent pool
+// (serve::shared_pool(), no per-call thread spawning); each range
+// scans its rows, keeps a local size-K min-heap of (score, row), and
+// the per-range heaps are merged at the end.  Scores use double
+// accumulation, so with threads == 1 or many this routine is *exact*
+// — it doubles as the accuracy ground truth for the approximate
+// designs (section V-D).
 #pragma once
 
 #include <cstdint>

@@ -59,20 +59,33 @@ int resolve_threads(int requested, std::size_t work_items) {
 
 }  // namespace
 
-QueryResult TopKAccelerator::query(std::span<const float> x, int top_k,
-                                   const QueryOptions& options) const {
+void TopKAccelerator::check_vector(std::span<const float> x) const {
   if (x.size() != cols_) {
-    throw std::invalid_argument("TopKAccelerator::query: vector size mismatch");
+    throw std::invalid_argument("TopKAccelerator: query vector size mismatch");
   }
+}
+
+void TopKAccelerator::check_top_k(int top_k) const {
   if (top_k <= 0) {
-    throw std::invalid_argument("TopKAccelerator::query: top_k must be positive");
+    throw std::invalid_argument("TopKAccelerator: top_k must be positive");
   }
   const std::int64_t candidates =
       static_cast<std::int64_t>(config_.k) * config_.cores;
   if (top_k > candidates) {
     throw std::invalid_argument(
-        "TopKAccelerator::query: top_k exceeds k * cores candidates");
+        "TopKAccelerator: top_k exceeds k * cores candidates");
   }
+}
+
+void TopKAccelerator::validate_query(std::span<const float> x,
+                                     int top_k) const {
+  check_vector(x);
+  check_top_k(top_k);
+}
+
+QueryResult TopKAccelerator::query(std::span<const float> x, int top_k,
+                                   const QueryOptions& options) const {
+  validate_query(x, top_k);
   const int threads = resolve_threads(options.threads, streams_.size());
 
   // Quantise the query once and stream every core with the same raws —
@@ -115,15 +128,9 @@ QueryResult TopKAccelerator::query(std::span<const float> x, int top_k,
 void TopKAccelerator::validate_batch(
     const std::vector<std::vector<float>>& queries, int top_k) const {
   for (const auto& x : queries) {
-    if (x.size() != cols_) {
-      throw std::invalid_argument(
-          "TopKAccelerator::validate_batch: vector size mismatch");
-    }
+    check_vector(x);
   }
-  if (top_k <= 0 ||
-      top_k > static_cast<std::int64_t>(config_.k) * config_.cores) {
-    throw std::invalid_argument("TopKAccelerator::validate_batch: invalid top_k");
-  }
+  check_top_k(top_k);
 }
 
 std::vector<QueryResult> TopKAccelerator::query_batch(

@@ -78,10 +78,15 @@ class TopKAccelerator {
       const std::vector<std::vector<float>>& queries, int top_k,
       const QueryOptions& options = {}) const;
 
-  /// Validates batch arguments without running anything: every vector
-  /// must have cols() elements and top_k must lie in (0, k * cores].
-  /// Throws std::invalid_argument otherwise.  Shared by query_batch()
-  /// and the serving layer so the bounds live in one place.
+  /// Validates one query without running anything: `x` must have
+  /// cols() elements and top_k must lie in (0, k * cores].  Throws
+  /// std::invalid_argument otherwise.  query(), validate_batch() and
+  /// the index/serving adapters all funnel through this single check,
+  /// so the bounds — and the error messages — cannot drift apart.
+  void validate_query(std::span<const float> x, int top_k) const;
+
+  /// Batch variant of validate_query(): every vector is checked
+  /// against cols() and top_k against (0, k * cores].
   void validate_batch(const std::vector<std::vector<float>>& queries,
                       int top_k) const;
 
@@ -103,6 +108,9 @@ class TopKAccelerator {
   [[nodiscard]] std::uint64_t max_core_packets() const noexcept;
 
  private:
+  void check_vector(std::span<const float> x) const;
+  void check_top_k(int top_k) const;
+
   DesignConfig config_;
   PacketLayout layout_;
   std::uint32_t rows_ = 0;

@@ -1,0 +1,187 @@
+#include "index/backends.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/cpu_topk_spmv.hpp"
+#include "hbmsim/timing_model.hpp"
+
+namespace topk::index {
+
+namespace {
+
+std::shared_ptr<const sparse::Csr> require_matrix(
+    std::shared_ptr<const sparse::Csr> matrix, const char* backend) {
+  if (!matrix) {
+    throw std::invalid_argument(std::string(backend) + ": null matrix");
+  }
+  return matrix;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- FpgaSimIndex
+
+FpgaSimIndex::FpgaSimIndex(std::shared_ptr<const sparse::Csr> matrix,
+                           const core::DesignConfig& design) {
+  const auto checked = require_matrix(std::move(matrix), "fpga-sim");
+  source_nnz_ = checked->nnz();
+  accelerator_ = std::make_shared<const core::TopKAccelerator>(*checked, design);
+  modelled_seconds_ =
+      hbmsim::estimate_query_time(*accelerator_, source_nnz_).seconds;
+}
+
+FpgaSimIndex::FpgaSimIndex(
+    std::shared_ptr<const core::TopKAccelerator> accelerator)
+    : accelerator_(std::move(accelerator)) {
+  if (!accelerator_) {
+    throw std::invalid_argument("fpga-sim: null accelerator");
+  }
+  for (const core::BsCsrMatrix& stream : accelerator_->core_streams()) {
+    source_nnz_ += stream.source_nnz();
+  }
+  modelled_seconds_ =
+      hbmsim::estimate_query_time(*accelerator_, source_nnz_).seconds;
+}
+
+QueryResult FpgaSimIndex::query(std::span<const float> x, int top_k,
+                                const QueryOptions& options) const {
+  validate_query(x, top_k);  // backend-tagged errors, uniform with the rest
+  core::QueryOptions core_options;
+  core_options.threads = options.threads;
+  core::QueryResult device = accelerator_->query(x, top_k, core_options);
+
+  QueryResult result;
+  result.entries = std::move(device.entries);
+  result.stats.rows_scanned = accelerator_->rows();
+  result.stats.modelled_seconds = modelled_seconds_;
+  result.stats.backend = device.stats;
+  return result;
+}
+
+std::uint32_t FpgaSimIndex::rows() const noexcept {
+  return accelerator_->rows();
+}
+
+std::uint32_t FpgaSimIndex::cols() const noexcept {
+  return accelerator_->cols();
+}
+
+int FpgaSimIndex::max_top_k() const noexcept {
+  return accelerator_->config().k * accelerator_->config().cores;
+}
+
+IndexDescription FpgaSimIndex::describe() const {
+  IndexDescription description;
+  description.backend = "fpga-sim";
+  description.detail = accelerator_->config().name() + ", B = " +
+                       std::to_string(accelerator_->layout().capacity) +
+                       " nnz/packet";
+  description.exact = false;
+  description.rows = rows();
+  description.cols = cols();
+  description.max_top_k = max_top_k();
+  description.memory_bytes = accelerator_->stream_bytes();
+  return description;
+}
+
+// ------------------------------------------------------------- CpuHeapIndex
+
+CpuHeapIndex::CpuHeapIndex(std::shared_ptr<const sparse::Csr> matrix)
+    : matrix_(require_matrix(std::move(matrix), "cpu-heap")) {}
+
+QueryResult CpuHeapIndex::query(std::span<const float> x, int top_k,
+                                const QueryOptions& options) const {
+  validate_query(x, top_k);
+  QueryResult result;
+  result.entries =
+      baselines::cpu_topk_spmv(*matrix_, x, top_k, options.threads);
+  result.stats.rows_scanned = matrix_->rows();
+  return result;
+}
+
+std::uint32_t CpuHeapIndex::rows() const noexcept { return matrix_->rows(); }
+
+std::uint32_t CpuHeapIndex::cols() const noexcept { return matrix_->cols(); }
+
+IndexDescription CpuHeapIndex::describe() const {
+  IndexDescription description;
+  description.backend = "cpu-heap";
+  description.detail = "multi-threaded CSR min-heap scan (sparse_dot_topn style)";
+  description.exact = true;
+  description.rows = rows();
+  description.cols = cols();
+  description.memory_bytes = matrix_->csr_bytes();
+  return description;
+}
+
+// ----------------------------------------------------------- ExactSortIndex
+
+ExactSortIndex::ExactSortIndex(std::shared_ptr<const sparse::Csr> matrix)
+    : matrix_(require_matrix(std::move(matrix), "exact-sort")) {}
+
+QueryResult ExactSortIndex::query(std::span<const float> x, int top_k,
+                                  const QueryOptions& /*options*/) const {
+  validate_query(x, top_k);
+  QueryResult result;
+  result.entries = baselines::exact_topk_via_sort(*matrix_, x, top_k);
+  result.stats.rows_scanned = matrix_->rows();
+  return result;
+}
+
+std::uint32_t ExactSortIndex::rows() const noexcept { return matrix_->rows(); }
+
+std::uint32_t ExactSortIndex::cols() const noexcept { return matrix_->cols(); }
+
+IndexDescription ExactSortIndex::describe() const {
+  IndexDescription description;
+  description.backend = "exact-sort";
+  description.detail = "full SpMV then partial sort (section II strawman)";
+  description.exact = true;
+  description.rows = rows();
+  description.cols = cols();
+  description.memory_bytes = matrix_->csr_bytes();
+  return description;
+}
+
+// ------------------------------------------------------------ GpuModelIndex
+
+GpuModelIndex::GpuModelIndex(std::shared_ptr<const sparse::Csr> matrix,
+                             const baselines::GpuPerfModel& model)
+    : matrix_(require_matrix(std::move(matrix), "gpu-f16")), model_(model) {
+  baselines::validate(model_);
+}
+
+QueryResult GpuModelIndex::query(std::span<const float> x, int top_k,
+                                 const QueryOptions& /*options*/) const {
+  validate_query(x, top_k);
+  QueryResult result;
+  result.entries = baselines::gpu_f16_topk_spmv(*matrix_, x, top_k);
+  result.stats.rows_scanned = matrix_->rows();
+  GpuModelStats gpu;
+  gpu.modelled_spmv_seconds = model_.spmv_seconds(matrix_->nnz(), true);
+  gpu.modelled_topk_seconds =
+      model_.topk_seconds(matrix_->nnz(), matrix_->rows(), true);
+  result.stats.modelled_seconds = gpu.modelled_topk_seconds;
+  result.stats.backend = gpu;
+  return result;
+}
+
+std::uint32_t GpuModelIndex::rows() const noexcept { return matrix_->rows(); }
+
+std::uint32_t GpuModelIndex::cols() const noexcept { return matrix_->cols(); }
+
+IndexDescription GpuModelIndex::describe() const {
+  IndexDescription description;
+  description.backend = "gpu-f16";
+  description.detail = "P100 model: functional binary16 SpMV + analytic timing";
+  description.exact = false;
+  description.rows = rows();
+  description.cols = cols();
+  description.memory_bytes =
+      matrix_->nnz() * (2 + sizeof(std::uint32_t)) +  // F16 values + columns
+      (static_cast<std::uint64_t>(matrix_->rows()) + 1) * sizeof(std::uint64_t);
+  return description;
+}
+
+}  // namespace topk::index

@@ -1,0 +1,130 @@
+// Concrete SimilarityIndex adapters — one per execution strategy the
+// paper compares:
+//
+//   FpgaSimIndex   the multi-core approximate FPGA design (owns a
+//                  core::TopKAccelerator; approximate, modelled device
+//                  time via hbmsim);
+//   CpuHeapIndex   the multi-threaded CSR min-heap CPU baseline
+//                  (sparse_dot_topn-style; exact, doubles as ground
+//                  truth);
+//   ExactSortIndex the "full SpMV then sort" strategy section II
+//                  argues against (exact, O(N log N));
+//   GpuModelIndex  the Tesla P100 baseline: functional F16 emulation
+//                  for accuracy + the analytic bandwidth model for
+//                  timing.
+//
+// All adapters share the collection through shared_ptr<const Csr>, so
+// several backends over the same matrix cost one copy — the setup of
+// every cross-backend bench and test.
+#pragma once
+
+#include <memory>
+
+#include "baselines/gpu_model.hpp"
+#include "core/accelerator.hpp"
+#include "core/design.hpp"
+#include "index/similarity_index.hpp"
+#include "sparse/csr.hpp"
+
+namespace topk::index {
+
+/// Backend construction parameters.  Only the fields a given backend
+/// reads are consumed; the rest are ignored (a "gpu-f16" index does
+/// not care about the FPGA design).
+struct IndexOptions {
+  /// FPGA design for "fpga-sim" (Table II default: 20-bit, 32 cores).
+  core::DesignConfig design = core::DesignConfig::fixed(20);
+  /// Analytic timing model for "gpu-f16".
+  baselines::GpuPerfModel gpu_model;
+};
+
+/// The paper's accelerator behind the unified interface.
+class FpgaSimIndex final : public SimilarityIndex {
+ public:
+  /// Builds the device image from the matrix.  Throws like
+  /// core::TopKAccelerator.
+  FpgaSimIndex(std::shared_ptr<const sparse::Csr> matrix,
+               const core::DesignConfig& design);
+
+  /// Adopts an already-built accelerator (shares ownership), e.g. one
+  /// whose streams were loaded from a persisted device image.
+  explicit FpgaSimIndex(std::shared_ptr<const core::TopKAccelerator> accelerator);
+
+  [[nodiscard]] QueryResult query(std::span<const float> x, int top_k,
+                                  const QueryOptions& options = {}) const override;
+  [[nodiscard]] std::uint32_t rows() const noexcept override;
+  [[nodiscard]] std::uint32_t cols() const noexcept override;
+  [[nodiscard]] IndexDescription describe() const override;
+  /// The FPGA merge can surface at most k * cores candidates.
+  [[nodiscard]] int max_top_k() const noexcept override;
+
+  [[nodiscard]] const core::TopKAccelerator& accelerator() const noexcept {
+    return *accelerator_;
+  }
+
+ private:
+  std::shared_ptr<const core::TopKAccelerator> accelerator_;
+  std::uint64_t source_nnz_ = 0;
+  /// Cached analytic device latency — a function of the immutable
+  /// design/layout/packet counts only, so computed once.
+  double modelled_seconds_ = 0.0;
+};
+
+/// Multi-threaded exact CPU baseline (per-thread min-heaps over row
+/// ranges, merged).  options.threads controls the intra-query fan-out.
+class CpuHeapIndex final : public SimilarityIndex {
+ public:
+  explicit CpuHeapIndex(std::shared_ptr<const sparse::Csr> matrix);
+
+  [[nodiscard]] QueryResult query(std::span<const float> x, int top_k,
+                                  const QueryOptions& options = {}) const override;
+  [[nodiscard]] std::uint32_t rows() const noexcept override;
+  [[nodiscard]] std::uint32_t cols() const noexcept override;
+  [[nodiscard]] IndexDescription describe() const override;
+
+  [[nodiscard]] const sparse::Csr& matrix() const noexcept { return *matrix_; }
+
+ private:
+  std::shared_ptr<const sparse::Csr> matrix_;
+};
+
+/// Exact reference: full y = A*x then partial sort.  Single-threaded;
+/// options.threads is ignored.
+class ExactSortIndex final : public SimilarityIndex {
+ public:
+  explicit ExactSortIndex(std::shared_ptr<const sparse::Csr> matrix);
+
+  [[nodiscard]] QueryResult query(std::span<const float> x, int top_k,
+                                  const QueryOptions& options = {}) const override;
+  [[nodiscard]] std::uint32_t rows() const noexcept override;
+  [[nodiscard]] std::uint32_t cols() const noexcept override;
+  [[nodiscard]] IndexDescription describe() const override;
+
+ private:
+  std::shared_ptr<const sparse::Csr> matrix_;
+};
+
+/// GPU F16 baseline: bit-faithful binary16 SpMV emulation for the
+/// entries, analytic P100 times in the stats extension.
+class GpuModelIndex final : public SimilarityIndex {
+ public:
+  /// Throws std::invalid_argument on invalid model constants.
+  GpuModelIndex(std::shared_ptr<const sparse::Csr> matrix,
+                const baselines::GpuPerfModel& model = {});
+
+  [[nodiscard]] QueryResult query(std::span<const float> x, int top_k,
+                                  const QueryOptions& options = {}) const override;
+  [[nodiscard]] std::uint32_t rows() const noexcept override;
+  [[nodiscard]] std::uint32_t cols() const noexcept override;
+  [[nodiscard]] IndexDescription describe() const override;
+
+  [[nodiscard]] const baselines::GpuPerfModel& perf_model() const noexcept {
+    return model_;
+  }
+
+ private:
+  std::shared_ptr<const sparse::Csr> matrix_;
+  baselines::GpuPerfModel model_;
+};
+
+}  // namespace topk::index

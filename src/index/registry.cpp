@@ -1,0 +1,160 @@
+#include "index/registry.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace topk::index {
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, IndexFactory, std::less<>> factories;
+};
+
+/// Function-local static seeded with the built-ins: no static-init
+/// order hazards, and the four paper backends are always present.
+Registry& registry() {
+  static Registry instance;
+  static const bool seeded = [] {
+    Registry& r = instance;
+    r.factories.emplace(
+        "fpga-sim",
+        [](std::shared_ptr<const sparse::Csr> matrix,
+           const IndexOptions& options) -> std::shared_ptr<SimilarityIndex> {
+          return std::make_shared<FpgaSimIndex>(std::move(matrix),
+                                                options.design);
+        });
+    r.factories.emplace(
+        "cpu-heap",
+        [](std::shared_ptr<const sparse::Csr> matrix,
+           const IndexOptions&) -> std::shared_ptr<SimilarityIndex> {
+          return std::make_shared<CpuHeapIndex>(std::move(matrix));
+        });
+    r.factories.emplace(
+        "exact-sort",
+        [](std::shared_ptr<const sparse::Csr> matrix,
+           const IndexOptions&) -> std::shared_ptr<SimilarityIndex> {
+          return std::make_shared<ExactSortIndex>(std::move(matrix));
+        });
+    r.factories.emplace(
+        "gpu-f16",
+        [](std::shared_ptr<const sparse::Csr> matrix,
+           const IndexOptions& options) -> std::shared_ptr<SimilarityIndex> {
+          return std::make_shared<GpuModelIndex>(std::move(matrix),
+                                                 options.gpu_model);
+        });
+    return true;
+  }();
+  (void)seeded;
+  return instance;
+}
+
+/// Caller must hold the registry lock.
+std::string known_backends_message(const Registry& r) {
+  std::string message;
+  for (const auto& [name, factory] : r.factories) {
+    if (!message.empty()) {
+      message += ", ";
+    }
+    message += name;
+  }
+  return message;
+}
+
+}  // namespace
+
+void register_backend(const std::string& name, IndexFactory factory) {
+  if (name.empty()) {
+    throw std::invalid_argument("register_backend: empty name");
+  }
+  if (!factory) {
+    throw std::invalid_argument("register_backend: null factory");
+  }
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  if (!r.factories.emplace(name, std::move(factory)).second) {
+    throw std::invalid_argument("register_backend: '" + name +
+                                "' already registered");
+  }
+}
+
+std::vector<std::string> registered_backends() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<std::string> names;
+  names.reserve(r.factories.size());
+  for (const auto& [name, factory] : r.factories) {
+    names.push_back(name);
+  }
+  return names;  // std::map iterates sorted
+}
+
+bool has_backend(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.factories.find(name) != r.factories.end();
+}
+
+std::shared_ptr<SimilarityIndex> make_index(
+    std::string_view name, std::shared_ptr<const sparse::Csr> matrix,
+    const IndexOptions& options) {
+  IndexFactory factory;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.factories.find(name);
+    if (it == r.factories.end()) {
+      throw std::invalid_argument("make_index: unknown backend '" +
+                                  std::string(name) + "' (registered: " +
+                                  known_backends_message(r) + ")");
+    }
+    factory = it->second;
+  }
+  // Construct outside the lock: building an FPGA image encodes the
+  // whole matrix and must not serialise unrelated make_index calls.
+  return factory(std::move(matrix), options);
+}
+
+std::shared_ptr<SimilarityIndex> make_index(std::string_view name,
+                                            const sparse::Csr& matrix,
+                                            const IndexOptions& options) {
+  return make_index(name, std::make_shared<const sparse::Csr>(matrix), options);
+}
+
+IndexBuilder& IndexBuilder::backend(std::string name) {
+  backend_ = std::move(name);
+  return *this;
+}
+
+IndexBuilder& IndexBuilder::matrix(std::shared_ptr<const sparse::Csr> matrix) {
+  matrix_ = std::move(matrix);
+  return *this;
+}
+
+IndexBuilder& IndexBuilder::matrix(sparse::Csr matrix) {
+  matrix_ = std::make_shared<const sparse::Csr>(std::move(matrix));
+  return *this;
+}
+
+IndexBuilder& IndexBuilder::design(const core::DesignConfig& design) {
+  options_.design = design;
+  return *this;
+}
+
+IndexBuilder& IndexBuilder::gpu_model(const baselines::GpuPerfModel& model) {
+  options_.gpu_model = model;
+  return *this;
+}
+
+std::shared_ptr<SimilarityIndex> IndexBuilder::build() const {
+  if (!matrix_) {
+    throw std::invalid_argument("IndexBuilder: no matrix set");
+  }
+  return make_index(backend_, matrix_, options_);
+}
+
+}  // namespace topk::index

@@ -1,0 +1,86 @@
+// String-keyed backend registry and factory for SimilarityIndex.
+//
+// Benches and examples select execution strategies from the command
+// line ("--backend=cpu-heap"); the registry turns those names into
+// live indexes without the call site naming a concrete type.  The four
+// built-in backends register themselves on first use:
+//
+//   "fpga-sim"    FpgaSimIndex   (options.design)
+//   "cpu-heap"    CpuHeapIndex
+//   "exact-sort"  ExactSortIndex
+//   "gpu-f16"     GpuModelIndex  (options.gpu_model)
+//
+// New backends (a sharded index, an ANN structure, a remote stub)
+// register with register_backend() and immediately show up in every
+// registry-driven bench loop.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/backends.hpp"
+#include "index/similarity_index.hpp"
+#include "sparse/csr.hpp"
+
+namespace topk::index {
+
+/// Constructs one backend over a shared collection.
+using IndexFactory = std::function<std::shared_ptr<SimilarityIndex>(
+    std::shared_ptr<const sparse::Csr>, const IndexOptions&)>;
+
+/// Registers a backend under `name`.  Throws std::invalid_argument on
+/// an empty name, a null factory, or a name already registered
+/// (built-ins included).  Thread-safe.
+void register_backend(const std::string& name, IndexFactory factory);
+
+/// All registered backend names, sorted.  Always contains the four
+/// built-ins.
+[[nodiscard]] std::vector<std::string> registered_backends();
+
+/// True when `name` is a registered backend.
+[[nodiscard]] bool has_backend(std::string_view name);
+
+/// Builds the named backend over the shared collection.  Throws
+/// std::invalid_argument for unknown names (the message lists the
+/// registered ones) or a null matrix.
+[[nodiscard]] std::shared_ptr<SimilarityIndex> make_index(
+    std::string_view name, std::shared_ptr<const sparse::Csr> matrix,
+    const IndexOptions& options = {});
+
+/// Convenience overload copying the matrix into shared ownership —
+/// for call sites that hand the collection off entirely.  Prefer the
+/// shared_ptr overload when several backends index the same matrix.
+[[nodiscard]] std::shared_ptr<SimilarityIndex> make_index(
+    std::string_view name, const sparse::Csr& matrix,
+    const IndexOptions& options = {});
+
+/// Fluent construction when the options outgrow a brace-init list:
+///
+///   auto fpga = IndexBuilder()
+///                   .backend("fpga-sim")
+///                   .matrix(csr)
+///                   .design(core::DesignConfig::fixed(25, 16))
+///                   .build();
+class IndexBuilder {
+ public:
+  IndexBuilder& backend(std::string name);
+  IndexBuilder& matrix(std::shared_ptr<const sparse::Csr> matrix);
+  /// Copies (or moves) the matrix into shared ownership.
+  IndexBuilder& matrix(sparse::Csr matrix);
+  IndexBuilder& design(const core::DesignConfig& design);
+  IndexBuilder& gpu_model(const baselines::GpuPerfModel& model);
+
+  /// Throws std::invalid_argument if no matrix was set or the backend
+  /// is unknown.
+  [[nodiscard]] std::shared_ptr<SimilarityIndex> build() const;
+
+ private:
+  std::string backend_ = "fpga-sim";
+  std::shared_ptr<const sparse::Csr> matrix_;
+  IndexOptions options_;
+};
+
+}  // namespace topk::index

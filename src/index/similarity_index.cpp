@@ -1,0 +1,88 @@
+#include "index/similarity_index.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+#include "serve/thread_pool.hpp"
+
+namespace topk::index {
+
+namespace {
+
+int resolve_threads(int requested, std::size_t work_items) {
+  if (requested < 0) {
+    throw std::invalid_argument("QueryOptions: negative thread count");
+  }
+  int threads = requested;
+  if (threads == 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads == 0) {
+      threads = 1;
+    }
+  }
+  return static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(threads),
+                            std::max<std::size_t>(1, work_items)));
+}
+
+}  // namespace
+
+void SimilarityIndex::check_vector(std::span<const float> x) const {
+  if (x.size() != cols()) {
+    throw std::invalid_argument(describe().backend +
+                                ": query vector size mismatch");
+  }
+}
+
+void SimilarityIndex::check_top_k(int top_k) const {
+  if (top_k <= 0) {
+    throw std::invalid_argument(describe().backend +
+                                ": top_k must be positive");
+  }
+  const int limit = max_top_k();
+  if (limit > 0 && top_k > limit) {
+    throw std::invalid_argument(describe().backend +
+                                ": top_k exceeds backend capability");
+  }
+}
+
+void SimilarityIndex::validate_query(std::span<const float> x,
+                                     int top_k) const {
+  check_vector(x);
+  check_top_k(top_k);
+}
+
+void SimilarityIndex::validate_batch(
+    const std::vector<std::vector<float>>& queries, int top_k) const {
+  for (const auto& x : queries) {
+    check_vector(x);
+  }
+  check_top_k(top_k);
+}
+
+std::vector<QueryResult> SimilarityIndex::query_batch(
+    const std::vector<std::vector<float>>& queries, int top_k,
+    const QueryOptions& options) const {
+  std::vector<QueryResult> results(queries.size());
+  if (queries.empty()) {
+    validate_batch(queries, top_k);
+    return results;
+  }
+  const int threads = resolve_threads(options.threads, queries.size());
+  validate_batch(queries, top_k);  // so worker threads never throw
+
+  // Whole queries are claimed dynamically from the shared persistent
+  // pool; each runs its intra-query path sequentially (throughput over
+  // latency, the real-time service host loop).
+  serve::ThreadPool& pool = serve::shared_pool();
+  pool.ensure_workers(threads - 1);
+  QueryOptions per_query;
+  per_query.threads = 1;
+  pool.parallel_for(queries.size(), threads, [&](std::size_t i) {
+    results[i] = query(queries[i], top_k, per_query);
+  });
+  return results;
+}
+
+}  // namespace topk::index

@@ -1,0 +1,143 @@
+// Unified multi-backend similarity-search API.
+//
+// The paper's central claim is comparative: the FPGA Top-K SpMV design
+// against a multi-threaded CPU baseline and a GPU F16 model.  Each of
+// those execution strategies used to live behind a different ad-hoc
+// entry point (core::TopKAccelerator::query, the free functions in
+// baselines::, the GPU model).  SimilarityIndex is the one abstraction
+// they all implement — the backend-interchangeable kernel view of the
+// parallel all-pairs-similarity literature (PAPERS.md) — so benches,
+// examples and the serving tier select a backend at runtime and every
+// comparison runs through the identical code path.
+//
+// Concrete adapters live in index/backends.hpp; runtime construction
+// by name ("fpga-sim", "cpu-heap", ...) in index/registry.hpp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "core/topk_spmv.hpp"
+
+namespace topk::index {
+
+/// Backend-neutral execution options for one query.
+struct QueryOptions {
+  /// Maximum concurrency for one query (0 = hardware concurrency,
+  /// 1 = sequential on the calling thread).  Backends without an
+  /// intra-query parallel path ignore it.
+  int threads = 1;
+};
+
+/// Analytic-model counters attached by GpuModelIndex.
+struct GpuModelStats {
+  double modelled_spmv_seconds = 0.0;  ///< SpMV kernel alone
+  double modelled_topk_seconds = 0.0;  ///< SpMV + full radix sort
+};
+
+/// Per-query counters.  The common fields are meaningful for every
+/// backend; device-specific counters ride along as a typed extension
+/// (ExecutionStats for the FPGA simulator, GpuModelStats for the GPU
+/// model) instead of being flattened into one union of field names.
+struct QueryStats {
+  /// Candidate rows the backend examined (all backends scan the full
+  /// collection; an ANN backend would report fewer).
+  std::uint64_t rows_scanned = 0;
+  /// Modelled on-device time for modelled backends (FPGA, GPU);
+  /// zero for backends that only exist as measured host code.
+  double modelled_seconds = 0.0;
+  std::variant<std::monostate, core::ExecutionStats, GpuModelStats> backend;
+};
+
+/// Result of one query through any backend.
+struct QueryResult {
+  std::vector<core::TopKEntry> entries;  ///< descending by value
+  QueryStats stats;
+};
+
+/// The FPGA extension payload, if this result came from FpgaSimIndex.
+[[nodiscard]] inline const core::ExecutionStats* fpga_stats(
+    const QueryResult& result) noexcept {
+  return std::get_if<core::ExecutionStats>(&result.stats.backend);
+}
+
+/// The GPU-model extension payload, if this result came from
+/// GpuModelIndex.
+[[nodiscard]] inline const GpuModelStats* gpu_stats(
+    const QueryResult& result) noexcept {
+  return std::get_if<GpuModelStats>(&result.stats.backend);
+}
+
+/// Capability and footprint metadata reported by describe().
+struct IndexDescription {
+  std::string backend;  ///< registry key, e.g. "fpga-sim"
+  std::string detail;   ///< human-readable configuration
+  /// True when scores are exact (double accumulation) — the backend
+  /// can serve as ground truth for the approximate ones.
+  bool exact = false;
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  /// Largest accepted top_k (0 = bounded only by rows); the FPGA
+  /// merge can surface at most k * cores candidates.
+  int max_top_k = 0;
+  /// Index image footprint (device streams or the CSR arrays).
+  std::uint64_t memory_bytes = 0;
+};
+
+/// Abstract Top-K similarity index over a fixed collection.
+///
+/// Implementations are immutable after construction and
+/// thread-compatible: concurrent query() calls on one instance are
+/// safe.  All adapters validate through validate_query(), so shape and
+/// top_k errors are uniform across backends.
+class SimilarityIndex {
+ public:
+  virtual ~SimilarityIndex() = default;
+
+  /// Returns the (approximate or exact, see describe().exact) top
+  /// `top_k` rows by dot product with `x`.  Throws
+  /// std::invalid_argument on shape mismatch or top_k outside
+  /// (0, max_top_k()].
+  [[nodiscard]] virtual QueryResult query(
+      std::span<const float> x, int top_k,
+      const QueryOptions& options = {}) const = 0;
+
+  /// Runs a batch of queries (each a cols()-sized vector), spreading
+  /// whole queries across options.threads workers on the shared
+  /// persistent pool with dynamic claiming.  Results align with the
+  /// input order.  The default implementation validates up front and
+  /// fans out over query(); backends with a cheaper batch path may
+  /// override.
+  [[nodiscard]] virtual std::vector<QueryResult> query_batch(
+      const std::vector<std::vector<float>>& queries, int top_k,
+      const QueryOptions& options = {}) const;
+
+  [[nodiscard]] virtual std::uint32_t rows() const noexcept = 0;
+  [[nodiscard]] virtual std::uint32_t cols() const noexcept = 0;
+
+  /// Capability/stats metadata — one call for everything a serving
+  /// tier or bench needs to route, display, and sanity-check.
+  [[nodiscard]] virtual IndexDescription describe() const = 0;
+
+  /// Largest accepted top_k (0 = bounded only by rows).
+  [[nodiscard]] virtual int max_top_k() const noexcept { return 0; }
+
+  /// Shared argument validation: x.size() == cols(), top_k in
+  /// (0, max_top_k()] (or just positive when unbounded).  Throws
+  /// std::invalid_argument with a backend-tagged message.
+  void validate_query(std::span<const float> x, int top_k) const;
+
+  /// Batch variant: every vector checked against cols(), top_k once.
+  void validate_batch(const std::vector<std::vector<float>>& queries,
+                      int top_k) const;
+
+ protected:
+  void check_vector(std::span<const float> x) const;
+  void check_top_k(int top_k) const;
+};
+
+}  // namespace topk::index

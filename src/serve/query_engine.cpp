@@ -26,13 +26,20 @@ int resolve_workers(int requested) {
 
 }  // namespace
 
-QueryEngine::QueryEngine(const core::TopKAccelerator& accelerator,
+QueryEngine::QueryEngine(std::shared_ptr<const index::SimilarityIndex> index,
                          EngineConfig config)
-    : accelerator_(accelerator),
+    : index_(std::move(index)),
       workers_(resolve_workers(config.workers)),
-      max_pending_(config.max_pending) {
+      max_pending_(config.max_pending),
+      latency_window_size_(config.latency_window) {
+  if (!index_) {
+    throw std::invalid_argument("QueryEngine: null index");
+  }
   if (max_pending_ == 0) {
     throw std::invalid_argument("EngineConfig: max_pending must be positive");
+  }
+  if (latency_window_size_ == 0) {
+    throw std::invalid_argument("EngineConfig: latency_window must be positive");
   }
   // Grow the shared pool up front so the first request is not the one
   // paying thread-creation cost.  At least one worker is kept even for
@@ -43,38 +50,38 @@ QueryEngine::QueryEngine(const core::TopKAccelerator& accelerator,
 
 QueryEngine::~QueryEngine() { drain(); }
 
-core::QueryResult QueryEngine::query(std::span<const float> x,
-                                     int top_k) const {
+index::QueryResult QueryEngine::query(std::span<const float> x,
+                                      int top_k) const {
   util::WallTimer timer;
-  core::QueryOptions options;
+  index::QueryOptions options;
   options.threads = workers_;
-  core::QueryResult result = accelerator_.query(x, top_k, options);
+  index::QueryResult result = index_->query(x, top_k, options);
   record_latency(timer.millis());
   return result;
 }
 
-std::vector<core::QueryResult> QueryEngine::query_batch(
+std::vector<index::QueryResult> QueryEngine::query_batch(
     const std::vector<std::vector<float>>& queries, int top_k) const {
-  // The accelerator's batch path already claims whole queries
-  // dynamically from the shared pool; the engine adds the worker
-  // budget and per-query latency capture.
-  std::vector<core::QueryResult> results(queries.size());
+  // The engine owns the batch fan-out (rather than delegating to
+  // SimilarityIndex::query_batch) so every query passes through the
+  // same latency capture as the sync and async paths.
+  std::vector<index::QueryResult> results(queries.size());
+  index_->validate_batch(queries, top_k);
   if (queries.empty()) {
     return results;
   }
-  accelerator_.validate_batch(queries, top_k);
   ThreadPool& pool = shared_pool();
   pool.ensure_workers(workers_ - 1);
   pool.parallel_for(queries.size(), workers_, [&](std::size_t i) {
     util::WallTimer timer;
-    results[i] = accelerator_.query(queries[i], top_k);
+    results[i] = index_->query(queries[i], top_k);
     record_latency(timer.millis());
   });
   return results;
 }
 
-std::future<core::QueryResult> QueryEngine::submit(std::vector<float> x,
-                                                   int top_k) {
+std::future<index::QueryResult> QueryEngine::submit(std::vector<float> x,
+                                                    int top_k) {
   {
     // Bounded admission: block while max_pending requests are in
     // flight.  This is the serving tier's backpressure valve — callers
@@ -84,19 +91,19 @@ std::future<core::QueryResult> QueryEngine::submit(std::vector<float> x,
     ++pending_;
   }
 
-  auto promise = std::make_shared<std::promise<core::QueryResult>>();
-  std::future<core::QueryResult> future = promise->get_future();
+  auto promise = std::make_shared<std::promise<index::QueryResult>>();
+  std::future<index::QueryResult> future = promise->get_future();
   shared_pool().post(
       [this, promise, x = std::move(x), top_k]() mutable {
         try {
           util::WallTimer timer;
-          // Same core-stream fan-out as query(): at low load the
+          // Same intra-query fan-out as query(): at low load the
           // helpers start immediately (latency), at high load they
           // queue behind other submitted requests and the claiming
-          // thread runs the streams itself (throughput).
-          core::QueryOptions options;
+          // thread runs the backend itself (throughput).
+          index::QueryOptions options;
           options.threads = workers_;
-          core::QueryResult result = accelerator_.query(x, top_k, options);
+          index::QueryResult result = index_->query(x, top_k, options);
           record_latency(timer.millis());
           promise->set_value(std::move(result));
         } catch (...) {
@@ -127,12 +134,19 @@ void QueryEngine::drain() {
 void QueryEngine::record_latency(double millis) const {
   std::lock_guard<std::mutex> lock(latency_mutex_);
   lifetime_latency_.add(millis);
-  if (latency_window_.size() < kLatencyWindow) {
+  if (latency_window_.size() < latency_window_size_) {
     latency_window_.push_back(millis);
   } else {
     latency_window_[latency_window_next_] = millis;
-    latency_window_next_ = (latency_window_next_ + 1) % kLatencyWindow;
+    latency_window_next_ = (latency_window_next_ + 1) % latency_window_size_;
   }
+}
+
+void QueryEngine::reset_latency() {
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  lifetime_latency_ = util::RunningStats();
+  latency_window_.clear();
+  latency_window_next_ = 0;
 }
 
 LatencySummary QueryEngine::latency_summary() const {

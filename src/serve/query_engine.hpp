@@ -1,7 +1,10 @@
-// Serving facade over a TopKAccelerator: the host-side component a
-// real-time retrieval service talks to.
+// Serving facade over any index::SimilarityIndex: the host-side
+// component a real-time retrieval service talks to.  The engine is
+// backend-agnostic — an FPGA simulator, the CPU heap baseline or the
+// GPU model all serve through the identical code path, so latency
+// digests are directly comparable across backends.
 //
-// What it adds over calling the accelerator directly:
+// What it adds over calling the index directly:
 //   * a persistent worker budget (no per-call thread spawning — all
 //     execution runs on serve::shared_pool() with dynamic claiming);
 //   * synchronous query_batch() with per-query dynamic scheduling;
@@ -10,27 +13,25 @@
 //     a serving tier);
 //   * latency instrumentation: every query served through the engine
 //     is timed, and latency_summary() reports count/mean/p50/p95/p99
-//     via util::RunningStats and util::quantile.
-//
-// The wrapped accelerator quantises each query vector exactly once and
-// reuses the raws across all core streams (core::quantize_query), so
-// every path through the engine gets the amortised conversion.
+//     via util::RunningStats and util::quantile; reset_latency()
+//     starts a fresh measurement epoch (e.g. after warm-up).
 //
 // Thread-safety: all public methods may be called concurrently.  The
 // destructor blocks until all pending async requests have completed,
 // and futures stay valid past the engine's lifetime (the shared state
-// is owned by the request).  The referenced accelerator must outlive
-// the engine.
+// is owned by the request).  The engine shares ownership of the index,
+// so the index outlives every request by construction.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
 
-#include "core/accelerator.hpp"
+#include "index/similarity_index.hpp"
 #include "util/stats.hpp"
 
 namespace topk::serve {
@@ -38,18 +39,22 @@ namespace topk::serve {
 /// Configuration of one engine instance.
 struct EngineConfig {
   /// Maximum concurrency per operation (0 = hardware concurrency).
-  /// query() fans its core streams across up to this many threads;
+  /// query() hands this to the backend as its intra-query budget;
   /// query_batch() fans whole queries instead.
   int workers = 0;
   /// Bound on queued-but-unfinished async requests; submit() blocks
   /// (backpressure) once this many are in flight.
   std::size_t max_pending = 1024;
+  /// Ring-buffer capacity backing the latency percentile estimates —
+  /// sized to the traffic a percentile should describe (a long-lived
+  /// serving process never accumulates unbounded history).
+  std::size_t latency_window = 4096;
 };
 
-/// Latency digest in milliseconds.  count/mean/max cover the engine's
-/// whole lifetime; the percentiles cover the most recent
-/// QueryEngine::kLatencyWindow samples (a bounded ring buffer, so a
-/// long-lived serving process never accumulates unbounded history).
+/// Latency digest in milliseconds.  count/mean/max cover the current
+/// measurement epoch (since construction or the last reset_latency());
+/// the percentiles cover the most recent EngineConfig::latency_window
+/// samples of that epoch.
 struct LatencySummary {
   std::size_t count = 0;
   double mean_ms = 0.0;
@@ -61,9 +66,10 @@ struct LatencySummary {
 
 class QueryEngine {
  public:
-  /// Throws std::invalid_argument for negative workers or a zero
-  /// max_pending.
-  explicit QueryEngine(const core::TopKAccelerator& accelerator,
+  /// Takes shared ownership of the index.  Throws
+  /// std::invalid_argument for a null index, negative workers, zero
+  /// max_pending, or a zero latency_window.
+  explicit QueryEngine(std::shared_ptr<const index::SimilarityIndex> index,
                        EngineConfig config = {});
 
   /// Blocks until all pending async requests have finished.
@@ -72,30 +78,30 @@ class QueryEngine {
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
-  /// Synchronous single query: core streams fan out across the worker
-  /// budget.  Bit-identical to accelerator.query(x, top_k) at any
-  /// worker count.  Throws like TopKAccelerator::query.
-  [[nodiscard]] core::QueryResult query(std::span<const float> x,
-                                        int top_k) const;
+  /// Synchronous single query: the backend's intra-query path gets the
+  /// whole worker budget.  Results are identical to index.query(x,
+  /// top_k) at any worker count.  Throws like the backend.
+  [[nodiscard]] index::QueryResult query(std::span<const float> x,
+                                         int top_k) const;
 
   /// Synchronous batch: whole queries are claimed dynamically by up to
-  /// `workers` threads (each query runs its core streams sequentially,
+  /// `workers` threads (each query runs its backend path sequentially,
   /// maximising throughput).  Results align with input order and are
-  /// bit-identical to per-query query() calls.
-  [[nodiscard]] std::vector<core::QueryResult> query_batch(
+  /// identical to per-query query() calls.
+  [[nodiscard]] std::vector<index::QueryResult> query_batch(
       const std::vector<std::vector<float>>& queries, int top_k) const;
 
   /// Async path: enqueues the query and returns immediately with a
   /// future (unless max_pending requests are already in flight, in
   /// which case it blocks until a slot frees — bounded-queue
-  /// backpressure).  The request executes with the same core-stream
+  /// backpressure).  The request executes with the same intra-query
   /// fan-out as query(), so a lone request on an idle engine gets
   /// full parallelism while concurrent requests degrade gracefully
   /// to one thread each.  The vector is moved/copied into the
   /// request, so the caller may free its buffer at once.  Validation
   /// errors surface through the future as std::invalid_argument.
-  [[nodiscard]] std::future<core::QueryResult> submit(std::vector<float> x,
-                                                      int top_k);
+  [[nodiscard]] std::future<index::QueryResult> submit(std::vector<float> x,
+                                                       int top_k);
 
   /// Requests admitted via submit() whose futures are not yet ready.
   [[nodiscard]] std::size_t pending() const;
@@ -103,23 +109,31 @@ class QueryEngine {
   /// Blocks until no async request is in flight.
   void drain();
 
-  /// Digest over every query served so far (sync and async).
+  /// Digest over every query served in the current epoch (sync and
+  /// async).
   [[nodiscard]] LatencySummary latency_summary() const;
 
-  [[nodiscard]] const core::TopKAccelerator& accelerator() const noexcept {
-    return accelerator_;
+  /// Starts a fresh measurement epoch: clears the lifetime stats and
+  /// the percentile window.  Queries already in flight land in the new
+  /// epoch.
+  void reset_latency();
+
+  /// The served backend (shared ownership held by the engine).
+  [[nodiscard]] const index::SimilarityIndex& index() const noexcept {
+    return *index_;
   }
   [[nodiscard]] int workers() const noexcept { return workers_; }
-
-  /// Ring-buffer capacity backing the percentile estimates.
-  static constexpr std::size_t kLatencyWindow = 4096;
+  [[nodiscard]] std::size_t latency_window() const noexcept {
+    return latency_window_size_;
+  }
 
  private:
   void record_latency(double millis) const;
 
-  const core::TopKAccelerator& accelerator_;
+  std::shared_ptr<const index::SimilarityIndex> index_;
   int workers_;
   std::size_t max_pending_;
+  std::size_t latency_window_size_;
 
   mutable std::mutex pending_mutex_;
   std::condition_variable pending_cv_;

@@ -1,15 +1,18 @@
-// Tests for the serving layer: the persistent ThreadPool, the
-// QueryEngine facade (sync, batched, async), and the surfaced
-// max_rows_in_packet execution counter.
+// Tests for the serving layer: the persistent ThreadPool and the
+// backend-agnostic QueryEngine facade (sync, batched, async) over
+// index::SimilarityIndex.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <future>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "core/accelerator.hpp"
+#include "index/backends.hpp"
+#include "index/registry.hpp"
 #include "serve/query_engine.hpp"
 #include "serve/thread_pool.hpp"
 #include "test_helpers.hpp"
@@ -105,8 +108,10 @@ TEST(ThreadPoolTest, EnsureWorkersGrowsButNeverShrinks) {
 class QueryEngineTest : public ::testing::Test {
  protected:
   QueryEngineTest()
-      : matrix_(test::small_random_matrix(800, 256, 12.0, 97)),
-        accelerator_(matrix_, core::DesignConfig::fixed(20, 8)) {}
+      : matrix_(std::make_shared<const sparse::Csr>(
+            test::small_random_matrix(800, 256, 12.0, 97))),
+        fpga_(std::make_shared<index::FpgaSimIndex>(
+            matrix_, core::DesignConfig::fixed(20, 8))) {}
 
   [[nodiscard]] std::vector<std::vector<float>> make_queries(int count,
                                                              std::uint64_t seed) {
@@ -119,38 +124,41 @@ class QueryEngineTest : public ::testing::Test {
     return queries;
   }
 
-  sparse::Csr matrix_;
-  core::TopKAccelerator accelerator_;
+  std::shared_ptr<const sparse::Csr> matrix_;
+  std::shared_ptr<const index::FpgaSimIndex> fpga_;
 };
 
 TEST_F(QueryEngineTest, WorkerCountDoesNotChangeResults) {
   const auto queries = make_queries(6, 201);
-  const core::QueryResult reference = accelerator_.query(queries[0], 32);
+  const index::QueryResult reference = fpga_->query(queries[0], 32);
   const int oversubscribed =
       4 * std::max(1u, std::thread::hardware_concurrency());
   for (const int workers : {1, 2, 8, 16, oversubscribed}) {
-    QueryEngine engine(accelerator_, {.workers = workers});
-    const core::QueryResult result = engine.query(queries[0], 32);
+    QueryEngine engine(fpga_, {.workers = workers});
+    const index::QueryResult result = engine.query(queries[0], 32);
     ASSERT_EQ(result.entries.size(), reference.entries.size())
         << workers << " workers";
     for (std::size_t i = 0; i < result.entries.size(); ++i) {
       EXPECT_EQ(result.entries[i], reference.entries[i])
           << workers << " workers, rank " << i;
     }
-    EXPECT_EQ(result.stats.total_packets, reference.stats.total_packets);
-    EXPECT_EQ(result.stats.max_rows_in_packet,
-              reference.stats.max_rows_in_packet);
+    const core::ExecutionStats* stats = index::fpga_stats(result);
+    const core::ExecutionStats* expected = index::fpga_stats(reference);
+    ASSERT_NE(stats, nullptr);
+    ASSERT_NE(expected, nullptr);
+    EXPECT_EQ(stats->total_packets, expected->total_packets);
+    EXPECT_EQ(stats->max_rows_in_packet, expected->max_rows_in_packet);
   }
 }
 
 TEST_F(QueryEngineTest, BatchMatchesSingleThreadedQueries) {
   const auto queries = make_queries(9, 202);
   for (const int workers : {1, 2, 8, 16}) {
-    QueryEngine engine(accelerator_, {.workers = workers});
+    QueryEngine engine(fpga_, {.workers = workers});
     const auto batch = engine.query_batch(queries, 16);
     ASSERT_EQ(batch.size(), queries.size());
     for (std::size_t q = 0; q < queries.size(); ++q) {
-      const core::QueryResult individual = accelerator_.query(queries[q], 16);
+      const index::QueryResult individual = fpga_->query(queries[q], 16);
       ASSERT_EQ(batch[q].entries.size(), individual.entries.size())
           << workers << " workers, query " << q;
       for (std::size_t i = 0; i < individual.entries.size(); ++i) {
@@ -162,7 +170,7 @@ TEST_F(QueryEngineTest, BatchMatchesSingleThreadedQueries) {
 }
 
 TEST_F(QueryEngineTest, BatchValidatesUpFront) {
-  QueryEngine engine(accelerator_, {.workers = 2});
+  QueryEngine engine(fpga_, {.workers = 2});
   auto queries = make_queries(2, 203);
   EXPECT_THROW((void)engine.query_batch(queries, 0), std::invalid_argument);
   EXPECT_THROW((void)engine.query_batch(queries, 8 * 8 + 1),
@@ -174,15 +182,15 @@ TEST_F(QueryEngineTest, BatchValidatesUpFront) {
 
 TEST_F(QueryEngineTest, SubmitResultsAlignWithSubmissionOrder) {
   const auto queries = make_queries(12, 204);
-  QueryEngine engine(accelerator_, {.workers = 4});
-  std::vector<std::future<core::QueryResult>> futures;
+  QueryEngine engine(fpga_, {.workers = 4});
+  std::vector<std::future<index::QueryResult>> futures;
   futures.reserve(queries.size());
   for (const auto& x : queries) {
     futures.push_back(engine.submit(x, 16));
   }
   for (std::size_t q = 0; q < queries.size(); ++q) {
-    const core::QueryResult expected = accelerator_.query(queries[q], 16);
-    const core::QueryResult got = futures[q].get();
+    const index::QueryResult expected = fpga_->query(queries[q], 16);
+    const index::QueryResult got = futures[q].get();
     ASSERT_EQ(got.entries.size(), expected.entries.size()) << "query " << q;
     for (std::size_t i = 0; i < expected.entries.size(); ++i) {
       EXPECT_EQ(got.entries[i], expected.entries[i])
@@ -194,7 +202,7 @@ TEST_F(QueryEngineTest, SubmitResultsAlignWithSubmissionOrder) {
 }
 
 TEST_F(QueryEngineTest, SubmitPropagatesValidationErrorsThroughFuture) {
-  QueryEngine engine(accelerator_, {.workers = 2});
+  QueryEngine engine(fpga_, {.workers = 2});
   auto wrong_size = engine.submit(std::vector<float>(17, 0.0f), 8);
   EXPECT_THROW((void)wrong_size.get(), std::invalid_argument);
   auto bad_topk = engine.submit(make_queries(1, 205)[0], 8 * 8 + 1);
@@ -206,8 +214,8 @@ TEST_F(QueryEngineTest, SubmitPropagatesValidationErrorsThroughFuture) {
 
 TEST_F(QueryEngineTest, BoundedQueueBackpressureStillCompletesEverything) {
   const auto queries = make_queries(10, 207);
-  QueryEngine engine(accelerator_, {.workers = 2, .max_pending = 2});
-  std::vector<std::future<core::QueryResult>> futures;
+  QueryEngine engine(fpga_, {.workers = 2, .max_pending = 2});
+  std::vector<std::future<index::QueryResult>> futures;
   for (const auto& x : queries) {
     futures.push_back(engine.submit(x, 8));  // blocks when 2 in flight
   }
@@ -217,15 +225,16 @@ TEST_F(QueryEngineTest, BoundedQueueBackpressureStillCompletesEverything) {
 }
 
 TEST_F(QueryEngineTest, RejectsBadConfig) {
-  EXPECT_THROW(QueryEngine(accelerator_, {.workers = -1}),
+  EXPECT_THROW(QueryEngine(fpga_, {.workers = -1}), std::invalid_argument);
+  EXPECT_THROW(QueryEngine(fpga_, {.max_pending = 0}), std::invalid_argument);
+  EXPECT_THROW(QueryEngine(fpga_, {.latency_window = 0}),
                std::invalid_argument);
-  EXPECT_THROW(QueryEngine(accelerator_, {.max_pending = 0}),
-               std::invalid_argument);
+  EXPECT_THROW(QueryEngine(nullptr, {}), std::invalid_argument);
 }
 
 TEST_F(QueryEngineTest, LatencySummaryCountsEveryServedQuery) {
   const auto queries = make_queries(5, 208);
-  QueryEngine engine(accelerator_, {.workers = 2});
+  QueryEngine engine(fpga_, {.workers = 2});
   EXPECT_EQ(engine.latency_summary().count, 0u);
   (void)engine.query(queries[0], 8);
   (void)engine.query_batch(queries, 8);
@@ -238,21 +247,98 @@ TEST_F(QueryEngineTest, LatencySummaryCountsEveryServedQuery) {
   EXPECT_GT(summary.mean_ms, 0.0);
 }
 
+TEST_F(QueryEngineTest, ResetLatencyStartsAFreshEpoch) {
+  const auto queries = make_queries(4, 209);
+  QueryEngine engine(fpga_, {.workers = 2});
+  (void)engine.query_batch(queries, 8);
+  EXPECT_EQ(engine.latency_summary().count, queries.size());
+  engine.reset_latency();
+  const LatencySummary cleared = engine.latency_summary();
+  EXPECT_EQ(cleared.count, 0u);
+  EXPECT_EQ(cleared.mean_ms, 0.0);
+  EXPECT_EQ(cleared.p99_ms, 0.0);
+  // The engine keeps serving and measuring after a reset.
+  (void)engine.query(queries[0], 8);
+  EXPECT_EQ(engine.latency_summary().count, 1u);
+}
+
+TEST_F(QueryEngineTest, LatencyWindowSizeComesFromConfig) {
+  const auto queries = make_queries(6, 210);
+  QueryEngine engine(fpga_, {.workers = 1, .latency_window = 2});
+  EXPECT_EQ(engine.latency_window(), 2u);
+  (void)engine.query_batch(queries, 8);
+  // Lifetime count covers everything even though the percentile window
+  // only holds the last two samples.
+  EXPECT_EQ(engine.latency_summary().count, queries.size());
+}
+
+// ------------------------------------------- backend-agnostic serving paths
+
+TEST_F(QueryEngineTest, ServesCpuAndFpgaBackendsThroughIdenticalCodePath) {
+  const auto queries = make_queries(6, 211);
+  const auto cpu = std::make_shared<index::CpuHeapIndex>(matrix_);
+
+  QueryEngine fpga_engine(fpga_, {.workers = 4});
+  QueryEngine cpu_engine(cpu, {.workers = 4});
+
+  const auto fpga_batch = fpga_engine.query_batch(queries, 10);
+  const auto cpu_batch = cpu_engine.query_batch(queries, 10);
+  ASSERT_EQ(fpga_batch.size(), queries.size());
+  ASSERT_EQ(cpu_batch.size(), queries.size());
+
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    // Each engine reproduces its own backend bit-for-bit...
+    const auto direct_cpu = cpu->query(queries[q], 10);
+    ASSERT_EQ(cpu_batch[q].entries, direct_cpu.entries) << "query " << q;
+    // ...and the async path agrees with the sync one per backend.
+    EXPECT_EQ(fpga_engine.submit(queries[q], 10).get().entries,
+              fpga_batch[q].entries)
+        << "query " << q;
+    EXPECT_EQ(cpu_engine.submit(queries[q], 10).get().entries,
+              cpu_batch[q].entries)
+        << "query " << q;
+  }
+
+  // Per-backend latency digests accumulate independently.
+  EXPECT_EQ(fpga_engine.latency_summary().count, 2 * queries.size());
+  EXPECT_EQ(cpu_engine.latency_summary().count, 2 * queries.size());
+  EXPECT_EQ(fpga_engine.index().describe().backend, "fpga-sim");
+  EXPECT_EQ(cpu_engine.index().describe().backend, "cpu-heap");
+}
+
+TEST_F(QueryEngineTest, RegistryBackendsServeThroughTheEngine) {
+  const auto queries = make_queries(3, 212);
+  index::IndexOptions options;
+  options.design = core::DesignConfig::fixed(20, 8);
+  for (const std::string& name : index::registered_backends()) {
+    QueryEngine engine(index::make_index(name, matrix_, options),
+                       {.workers = 2});
+    const auto results = engine.query_batch(queries, 8);
+    ASSERT_EQ(results.size(), queries.size()) << name;
+    for (const auto& result : results) {
+      EXPECT_EQ(result.entries.size(), 8u) << name;
+    }
+    EXPECT_EQ(engine.latency_summary().count, queries.size()) << name;
+  }
+}
+
 // ----------------------------------------------------- ExecutionStats fix
 
 TEST_F(QueryEngineTest, MaxRowsInPacketSurfacesInExecutionStats) {
   util::Xoshiro256 rng(209);
   const auto x = sparse::generate_dense_vector(256, rng);
-  const core::QueryResult result = accelerator_.query(x, 32);
+  const index::QueryResult result = fpga_->query(x, 32);
   // The aggregate must equal the busiest packet across the per-core
   // encoder stats — the kernel re-counts exactly what the encoder laid
   // out.
   std::uint64_t expected = 0;
-  for (const auto& stream : accelerator_.core_streams()) {
+  for (const auto& stream : fpga_->accelerator().core_streams()) {
     expected = std::max(expected, stream.stats().max_rows_in_packet);
   }
-  EXPECT_GT(result.stats.max_rows_in_packet, 0u);
-  EXPECT_EQ(result.stats.max_rows_in_packet, expected);
+  const core::ExecutionStats* stats = index::fpga_stats(result);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GT(stats->max_rows_in_packet, 0u);
+  EXPECT_EQ(stats->max_rows_in_packet, expected);
 }
 
 }  // namespace
