@@ -8,6 +8,8 @@
 // comparison (EXPERIMENTS.md records both).
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -25,27 +27,49 @@ namespace topk::bench {
 /// Parsed command line common to all benches.
 struct BenchArgs {
   bool full = false;        ///< paper-scale sizes
+  bool quick = false;       ///< CI smoke mode: smallest sizes, fewest repeats
   int queries = 0;          ///< per-config query count (0 = bench default)
   std::uint64_t seed = 42;  ///< master seed
   int threads = 0;          ///< CPU baseline threads (0 = hardware)
-  std::string backend;      ///< restrict to one registered backend ("" = all)
+  /// Comma-separated backend filter, e.g.
+  /// "fpga-sim,sharded-fpga-sim" ("" = all registered backends).
+  std::string backend;
 
-  /// The backends this run covers: the one named by --backend, or
-  /// every registered backend.  Exits with the registered names when
-  /// --backend names an unknown one.
+  /// The backends this run covers: the comma-separated --backend list
+  /// (order preserved, duplicates dropped), or every registered
+  /// backend.  Exits with the registered names when the list names an
+  /// unknown backend.
   [[nodiscard]] std::vector<std::string> selected_backends() const {
     if (backend.empty()) {
       return index::registered_backends();
     }
-    if (!index::has_backend(backend)) {
-      std::cerr << "unknown --backend=" << backend << " (registered:";
-      for (const std::string& name : index::registered_backends()) {
-        std::cerr << ' ' << name;
+    std::vector<std::string> names;
+    std::size_t begin = 0;
+    while (begin <= backend.size()) {
+      const std::size_t comma = backend.find(',', begin);
+      const std::size_t end = comma == std::string::npos ? backend.size() : comma;
+      const std::string name = backend.substr(begin, end - begin);
+      begin = end + 1;
+      if (name.empty()) {
+        continue;
       }
-      std::cerr << ")\n";
+      if (!index::has_backend(name)) {
+        std::cerr << "unknown --backend=" << name << " (registered:";
+        for (const std::string& registered : index::registered_backends()) {
+          std::cerr << ' ' << registered;
+        }
+        std::cerr << ")\n";
+        std::exit(2);
+      }
+      if (std::find(names.begin(), names.end(), name) == names.end()) {
+        names.push_back(name);
+      }
+    }
+    if (names.empty()) {
+      std::cerr << "--backend lists no backend names\n";
       std::exit(2);
     }
-    return {backend};
+    return names;
   }
 
   /// Scales a paper-scale row count down unless --full is given.
@@ -72,6 +96,8 @@ inline BenchArgs parse_args(int argc, char** argv) {
     };
     if (arg == "--full") {
       args.full = true;
+    } else if (arg == "--quick") {
+      args.quick = true;
     } else if (arg.rfind("--queries=", 0) == 0) {
       args.queries = static_cast<int>(int_value("--queries="));
     } else if (arg.rfind("--seed=", 0) == 0) {
@@ -81,8 +107,8 @@ inline BenchArgs parse_args(int argc, char** argv) {
     } else if (arg.rfind("--backend=", 0) == 0) {
       args.backend = std::string(arg.substr(std::string_view("--backend=").size()));
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: bench [--full] [--queries=N] [--seed=N] "
-                   "[--threads=N] [--backend=NAME]\n";
+      std::cout << "usage: bench [--full] [--quick] [--queries=N] [--seed=N] "
+                   "[--threads=N] [--backend=NAME[,NAME...]]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << arg << "\n";

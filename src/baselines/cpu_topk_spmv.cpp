@@ -10,15 +10,12 @@ namespace topk::baselines {
 
 namespace {
 
-/// Min-heap ordering on score (ties: larger row index is "smaller" so
-/// the lower row index survives eviction, matching the deterministic
-/// tie-break used across the repo).
+/// Min-heap on the canonical Top-K order: the heap front is the entry
+/// that sorts last (lowest score, highest row index on ties), so the
+/// lower row index always survives eviction.
 struct HeapLess {
   bool operator()(const core::TopKEntry& a, const core::TopKEntry& b) const {
-    if (a.value != b.value) {
-      return a.value > b.value;  // min-heap on value
-    }
-    return a.index < b.index;  // evict higher index first
+    return core::topk_entry_before(a, b);
   }
 };
 
@@ -32,8 +29,8 @@ void scan_rows(const sparse::Csr& matrix, std::span<const float> x,
     if (heap.size() < static_cast<std::size_t>(top_k)) {
       heap.push_back(core::TopKEntry{r, score});
       std::push_heap(heap.begin(), heap.end(), less);
-    } else if (score > heap.front().value ||
-               (score == heap.front().value && r < heap.front().index)) {
+    } else if (core::topk_entry_before(core::TopKEntry{r, score},
+                                       heap.front())) {
       std::pop_heap(heap.begin(), heap.end(), less);
       heap.back() = core::TopKEntry{r, score};
       std::push_heap(heap.begin(), heap.end(), less);
@@ -42,13 +39,7 @@ void scan_rows(const sparse::Csr& matrix, std::span<const float> x,
 }
 
 void sort_descending(std::vector<core::TopKEntry>& entries) {
-  std::sort(entries.begin(), entries.end(),
-            [](const core::TopKEntry& a, const core::TopKEntry& b) {
-              if (a.value != b.value) {
-                return a.value > b.value;
-              }
-              return a.index < b.index;
-            });
+  std::sort(entries.begin(), entries.end(), core::TopKEntryOrder{});
 }
 
 }  // namespace
@@ -122,13 +113,7 @@ std::vector<core::TopKEntry> exact_topk_via_sort(const sparse::Csr& matrix,
   const auto cutoff =
       std::min<std::size_t>(static_cast<std::size_t>(top_k), all.size());
   std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(cutoff),
-                    all.end(),
-                    [](const core::TopKEntry& a, const core::TopKEntry& b) {
-                      if (a.value != b.value) {
-                        return a.value > b.value;
-                      }
-                      return a.index < b.index;
-                    });
+                    all.end(), core::TopKEntryOrder{});
   all.resize(cutoff);
   return all;
 }

@@ -67,13 +67,7 @@ std::vector<core::TopKEntry> gpu_f16_topk_spmv(const sparse::Csr& matrix,
   const auto cutoff =
       std::min<std::size_t>(static_cast<std::size_t>(top_k), all.size());
   std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(cutoff),
-                    all.end(),
-                    [](const core::TopKEntry& a, const core::TopKEntry& b) {
-                      if (a.value != b.value) {
-                        return a.value > b.value;
-                      }
-                      return a.index < b.index;
-                    });
+                    all.end(), core::TopKEntryOrder{});
   all.resize(cutoff);
   return all;
 }

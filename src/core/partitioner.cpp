@@ -45,12 +45,7 @@ std::vector<TopKEntry> merge_partition_results(
           TopKEntry{entry.index + partitions[p].row_begin, entry.value});
     }
   }
-  std::sort(merged.begin(), merged.end(), [](const TopKEntry& a, const TopKEntry& b) {
-    if (a.value != b.value) {
-      return a.value > b.value;
-    }
-    return a.index < b.index;
-  });
+  std::sort(merged.begin(), merged.end(), TopKEntryOrder{});
   if (merged.size() > static_cast<std::size_t>(top_k)) {
     merged.resize(static_cast<std::size_t>(top_k));
   }

@@ -53,12 +53,7 @@ void TopKScratchpad::refresh_argmin() noexcept {
 
 std::vector<TopKEntry> TopKScratchpad::sorted_descending() const {
   std::vector<TopKEntry> out = entries_;
-  std::sort(out.begin(), out.end(), [](const TopKEntry& a, const TopKEntry& b) {
-    if (a.value != b.value) {
-      return a.value > b.value;
-    }
-    return a.index < b.index;
-  });
+  std::sort(out.begin(), out.end(), TopKEntryOrder{});
   return out;
 }
 

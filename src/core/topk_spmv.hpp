@@ -33,6 +33,27 @@ struct TopKEntry {
   friend bool operator==(const TopKEntry&, const TopKEntry&) = default;
 };
 
+/// The repo-wide deterministic Top-K ordering: descending value, with
+/// ties broken by ascending row index.  Every backend, every per-core
+/// merge and the sharded gather stage sort with this one definition,
+/// so per-core, per-shard and whole-matrix results are bit-comparable
+/// (regression: tests/test_shard.cpp engineered-ties suite).
+[[nodiscard]] constexpr bool topk_entry_before(const TopKEntry& a,
+                                               const TopKEntry& b) noexcept {
+  if (a.value != b.value) {
+    return a.value > b.value;
+  }
+  return a.index < b.index;
+}
+
+/// Function-object form of topk_entry_before for std algorithms.
+struct TopKEntryOrder {
+  [[nodiscard]] constexpr bool operator()(const TopKEntry& a,
+                                          const TopKEntry& b) const noexcept {
+    return topk_entry_before(a, b);
+  }
+};
+
 /// Execution counters reported by the kernel.
 struct KernelStats {
   std::uint64_t packets = 0;       ///< packets streamed

@@ -36,6 +36,14 @@ struct IndexOptions {
   core::DesignConfig design = core::DesignConfig::fixed(20);
   /// Analytic timing model for "gpu-f16".
   baselines::GpuPerfModel gpu_model;
+  /// Shard count for the "sharded-*" backends (clamped to the row
+  /// count so tiny collections still construct).  The inner backends
+  /// consume the other fields, e.g. every fpga-sim shard gets
+  /// `design`.
+  int shards = 4;
+  /// Shard planning for "sharded-*": nnz-balanced row boundaries
+  /// (default) or an even row split when false.
+  bool nnz_balanced_shards = true;
 };
 
 /// The paper's accelerator behind the unified interface.

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "shard/sharded_index.hpp"
+
 namespace topk::index {
 
 namespace {
@@ -47,6 +49,37 @@ Registry& registry() {
           return std::make_shared<GpuModelIndex>(std::move(matrix),
                                                  options.gpu_model);
         });
+    // Scatter-gather variants of every built-in: the same backend
+    // behind shard::ShardedIndex (options.shards row-range shards,
+    // nnz-balanced boundaries unless options.nnz_balanced_shards is
+    // false; the inner factories consume the remaining options).  The
+    // shard count is clamped to the row count so tiny collections
+    // still construct through the generic bench/test sweeps.
+    for (const char* inner : {"fpga-sim", "cpu-heap", "exact-sort", "gpu-f16"}) {
+      r.factories.emplace(
+          std::string("sharded-") + inner,
+          [inner](std::shared_ptr<const sparse::Csr> matrix,
+                  const IndexOptions& options)
+              -> std::shared_ptr<SimilarityIndex> {
+            const std::string label = std::string("sharded-") + inner;
+            if (!matrix) {
+              throw std::invalid_argument(label + ": null matrix");
+            }
+            const int shards = static_cast<int>(std::min<std::uint64_t>(
+                static_cast<std::uint64_t>(std::max(1, options.shards)),
+                std::max<std::uint32_t>(1, matrix->rows())));
+            return shard::ShardedIndexBuilder()
+                .matrix(std::move(matrix))
+                .shards(shards)
+                .policy(options.nnz_balanced_shards
+                            ? shard::ShardPolicy::kNnzBalanced
+                            : shard::ShardPolicy::kEvenRows)
+                .inner_backend(inner)
+                .inner_options(options)
+                .label(label)
+                .build();
+          });
+    }
     return true;
   }();
   (void)seeded;
@@ -147,6 +180,16 @@ IndexBuilder& IndexBuilder::design(const core::DesignConfig& design) {
 
 IndexBuilder& IndexBuilder::gpu_model(const baselines::GpuPerfModel& model) {
   options_.gpu_model = model;
+  return *this;
+}
+
+IndexBuilder& IndexBuilder::shards(int count) {
+  options_.shards = count;
+  return *this;
+}
+
+IndexBuilder& IndexBuilder::nnz_balanced_shards(bool balanced) {
+  options_.nnz_balanced_shards = balanced;
   return *this;
 }
 

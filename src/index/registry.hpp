@@ -2,7 +2,7 @@
 //
 // Benches and examples select execution strategies from the command
 // line ("--backend=cpu-heap"); the registry turns those names into
-// live indexes without the call site naming a concrete type.  The four
+// live indexes without the call site naming a concrete type.  The
 // built-in backends register themselves on first use:
 //
 //   "fpga-sim"    FpgaSimIndex   (options.design)
@@ -10,7 +10,9 @@
 //   "exact-sort"  ExactSortIndex
 //   "gpu-f16"     GpuModelIndex  (options.gpu_model)
 //
-// New backends (a sharded index, an ANN structure, a remote stub)
+// plus a "sharded-<name>" scatter-gather variant of each
+// (shard::ShardedIndex over options.shards row-range shards; see
+// src/shard/).  New backends (an ANN structure, a remote stub)
 // register with register_backend() and immediately show up in every
 // registry-driven bench loop.
 #pragma once
@@ -37,7 +39,7 @@ using IndexFactory = std::function<std::shared_ptr<SimilarityIndex>(
 void register_backend(const std::string& name, IndexFactory factory);
 
 /// All registered backend names, sorted.  Always contains the four
-/// built-ins.
+/// built-ins and their sharded-* variants.
 [[nodiscard]] std::vector<std::string> registered_backends();
 
 /// True when `name` is a registered backend.
@@ -72,6 +74,9 @@ class IndexBuilder {
   IndexBuilder& matrix(sparse::Csr matrix);
   IndexBuilder& design(const core::DesignConfig& design);
   IndexBuilder& gpu_model(const baselines::GpuPerfModel& model);
+  /// Shard count / planning policy for the "sharded-*" backends.
+  IndexBuilder& shards(int count);
+  IndexBuilder& nnz_balanced_shards(bool balanced);
 
   /// Throws std::invalid_argument if no matrix was set or the backend
   /// is unknown.

@@ -8,9 +8,7 @@
 
 namespace topk::index {
 
-namespace {
-
-int resolve_threads(int requested, std::size_t work_items) {
+int resolve_fanout_threads(int requested, std::size_t work_items) {
   if (requested < 0) {
     throw std::invalid_argument("QueryOptions: negative thread count");
   }
@@ -25,8 +23,6 @@ int resolve_threads(int requested, std::size_t work_items) {
       std::min<std::size_t>(static_cast<std::size_t>(threads),
                             std::max<std::size_t>(1, work_items)));
 }
-
-}  // namespace
 
 void SimilarityIndex::check_vector(std::span<const float> x) const {
   if (x.size() != cols()) {
@@ -69,7 +65,7 @@ std::vector<QueryResult> SimilarityIndex::query_batch(
     validate_batch(queries, top_k);
     return results;
   }
-  const int threads = resolve_threads(options.threads, queries.size());
+  const int threads = resolve_fanout_threads(options.threads, queries.size());
   validate_batch(queries, top_k);  // so worker threads never throw
 
   // Whole queries are claimed dynamically from the shared persistent

@@ -39,10 +39,24 @@ struct GpuModelStats {
   double modelled_topk_seconds = 0.0;  ///< SpMV + full radix sort
 };
 
+/// Scatter-gather counters attached by shard::ShardedIndex.  The
+/// common QueryStats fields aggregate across shards (rows_scanned
+/// sums; modelled_seconds is the max — the critical-path shard of a
+/// parallel scatter); these record the gather itself.
+struct ShardStats {
+  int shards = 0;          ///< scatter width of this query
+  /// Shard with the largest modelled time (the critical path), or -1
+  /// when no shard reported a modelled time.
+  int slowest_shard = -1;
+  /// Candidate entries the k-way merge consumed before the final cut.
+  std::uint64_t gathered_candidates = 0;
+};
+
 /// Per-query counters.  The common fields are meaningful for every
 /// backend; device-specific counters ride along as a typed extension
 /// (ExecutionStats for the FPGA simulator, GpuModelStats for the GPU
-/// model) instead of being flattened into one union of field names.
+/// model, ShardStats for the sharded tier) instead of being flattened
+/// into one union of field names.
 struct QueryStats {
   /// Candidate rows the backend examined (all backends scan the full
   /// collection; an ANN backend would report fewer).
@@ -50,7 +64,8 @@ struct QueryStats {
   /// Modelled on-device time for modelled backends (FPGA, GPU);
   /// zero for backends that only exist as measured host code.
   double modelled_seconds = 0.0;
-  std::variant<std::monostate, core::ExecutionStats, GpuModelStats> backend;
+  std::variant<std::monostate, core::ExecutionStats, GpuModelStats, ShardStats>
+      backend;
 };
 
 /// Result of one query through any backend.
@@ -72,6 +87,13 @@ struct QueryResult {
   return std::get_if<GpuModelStats>(&result.stats.backend);
 }
 
+/// The scatter-gather extension payload, if this result came from
+/// shard::ShardedIndex.
+[[nodiscard]] inline const ShardStats* shard_stats(
+    const QueryResult& result) noexcept {
+  return std::get_if<ShardStats>(&result.stats.backend);
+}
+
 /// Capability and footprint metadata reported by describe().
 struct IndexDescription {
   std::string backend;  ///< registry key, e.g. "fpga-sim"
@@ -87,6 +109,13 @@ struct IndexDescription {
   /// Index image footprint (device streams or the CSR arrays).
   std::uint64_t memory_bytes = 0;
 };
+
+/// Resolves QueryOptions::threads into an actual fan-out: 0 means
+/// hardware concurrency, the result is clamped to `work_items`, and
+/// negative counts throw std::invalid_argument.  One definition shared
+/// by the default batch path and the sharded scatter so every backend
+/// interprets the option identically.
+[[nodiscard]] int resolve_fanout_threads(int requested, std::size_t work_items);
 
 /// Abstract Top-K similarity index over a fixed collection.
 ///

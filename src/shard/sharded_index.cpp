@@ -1,0 +1,298 @@
+#include "shard/sharded_index.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "index/registry.hpp"
+#include "serve/thread_pool.hpp"
+
+namespace topk::shard {
+
+ShardedIndex::ShardedIndex(std::vector<Shard> shards, std::string backend_label)
+    : shards_(std::move(shards)), label_(std::move(backend_label)) {
+  if (shards_.empty()) {
+    throw std::invalid_argument(label_ + ": no shards");
+  }
+  std::uint32_t expected_begin = 0;
+  bool any_uncapped = false;
+  std::int64_t cap_sum = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = shards_[s];
+    const std::string tag = label_ + " shard " + std::to_string(s);
+    if (!shard.inner) {
+      throw std::invalid_argument(tag + ": null inner index");
+    }
+    if (shard.range.row_end <= shard.range.row_begin) {
+      throw std::invalid_argument(tag + ": empty row range");
+    }
+    if (shard.range.row_begin != expected_begin) {
+      throw std::invalid_argument(tag + ": row ranges are not contiguous");
+    }
+    if (shard.inner->rows() != shard.range.rows()) {
+      throw std::invalid_argument(tag + ": inner rows() does not match range");
+    }
+    if (s == 0) {
+      cols_ = shard.inner->cols();
+    } else if (shard.inner->cols() != cols_) {
+      throw std::invalid_argument(tag + ": column count mismatch");
+    }
+    const int cap = shard.inner->max_top_k();
+    if (cap <= 0) {
+      any_uncapped = true;
+    } else {
+      cap_sum += cap;
+    }
+    expected_begin = shard.range.row_end;
+  }
+  rows_ = expected_begin;
+  max_top_k_ = any_uncapped
+                   ? 0
+                   : static_cast<int>(std::min<std::int64_t>(
+                         cap_sum, std::numeric_limits<int>::max()));
+}
+
+index::QueryResult ShardedIndex::query_shard(std::size_t s,
+                                             std::span<const float> x,
+                                             int top_k) const {
+  const index::SimilarityIndex& inner = *shards_[s].inner;
+  const int cap = inner.max_top_k();
+  const int shard_top_k = cap > 0 ? std::min(top_k, cap) : top_k;
+  index::QueryOptions sequential;
+  sequential.threads = 1;  // parallelism lives in the scatter
+  return inner.query(x, shard_top_k, sequential);
+}
+
+index::QueryResult ShardedIndex::gather(
+    std::span<const index::QueryResult> per_shard, int top_k) const {
+  index::QueryResult out;
+  index::ShardStats gathered;
+  gathered.shards = static_cast<int>(shards_.size());
+  for (std::size_t s = 0; s < per_shard.size(); ++s) {
+    out.stats.rows_scanned += per_shard[s].stats.rows_scanned;
+    if (per_shard[s].stats.modelled_seconds > out.stats.modelled_seconds) {
+      out.stats.modelled_seconds = per_shard[s].stats.modelled_seconds;
+      gathered.slowest_shard = static_cast<int>(s);
+    }
+    gathered.gathered_candidates += per_shard[s].entries.size();
+  }
+
+  // Deterministic k-way heap merge on the repo-wide Top-K order.  Each
+  // shard's list is already sorted by (value desc, row asc) and the
+  // local -> global remap adds a per-shard constant, so advancing the
+  // per-shard heads in canonical order yields the globally sorted cut.
+  struct Head {
+    std::size_t shard;
+    std::size_t pos;
+  };
+  const auto global_entry = [&](const Head& head) {
+    core::TopKEntry entry = per_shard[head.shard].entries[head.pos];
+    entry.index += shards_[head.shard].range.row_begin;
+    return entry;
+  };
+  const auto heap_after = [&](const Head& a, const Head& b) {
+    return core::topk_entry_before(global_entry(b), global_entry(a));
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(heap_after)> heads(
+      heap_after);
+  for (std::size_t s = 0; s < per_shard.size(); ++s) {
+    if (!per_shard[s].entries.empty()) {
+      heads.push(Head{s, 0});
+    }
+  }
+  const auto wanted = static_cast<std::size_t>(top_k);
+  out.entries.reserve(std::min<std::size_t>(wanted, gathered.gathered_candidates));
+  while (!heads.empty() && out.entries.size() < wanted) {
+    Head head = heads.top();
+    heads.pop();
+    out.entries.push_back(global_entry(head));
+    if (++head.pos < per_shard[head.shard].entries.size()) {
+      heads.push(head);
+    }
+  }
+  out.stats.backend = gathered;
+  return out;
+}
+
+index::QueryResult ShardedIndex::query(std::span<const float> x, int top_k,
+                                       const index::QueryOptions& options) const {
+  validate_query(x, top_k);
+  const int threads = index::resolve_fanout_threads(options.threads, shards_.size());
+
+  std::vector<index::QueryResult> per_shard(shards_.size());
+  if (threads <= 1) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      per_shard[s] = query_shard(s, x, top_k);
+    }
+  } else {
+    serve::ThreadPool& pool = serve::shared_pool();
+    pool.ensure_workers(threads - 1);
+    pool.parallel_for(shards_.size(), threads, [&](std::size_t s) {
+      per_shard[s] = query_shard(s, x, top_k);
+    });
+  }
+  return gather(per_shard, top_k);
+}
+
+std::vector<index::QueryResult> ShardedIndex::query_batch(
+    const std::vector<std::vector<float>>& queries, int top_k,
+    const index::QueryOptions& options) const {
+  validate_batch(queries, top_k);
+  std::vector<index::QueryResult> results(queries.size());
+  if (queries.empty()) {
+    return results;
+  }
+
+  // Scatter the full (query, shard) grid: with more workers than
+  // queries the shards of a single query still run in parallel, and
+  // dynamic claiming keeps a slow shard from stalling a whole batch.
+  const std::size_t width = shards_.size();
+  const std::size_t grid = queries.size() * width;
+  const int threads = index::resolve_fanout_threads(options.threads, grid);
+  std::vector<index::QueryResult> partial(grid);
+  const auto run_cell = [&](std::size_t cell) {
+    partial[cell] = query_shard(cell % width, queries[cell / width], top_k);
+  };
+  if (threads <= 1) {
+    for (std::size_t cell = 0; cell < grid; ++cell) {
+      run_cell(cell);
+    }
+  } else {
+    serve::ThreadPool& pool = serve::shared_pool();
+    pool.ensure_workers(threads - 1);
+    pool.parallel_for(grid, threads, run_cell);
+  }
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    results[q] = gather({partial.data() + q * width, width}, top_k);
+  }
+  return results;
+}
+
+std::uint32_t ShardedIndex::rows() const noexcept { return rows_; }
+
+std::uint32_t ShardedIndex::cols() const noexcept { return cols_; }
+
+int ShardedIndex::max_top_k() const noexcept { return max_top_k_; }
+
+index::IndexDescription ShardedIndex::describe() const {
+  index::IndexDescription description;
+  description.backend = label_;
+
+  // Summarise the inner mix in first-seen order: "cpu-heap x4" or
+  // "fpga-sim x3 + cpu-heap x1".
+  std::vector<std::pair<std::string, int>> mix;
+  bool exact = true;
+  std::uint64_t bytes = 0;
+  for (const Shard& shard : shards_) {
+    const index::IndexDescription inner = shard.inner->describe();
+    exact = exact && inner.exact;
+    bytes += inner.memory_bytes;
+    const auto seen =
+        std::find_if(mix.begin(), mix.end(),
+                     [&](const auto& entry) { return entry.first == inner.backend; });
+    if (seen == mix.end()) {
+      mix.emplace_back(inner.backend, 1);
+    } else {
+      ++seen->second;
+    }
+  }
+  description.detail = std::to_string(shards_.size()) + " row-range shards (";
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    if (i > 0) {
+      description.detail += " + ";
+    }
+    description.detail += mix[i].first + " x" + std::to_string(mix[i].second);
+  }
+  description.detail += "), k-way gather";
+  description.exact = exact;
+  description.rows = rows_;
+  description.cols = cols_;
+  description.max_top_k = max_top_k_;
+  description.memory_bytes = bytes;
+  return description;
+}
+
+// ------------------------------------------------------ ShardedIndexBuilder
+
+ShardedIndexBuilder& ShardedIndexBuilder::matrix(
+    std::shared_ptr<const sparse::Csr> matrix) {
+  matrix_ = std::move(matrix);
+  return *this;
+}
+
+ShardedIndexBuilder& ShardedIndexBuilder::matrix(sparse::Csr matrix) {
+  matrix_ = std::make_shared<const sparse::Csr>(std::move(matrix));
+  return *this;
+}
+
+ShardedIndexBuilder& ShardedIndexBuilder::shards(int count) {
+  shards_ = count;
+  return *this;
+}
+
+ShardedIndexBuilder& ShardedIndexBuilder::policy(ShardPolicy policy) {
+  policy_ = policy;
+  return *this;
+}
+
+ShardedIndexBuilder& ShardedIndexBuilder::inner_backend(std::string name) {
+  inner_backend_ = std::move(name);
+  return *this;
+}
+
+ShardedIndexBuilder& ShardedIndexBuilder::inner_options(
+    const index::IndexOptions& options) {
+  inner_options_ = options;
+  return *this;
+}
+
+ShardedIndexBuilder& ShardedIndexBuilder::shard_backend(int shard,
+                                                        std::string name) {
+  overrides_.emplace_back(shard, std::move(name));
+  return *this;
+}
+
+ShardedIndexBuilder& ShardedIndexBuilder::label(std::string label) {
+  label_ = std::move(label);
+  return *this;
+}
+
+std::shared_ptr<ShardedIndex> ShardedIndexBuilder::build() const {
+  if (!matrix_) {
+    throw std::invalid_argument("ShardedIndexBuilder: no matrix set");
+  }
+  for (const auto& [shard, name] : overrides_) {
+    if (shard < 0 || shard >= shards_) {
+      throw std::invalid_argument("ShardedIndexBuilder: shard_backend(" +
+                                  std::to_string(shard) +
+                                  ") outside [0, " + std::to_string(shards_) +
+                                  ")");
+    }
+  }
+  const ShardPlan plan = ShardPlanner(policy_).plan(*matrix_, shards_);
+
+  std::vector<Shard> built;
+  built.reserve(plan.size());
+  for (std::size_t s = 0; s < plan.size(); ++s) {
+    std::string backend = inner_backend_;
+    for (const auto& [shard, name] : overrides_) {
+      if (static_cast<std::size_t>(shard) == s) {
+        backend = name;
+      }
+    }
+    const auto slice = std::make_shared<const sparse::Csr>(
+        matrix_->slice_rows(plan[s].row_begin, plan[s].row_end));
+    built.push_back(
+        Shard{plan[s], index::make_index(backend, slice, inner_options_)});
+  }
+  std::string label = label_;
+  if (label.empty()) {
+    label = overrides_.empty() ? "sharded-" + inner_backend_ : "sharded";
+  }
+  return std::make_shared<ShardedIndex>(std::move(built), std::move(label));
+}
+
+}  // namespace topk::shard

@@ -1,0 +1,158 @@
+// Sharded scatter-gather index tier over any SimilarityIndex backend.
+//
+// The paper's FPGA design scales Top-K SpMV by partitioning the row
+// space across 32 cores and merging per-core Top-K candidates; the
+// ShardedIndex lifts the identical pattern to host scale (the
+// ROADMAP's "heavy traffic" north star): a collection is split into N
+// contiguous row-range shards (shard_planner.hpp), one inner backend
+// index serves each shard — mixed backends are allowed, e.g. fpga-sim
+// shards with a cpu-heap straggler — and queries scatter across the
+// shards on the shared serve::ThreadPool.  The gather stage is a
+// deterministic k-way heap merge on the repo-wide Top-K order
+// (core::topk_entry_before) that remaps local row ids to global ids,
+// so a sharded index over exact inner backends is bit-identical to
+// the unsharded backend on the same matrix (tests/test_shard.cpp).
+//
+// ShardedIndex is itself a SimilarityIndex, so it serves through
+// serve::QueryEngine and sweeps through every registry-driven bench
+// unchanged; the registry seeds "sharded-<inner>" factories for all
+// built-in backends (index/registry.hpp).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/partitioner.hpp"
+#include "index/backends.hpp"
+#include "index/similarity_index.hpp"
+#include "shard/shard_planner.hpp"
+#include "sparse/csr.hpp"
+
+namespace topk::shard {
+
+/// One shard: the global row range it serves and the inner index over
+/// that range (whose local row 0 is global row range.row_begin).
+struct Shard {
+  core::Partition range;
+  std::shared_ptr<const index::SimilarityIndex> inner;
+};
+
+/// Scatter-gather composite over per-shard inner indexes.
+///
+/// Thread-compatible like every SimilarityIndex.  QueryOptions.threads
+/// is the scatter width: shards are claimed dynamically from the
+/// shared pool and each inner index runs its own path sequentially.
+/// Stats aggregate across shards — rows_scanned sums, modelled_seconds
+/// is the max (the critical path of a parallel scatter) — with the
+/// gather itself described by the index::ShardStats extension.
+class ShardedIndex final : public index::SimilarityIndex {
+ public:
+  /// Takes ownership of the shard list.  Throws std::invalid_argument
+  /// when the list is empty, a shard is null or empty, the ranges are
+  /// not contiguous from row 0, an inner index's rows() does not match
+  /// its range, or the column counts disagree.  `backend_label` is
+  /// what describe().backend reports (the registry factories pass
+  /// their key, e.g. "sharded-cpu-heap").
+  explicit ShardedIndex(std::vector<Shard> shards,
+                        std::string backend_label = "sharded");
+
+  [[nodiscard]] index::QueryResult query(
+      std::span<const float> x, int top_k,
+      const index::QueryOptions& options = {}) const override;
+
+  /// Batch scatter: the (query, shard) grid is claimed dynamically
+  /// from the shared pool, then each query's shards gather in input
+  /// order — per-query results are identical to query() at any thread
+  /// count.
+  [[nodiscard]] std::vector<index::QueryResult> query_batch(
+      const std::vector<std::vector<float>>& queries, int top_k,
+      const index::QueryOptions& options = {}) const override;
+
+  [[nodiscard]] std::uint32_t rows() const noexcept override;
+  [[nodiscard]] std::uint32_t cols() const noexcept override;
+  [[nodiscard]] index::IndexDescription describe() const override;
+
+  /// Sum of the shard caps when every shard is capped (each shard can
+  /// surface at most its inner max_top_k candidates); 0 (unbounded)
+  /// when any shard is uncapped.  A capped shard silently contributes
+  /// min(top_k, cap) candidates, mirroring the paper's k*cores merge.
+  [[nodiscard]] int max_top_k() const noexcept override;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] const Shard& shard(std::size_t i) const {
+    return shards_.at(i);
+  }
+
+ private:
+  /// Queries shard `s` with top_k clamped to the shard's cap; entries
+  /// come back in local row ids.
+  [[nodiscard]] index::QueryResult query_shard(std::size_t s,
+                                               std::span<const float> x,
+                                               int top_k) const;
+
+  /// Deterministic k-way heap merge of per-shard results (local ids)
+  /// into one global result, aggregating stats.
+  [[nodiscard]] index::QueryResult gather(
+      std::span<const index::QueryResult> per_shard, int top_k) const;
+
+  std::vector<Shard> shards_;
+  std::string label_;
+  std::uint32_t rows_ = 0;
+  std::uint32_t cols_ = 0;
+  int max_top_k_ = 0;
+};
+
+/// Fluent construction of a ShardedIndex from a shared collection:
+///
+///   auto sharded = ShardedIndexBuilder()
+///                      .matrix(csr)
+///                      .shards(4)
+///                      .policy(ShardPolicy::kNnzBalanced)
+///                      .inner_backend("fpga-sim")
+///                      .shard_backend(3, "cpu-heap")  // mixed shards
+///                      .build();
+///
+/// Each shard's rows are sliced out of the matrix and handed to the
+/// registry (index::make_index), so any registered backend — built-in
+/// or third-party — can serve a shard.
+class ShardedIndexBuilder {
+ public:
+  ShardedIndexBuilder& matrix(std::shared_ptr<const sparse::Csr> matrix);
+  /// Copies (or moves) the matrix into shared ownership.
+  ShardedIndexBuilder& matrix(sparse::Csr matrix);
+  /// Shard count (default 4).  Validated against the row count at
+  /// build() time by the planner.
+  ShardedIndexBuilder& shards(int count);
+  ShardedIndexBuilder& policy(ShardPolicy policy);
+  /// Inner backend for every shard without an override (default
+  /// "cpu-heap").
+  ShardedIndexBuilder& inner_backend(std::string name);
+  /// Options handed to every inner factory (e.g. the FPGA design).
+  ShardedIndexBuilder& inner_options(const index::IndexOptions& options);
+  /// Overrides the backend of one shard — mixed-backend deployments
+  /// (an exact straggler next to fpga-sim shards).  Throws at build()
+  /// if `shard` is outside [0, shards).
+  ShardedIndexBuilder& shard_backend(int shard, std::string name);
+  /// describe().backend of the built index.  Defaults to
+  /// "sharded-<inner>" for uniform shards, "sharded" for mixed ones.
+  ShardedIndexBuilder& label(std::string label);
+
+  /// Throws std::invalid_argument if no matrix was set, the shard
+  /// count does not fit the matrix, an override is out of range, or a
+  /// backend name is unknown to the registry.
+  [[nodiscard]] std::shared_ptr<ShardedIndex> build() const;
+
+ private:
+  std::shared_ptr<const sparse::Csr> matrix_;
+  int shards_ = 4;
+  ShardPolicy policy_ = ShardPolicy::kNnzBalanced;
+  std::string inner_backend_ = "cpu-heap";
+  index::IndexOptions inner_options_;
+  std::vector<std::pair<int, std::string>> overrides_;
+  std::string label_;
+};
+
+}  // namespace topk::shard
