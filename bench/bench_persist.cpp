@@ -1,0 +1,147 @@
+// Cold-encode vs warm-load sweep for persistent shard deployments.
+//
+// The paper's premise is that encoding a BS-CSR image costs far more
+// than streaming it; this bench quantifies the host-scale consequence
+// for the shard tier.  For each shard count it measures, on one
+// matrix:
+//
+//   Cold build   ShardedIndexBuilder: slice rows + encode every
+//                fpga-sim shard's per-core BS-CSR streams;
+//   Save         persist::save_deployment (write images + SHA-256);
+//   Warm load    persist::load_deployment in the same process but
+//                purely from the on-disk images: digest verification,
+//                stream-shape audit, TopKAccelerator::from_parts — no
+//                encoder.
+//
+// The acceptance number is the cold/warm ratio at 4 fpga-sim shards on
+// the default matrix (>= 2x), and the warm index must reproduce the
+// cold index's results bit for bit — the bench exits non-zero if it
+// ever disagrees, and (at default scale) if the speedup bar is missed.
+//
+//   $ ./bench_persist [--quick] [--full] [--queries=N] [--seed=N]
+//
+// --quick shrinks the matrix for CI smoke runs (the speedup is still
+// printed but not gated — tiny images measure filesystem latency, not
+// encoder cost).
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "persist/deployment.hpp"
+#include "shard/sharded_index.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  const topk::bench::BenchArgs args = topk::bench::parse_args(argc, argv);
+
+  topk::sparse::GeneratorConfig generator;
+  generator.rows = args.quick ? 20'000 : (args.full ? 1'000'000 : 120'000);
+  generator.cols = 512;
+  generator.mean_nnz_per_row = 16.0;
+  generator.seed = args.seed;
+  const auto matrix = std::make_shared<const topk::sparse::Csr>(
+      topk::sparse::generate_matrix(generator));
+
+  topk::index::IndexOptions options;
+  options.design = topk::core::DesignConfig::fixed(20, 8);
+
+  const int repeats = args.queries > 0 ? args.queries : (args.quick ? 2 : 3);
+  const auto root = std::filesystem::temp_directory_path() /
+                    ("topk_bench_persist_" + std::to_string(generator.rows));
+  std::filesystem::remove_all(root);
+
+  std::cout << "Persistence sweep: " << matrix->rows() << " rows, "
+            << matrix->nnz() << " nnz, fpga-sim shards ("
+            << options.design.name() << " each), best of " << repeats
+            << " loads\n\n";
+
+  topk::util::TablePrinter table({"Shards", "Cold build (ms)", "Save (ms)",
+                                  "Warm load (ms)", "Speedup", "Images (MB)",
+                                  "Identical"});
+  bool all_identical = true;
+  double speedup_at_4 = 0.0;
+
+  topk::util::Xoshiro256 rng(args.seed + 7);
+  std::vector<std::vector<float>> queries;
+  for (int q = 0; q < 3; ++q) {
+    queries.push_back(topk::sparse::generate_dense_vector(generator.cols, rng));
+  }
+  constexpr int kTopK = 50;
+
+  for (const int shards : {1, 2, 4, 8}) {
+    topk::util::WallTimer cold_timer;
+    const auto cold = topk::shard::ShardedIndexBuilder()
+                          .matrix(matrix)
+                          .shards(shards)
+                          .inner_backend("fpga-sim")
+                          .inner_options(options)
+                          .build();
+    const double cold_seconds = cold_timer.seconds();
+
+    const auto dir = root / ("shards-" + std::to_string(shards));
+    topk::util::WallTimer save_timer;
+    topk::persist::save_deployment(*cold, dir);
+    const double save_seconds = save_timer.seconds();
+
+    std::uint64_t image_bytes = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      image_bytes += std::filesystem::file_size(entry.path());
+    }
+
+    double warm_seconds = 1e30;
+    std::shared_ptr<topk::shard::ShardedIndex> warm;
+    for (int r = 0; r < repeats; ++r) {
+      topk::util::WallTimer warm_timer;
+      warm = topk::shard::ShardedIndexBuilder::from_deployment(dir);
+      warm_seconds = std::min(warm_seconds, warm_timer.seconds());
+    }
+
+    bool identical = true;
+    for (const auto& x : queries) {
+      identical = identical && warm->query(x, kTopK).entries ==
+                                   cold->query(x, kTopK).entries;
+    }
+    if (!identical) {
+      std::cerr << "FAIL: warm-loaded index differs from the cold index at "
+                << shards << " shards\n";
+      all_identical = false;
+    }
+    const double speedup = cold_seconds / warm_seconds;
+    if (shards == 4) {
+      speedup_at_4 = speedup;
+    }
+    table.add_row({std::to_string(shards),
+                   topk::util::format_double(cold_seconds * 1e3, 1),
+                   topk::util::format_double(save_seconds * 1e3, 1),
+                   topk::util::format_double(warm_seconds * 1e3, 1),
+                   topk::util::format_double(speedup, 2) + "x",
+                   topk::util::format_double(
+                       static_cast<double>(image_bytes) / (1024.0 * 1024.0), 1),
+                   identical ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::filesystem::remove_all(root);
+
+  std::cout << "\nWarm-load speedup at 4 fpga-sim shards: "
+            << topk::util::format_double(speedup_at_4, 2)
+            << "x (acceptance target: >= 2x at the default scale"
+            << (args.quick ? "; rerun without --quick for that scale" : "")
+            << ")\n";
+  std::cout << "Warm indexes bit-identical to cold: "
+            << (all_identical ? "yes" : "NO") << "\n";
+  if (!all_identical) {
+    return 1;
+  }
+  if (!args.quick && speedup_at_4 < 2.0) {
+    std::cerr << "FAIL: warm load is less than 2x faster than the cold "
+                 "encode at 4 shards\n";
+    return 1;
+  }
+  return 0;
+}

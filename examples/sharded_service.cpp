@@ -1,73 +1,139 @@
 // Sharded serving demo — the host-scale version of the paper's
-// multi-core design.  A 60k-row collection is split into four
-// nnz-balanced row-range shards served by mixed backends (three
-// fpga-sim shards plus one exact cpu-heap straggler), and the
-// composite ShardedIndex — itself a SimilarityIndex — serves batch and
-// async traffic through the backend-agnostic serve::QueryEngine.
-// Queries scatter across the shards on the shared thread pool; the
-// gather is a deterministic k-way merge, with the scatter described by
-// the index::ShardStats extension (width, critical-path shard,
-// candidates merged).
+// multi-core design, with a persistent-deployment warm-restart path.
+// A 60k-row collection is split into four nnz-balanced row-range
+// shards served by mixed backends (three fpga-sim shards plus one
+// exact cpu-heap straggler), and the composite ShardedIndex — itself a
+// SimilarityIndex — serves batch and async traffic through the
+// backend-agnostic serve::QueryEngine.  Queries scatter across the
+// shards on the shared thread pool; the gather is a deterministic
+// k-way merge, with the scatter described by the index::ShardStats
+// extension (width, critical-path shard, candidates merged).
 //
-//   $ ./sharded_service
+//   $ ./sharded_service                 # build the index, serve
+//   $ ./sharded_service --save DIR      # also persist it as a deployment
+//   $ ./sharded_service --load DIR      # warm restart: replay the images
+//                                       # (no encoder) and serve
+//
+// --save additionally records a SHA-256 digest of every query result;
+// --load recomputes it in the fresh process and fails unless the
+// warm-loaded index reproduced the cold process's results bit for bit
+// — the cross-process reuse proof CI runs.
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "index/registry.hpp"
+#include "persist/deployment.hpp"
+#include "persist/digest.hpp"
 #include "serve/query_engine.hpp"
 #include "shard/sharded_index.hpp"
 #include "sparse/generator.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-int main() {
-  // 1. The collection: 60k sparse embeddings, M = 1024, ~20 nnz/row.
-  topk::sparse::GeneratorConfig generator;
-  generator.rows = 60'000;
-  generator.cols = 1024;
-  generator.mean_nnz_per_row = 20.0;
-  generator.seed = 21;
-  const auto matrix = std::make_shared<const topk::sparse::Csr>(
-      topk::sparse::generate_matrix(generator));
-  std::cout << "Collection: " << matrix->rows() << " x " << matrix->cols()
-            << ", " << matrix->nnz() << " non-zeros\n";
+namespace {
 
-  // 2. Mixed-backend sharded index: fpga-sim shards with an exact
-  //    cpu-heap straggler on the last row range — the fallback/shadow
-  //    mix a production tier runs during a partial rollout.
-  topk::index::IndexOptions options;
-  options.design = topk::core::DesignConfig::fixed(20, 8);
-  const auto sharded = topk::shard::ShardedIndexBuilder()
-                           .matrix(matrix)
-                           .shards(4)
-                           .policy(topk::shard::ShardPolicy::kNnzBalanced)
-                           .inner_backend("fpga-sim")
-                           .inner_options(options)
-                           .shard_backend(3, "cpu-heap")
-                           .label("sharded-mixed")
-                           .build();
+constexpr int kBatch = 16;
+constexpr int kAsync = 8;
+constexpr int kTopK = 40;
+constexpr std::uint32_t kCols = 1024;
+constexpr const char* kResultsDigestFile = "results.sha256";
+
+/// SHA-256 over every result's (row id, score) pairs in serve order —
+/// one number that two processes can compare to prove bit-identical
+/// serving.
+std::string results_digest(
+    const std::vector<topk::index::QueryResult>& results) {
+  topk::persist::Sha256 hasher;
+  for (const auto& result : results) {
+    for (const auto& entry : result.entries) {
+      hasher.update(&entry.index, sizeof(entry.index));
+      hasher.update(&entry.value, sizeof(entry.value));
+    }
+  }
+  const auto digest = hasher.finish();
+  return topk::persist::sha256_hex({digest.data(), digest.size()});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  enum class Mode { kCold, kSave, kLoad };
+  Mode mode = Mode::kCold;
+  std::filesystem::path deploy_dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if ((arg == "--save" || arg == "--load") && i + 1 < argc) {
+      mode = arg == "--save" ? Mode::kSave : Mode::kLoad;
+      deploy_dir = argv[++i];
+    } else {
+      std::cerr << "usage: sharded_service [--save DIR | --load DIR]\n";
+      return 2;
+    }
+  }
+
+  // 1. The index: either built cold from the collection (60k sparse
+  //    embeddings, M = 1024, ~20 nnz/row; mixed backends — fpga-sim
+  //    shards with an exact cpu-heap straggler on the last row range,
+  //    the fallback/shadow mix of a partial rollout), or warm-loaded
+  //    from a persisted deployment without touching the encoder.
+  std::shared_ptr<topk::shard::ShardedIndex> sharded;
+  std::shared_ptr<const topk::sparse::Csr> matrix;
+  topk::util::WallTimer index_timer;
+  if (mode == Mode::kLoad) {
+    sharded = topk::shard::ShardedIndexBuilder::from_deployment(deploy_dir);
+    std::cout << "Warm-loaded deployment from " << deploy_dir << " in "
+              << topk::util::format_double(index_timer.millis(), 1)
+              << " ms (no encoder)\n";
+  } else {
+    topk::sparse::GeneratorConfig generator;
+    generator.rows = 60'000;
+    generator.cols = kCols;
+    generator.mean_nnz_per_row = 20.0;
+    generator.seed = 21;
+    matrix = std::make_shared<const topk::sparse::Csr>(
+        topk::sparse::generate_matrix(generator));
+    std::cout << "Collection: " << matrix->rows() << " x " << matrix->cols()
+              << ", " << matrix->nnz() << " non-zeros\n";
+
+    topk::index::IndexOptions options;
+    options.design = topk::core::DesignConfig::fixed(20, 8);
+    index_timer.reset();
+    sharded = topk::shard::ShardedIndexBuilder()
+                  .matrix(matrix)
+                  .shards(4)
+                  .policy(topk::shard::ShardPolicy::kNnzBalanced)
+                  .inner_backend("fpga-sim")
+                  .inner_options(options)
+                  .shard_backend(3, "cpu-heap")
+                  .label("sharded-mixed")
+                  .build();
+    std::cout << "Cold-built index in "
+              << topk::util::format_double(index_timer.millis(), 1) << " ms\n";
+  }
   const auto description = sharded->describe();
   std::cout << "Index: " << description.backend << " — " << description.detail
             << "\n\n";
 
-  // 3. Serve it exactly like any flat backend: the engine's worker
-  //    budget becomes the scatter width of each query.
+  // 2. Serve it exactly like any flat backend: the engine's worker
+  //    budget becomes the scatter width of each query.  The workload
+  //    is seeded, so a cold and a warm process serve identical
+  //    queries.
   topk::serve::QueryEngine engine(
       sharded, {.workers = 0, .max_pending = 64, .latency_window = 1024});
 
-  constexpr int kBatch = 16;
-  constexpr int kAsync = 8;
-  constexpr int kTopK = 40;
   topk::util::Xoshiro256 rng(22);
   std::vector<std::vector<float>> queries;
   for (int q = 0; q < kBatch + kAsync; ++q) {
-    queries.push_back(topk::sparse::generate_dense_vector(1024, rng));
+    queries.push_back(topk::sparse::generate_dense_vector(kCols, rng));
   }
 
   topk::util::WallTimer batch_timer;
-  const auto results =
+  auto results =
       engine.query_batch({queries.begin(), queries.begin() + kBatch}, kTopK);
   const double batch_ms = batch_timer.millis();
 
@@ -76,19 +142,20 @@ int main() {
     futures.push_back(engine.submit(queries[q], kTopK));
   }
   for (auto& future : futures) {
-    if (future.get().entries.size() != static_cast<std::size_t>(kTopK)) {
+    results.push_back(future.get());
+    if (results.back().entries.size() != static_cast<std::size_t>(kTopK)) {
       std::cerr << "async invariant violated\n";
       return 1;
     }
   }
 
-  // 4. Invariants: every query saw all rows (the shards' rows_scanned
+  // 3. Invariants: every query saw all rows (the shards' rows_scanned
   //    sum to the collection), scattered across all four shards, and
   //    gathered at least kTopK candidates.
   for (const auto& result : results) {
     const topk::index::ShardStats* scatter = topk::index::shard_stats(result);
     if (result.entries.size() != static_cast<std::size_t>(kTopK) ||
-        result.stats.rows_scanned != matrix->rows() || scatter == nullptr ||
+        result.stats.rows_scanned != sharded->rows() || scatter == nullptr ||
         scatter->shards != 4 ||
         scatter->gathered_candidates < static_cast<std::uint64_t>(kTopK)) {
       std::cerr << "scatter-gather invariant violated\n";
@@ -118,6 +185,35 @@ int main() {
                      results.front().stats.modelled_seconds * 1e3, 3) +
                      " ms"});
   table.print(std::cout);
+
+  // 4. Persistence: --save writes the deployment images plus the
+  //    results digest; --load proves the warm-loaded index reproduced
+  //    the cold process's results bit for bit.
+  const std::string digest = results_digest(results);
+  if (mode == Mode::kSave) {
+    topk::util::WallTimer save_timer;
+    topk::persist::save_deployment(*sharded, deploy_dir);
+    std::ofstream(deploy_dir / kResultsDigestFile) << digest << '\n';
+    std::cout << "\nSaved deployment to " << deploy_dir << " in "
+              << topk::util::format_double(save_timer.millis(), 1)
+              << " ms (results digest " << digest.substr(0, 12) << "...)\n";
+  } else if (mode == Mode::kLoad) {
+    std::ifstream digest_file(deploy_dir / kResultsDigestFile);
+    std::string expected;
+    if (!(digest_file >> expected)) {
+      std::cerr << "cannot read " << deploy_dir / kResultsDigestFile
+                << " (was the deployment saved with --save?)\n";
+      return 1;
+    }
+    const bool identical = digest == expected;
+    std::cout << "\nWarm process vs cold process results: "
+              << (identical ? "bit-identical" : "MISMATCH") << " (digest "
+              << digest.substr(0, 12) << "...)\n";
+    if (!identical) {
+      return 1;
+    }
+    return 0;
+  }
 
   // 5. The registry one-liner: a uniform sharded backend is just
   //    another name, and its exact variant agrees with the flat exact

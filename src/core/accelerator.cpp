@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "serve/thread_pool.hpp"
@@ -37,6 +38,56 @@ TopKAccelerator::TopKAccelerator(const sparse::Csr& matrix,
     streams_.push_back(
         encode_bscsr(slice, layout_, config.value_kind, encode_options));
   }
+}
+
+TopKAccelerator TopKAccelerator::from_parts(const DesignConfig& config,
+                                            std::vector<Partition> partitions,
+                                            std::vector<BsCsrMatrix> streams) {
+  validate(config);
+  if (partitions.empty() || partitions.size() != streams.size()) {
+    throw std::invalid_argument(
+        "TopKAccelerator::from_parts: partition/stream count mismatch");
+  }
+  if (partitions.size() != static_cast<std::size_t>(config.cores)) {
+    throw std::invalid_argument(
+        "TopKAccelerator::from_parts: stream count does not match the "
+        "design's core count");
+  }
+
+  TopKAccelerator out;
+  out.config_ = config;
+  out.cols_ = streams.front().cols();
+  out.layout_ =
+      PacketLayout::solve(out.cols_, config.value_bits, config.packet_bits);
+  std::uint32_t expected_begin = 0;
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    const std::string tag =
+        "TopKAccelerator::from_parts: core " + std::to_string(i);
+    if (partitions[i].row_end <= partitions[i].row_begin ||
+        partitions[i].row_begin != expected_begin) {
+      throw std::invalid_argument(tag + ": partitions are not contiguous");
+    }
+    if (streams[i].rows() != partitions[i].rows()) {
+      throw std::invalid_argument(tag +
+                                  ": stream rows do not match the partition");
+    }
+    if (streams[i].cols() != out.cols_) {
+      throw std::invalid_argument(tag + ": column count mismatch");
+    }
+    if (streams[i].value_kind() != config.value_kind) {
+      throw std::invalid_argument(tag +
+                                  ": value kind does not match the design");
+    }
+    if (streams[i].layout() != out.layout_) {
+      throw std::invalid_argument(tag +
+                                  ": packet layout does not match the design");
+    }
+    expected_begin = partitions[i].row_end;
+  }
+  out.rows_ = expected_begin;
+  out.partitions_ = std::move(partitions);
+  out.streams_ = std::move(streams);
+  return out;
 }
 
 namespace {

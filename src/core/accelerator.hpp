@@ -63,6 +63,17 @@ class TopKAccelerator {
   /// rows than cores.
   TopKAccelerator(const sparse::Csr& matrix, const DesignConfig& config);
 
+  /// Reassembles an accelerator from previously persisted per-core
+  /// streams without re-running the encoder — the warm-restart path of
+  /// persist::load_deployment.  The partitions must be contiguous from
+  /// row 0 with one stream each, every stream's shape/kind/layout must
+  /// agree with its partition and the design, and the stream count
+  /// must equal the design's core count.  Throws std::invalid_argument
+  /// on any inconsistency.
+  [[nodiscard]] static TopKAccelerator from_parts(
+      const DesignConfig& config, std::vector<Partition> partitions,
+      std::vector<BsCsrMatrix> streams);
+
   /// Returns the approximate top `top_k` rows by dot product with `x`.
   /// Requires top_k <= k * cores (the merge can surface at most k
   /// candidates per core — the paper's k*c >= K constraint) and
@@ -108,6 +119,8 @@ class TopKAccelerator {
   [[nodiscard]] std::uint64_t max_core_packets() const noexcept;
 
  private:
+  TopKAccelerator() = default;  // for from_parts
+
   void check_vector(std::span<const float> x) const;
   void check_top_k(int top_k) const;
 

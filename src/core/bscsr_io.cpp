@@ -2,12 +2,65 @@
 
 #include <fstream>
 #include <stdexcept>
+#include <string>
+
+#include "util/bitio.hpp"
 
 namespace topk::core {
 
 namespace {
 
 constexpr std::uint64_t kMagic = 0x42534353'52494D31ULL;  // "BSCSRIM1"
+
+/// Audits a deserialised stream's header against the packet words
+/// actually present: every row (empty source rows included — the
+/// encoder injects a placeholder entry) ends at exactly one ptr
+/// boundary, so the header row count must equal the stream's total
+/// boundary count, and the header column count must be addressable by
+/// the layout's idx_bits.  Reads only the flag and ptr region of each
+/// packet, keeping a warm image load far cheaper than re-encoding.
+/// Throws std::runtime_error on any disagreement — a tampered or
+/// mismatched header must never reach the streaming kernel, whose row
+/// recovery trusts the boundary count.
+void validate_stream_shape(const BsCsrMatrix& matrix) {
+  const PacketLayout& layout = matrix.layout();
+  if (matrix.cols() > (std::uint64_t{1} << layout.idx_bits)) {
+    throw std::runtime_error(
+        "load_bscsr: header cols (" + std::to_string(matrix.cols()) +
+        ") exceed the " + std::to_string(layout.idx_bits) +
+        "-bit index range of the stored packets");
+  }
+  util::BitReader reader(matrix.words());
+  const auto capacity = static_cast<std::size_t>(layout.capacity);
+  std::uint64_t boundary_count = 0;
+  for (std::uint64_t p = 0; p < matrix.num_packets(); ++p) {
+    std::size_t pos = static_cast<std::size_t>(p) *
+                          static_cast<std::size_t>(layout.packet_bits) +
+                      1;  // skip the new_row flag
+    std::uint32_t prev = 0;
+    bool in_padding = false;
+    for (std::size_t i = 0; i < capacity; ++i) {
+      const auto b = static_cast<std::uint32_t>(reader.read(pos, layout.ptr_bits));
+      pos += static_cast<std::size_t>(layout.ptr_bits);
+      if (b == 0) {
+        in_padding = true;
+        continue;
+      }
+      if (in_padding || b <= prev || b > capacity) {
+        throw std::runtime_error("load_bscsr: malformed ptr field in packet " +
+                                 std::to_string(p));
+      }
+      ++boundary_count;
+      prev = b;
+    }
+  }
+  if (boundary_count != matrix.rows()) {
+    throw std::runtime_error(
+        "load_bscsr: header rows (" + std::to_string(matrix.rows()) +
+        ") disagree with the stream's row boundaries (" +
+        std::to_string(boundary_count) + ")");
+  }
+}
 
 template <typename T>
 void write_pod(std::ostream& os, const T& value) {
@@ -109,12 +162,15 @@ BsCsrMatrix load_bscsr(std::istream& is) {
     throw std::runtime_error("load_bscsr: truncated stream");
   }
 
+  BsCsrMatrix matrix;
   try {
-    return BsCsrMatrix::from_parts(layout, kind, rows, cols, source_nnz,
-                                   stored_entries, std::move(words), stats);
+    matrix = BsCsrMatrix::from_parts(layout, kind, rows, cols, source_nnz,
+                                     stored_entries, std::move(words), stats);
   } catch (const std::invalid_argument& error) {
     throw std::runtime_error(std::string("load_bscsr: ") + error.what());
   }
+  validate_stream_shape(matrix);
+  return matrix;
 }
 
 BsCsrMatrix load_bscsr(const std::filesystem::path& path) {

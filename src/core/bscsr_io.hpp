@@ -20,8 +20,10 @@ void save_bscsr(const BsCsrMatrix& matrix, const std::filesystem::path& path);
 void save_bscsr(const BsCsrMatrix& matrix, std::ostream& os);
 
 /// Reads a stream written by save_bscsr, validating header consistency
-/// (magic, layout arithmetic, word counts).  Throws std::runtime_error
-/// on malformed input.
+/// (magic, layout arithmetic, word counts) and auditing the header's
+/// row/column counts against the packet words actually present (the
+/// stream's ptr boundaries must account for every claimed row).
+/// Throws std::runtime_error on malformed input.
 [[nodiscard]] BsCsrMatrix load_bscsr(const std::filesystem::path& path);
 [[nodiscard]] BsCsrMatrix load_bscsr(std::istream& is);
 

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "baselines/gpu_model.hpp"
 #include "core/accelerator.hpp"
@@ -44,6 +45,14 @@ struct IndexOptions {
   /// Shard planning for "sharded-*": nnz-balanced row boundaries
   /// (default) or an even row split when false.
   bool nnz_balanced_shards = true;
+  /// Warm restart for the "sharded-*" backends: when non-empty, the
+  /// factory loads the persisted deployment at this directory (see
+  /// persist/deployment.hpp) instead of encoding the matrix — the
+  /// matrix argument may then be null.  The deployment's recorded
+  /// label must match the requested backend name; serving a
+  /// deployment saved under a different inner backend is rejected
+  /// with std::runtime_error.
+  std::string deployment_dir;
 };
 
 /// The paper's accelerator behind the unified interface.
@@ -108,6 +117,8 @@ class ExactSortIndex final : public SimilarityIndex {
   [[nodiscard]] std::uint32_t cols() const noexcept override;
   [[nodiscard]] IndexDescription describe() const override;
 
+  [[nodiscard]] const sparse::Csr& matrix() const noexcept { return *matrix_; }
+
  private:
   std::shared_ptr<const sparse::Csr> matrix_;
 };
@@ -129,6 +140,8 @@ class GpuModelIndex final : public SimilarityIndex {
   [[nodiscard]] const baselines::GpuPerfModel& perf_model() const noexcept {
     return model_;
   }
+
+  [[nodiscard]] const sparse::Csr& matrix() const noexcept { return *matrix_; }
 
  private:
   std::shared_ptr<const sparse::Csr> matrix_;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "persist/deployment.hpp"
 #include "shard/sharded_index.hpp"
 
 namespace topk::index {
@@ -62,6 +63,24 @@ Registry& registry() {
                   const IndexOptions& options)
               -> std::shared_ptr<SimilarityIndex> {
             const std::string label = std::string("sharded-") + inner;
+            // Warm restart: replay a persisted deployment instead of
+            // encoding.  The recorded label must match the requested
+            // backend — a deployment saved under a different inner
+            // backend must not silently serve as this one.  Checked
+            // against the manifest alone, before any image is hashed
+            // or rebuilt, so a mismatch fails fast.
+            if (!options.deployment_dir.empty()) {
+              const std::string saved_label =
+                  persist::read_manifest(options.deployment_dir).label;
+              if (saved_label != label) {
+                throw std::runtime_error(
+                    label + ": deployment at '" + options.deployment_dir +
+                    "' was saved as '" + saved_label +
+                    "' — refusing to serve it as a different backend");
+              }
+              return shard::ShardedIndexBuilder::from_deployment(
+                  options.deployment_dir, options);
+            }
             if (!matrix) {
               throw std::invalid_argument(label + ": null matrix");
             }
@@ -193,8 +212,14 @@ IndexBuilder& IndexBuilder::nnz_balanced_shards(bool balanced) {
   return *this;
 }
 
+IndexBuilder& IndexBuilder::deployment_dir(std::string dir) {
+  options_.deployment_dir = std::move(dir);
+  return *this;
+}
+
 std::shared_ptr<SimilarityIndex> IndexBuilder::build() const {
-  if (!matrix_) {
+  // A warm-loading sharded backend reads its images, not a matrix.
+  if (!matrix_ && options_.deployment_dir.empty()) {
     throw std::invalid_argument("IndexBuilder: no matrix set");
   }
   return make_index(backend_, matrix_, options_);

@@ -47,7 +47,9 @@ void register_backend(const std::string& name, IndexFactory factory);
 
 /// Builds the named backend over the shared collection.  Throws
 /// std::invalid_argument for unknown names (the message lists the
-/// registered ones) or a null matrix.
+/// registered ones) or a null matrix — except that the sharded-*
+/// factories accept a null matrix when options.deployment_dir names a
+/// persisted deployment to warm-load instead.
 [[nodiscard]] std::shared_ptr<SimilarityIndex> make_index(
     std::string_view name, std::shared_ptr<const sparse::Csr> matrix,
     const IndexOptions& options = {});
@@ -77,6 +79,9 @@ class IndexBuilder {
   /// Shard count / planning policy for the "sharded-*" backends.
   IndexBuilder& shards(int count);
   IndexBuilder& nnz_balanced_shards(bool balanced);
+  /// Warm-load a "sharded-*" backend from a persisted deployment
+  /// directory (see persist/deployment.hpp); no matrix required.
+  IndexBuilder& deployment_dir(std::string dir);
 
   /// Throws std::invalid_argument if no matrix was set or the backend
   /// is unknown.

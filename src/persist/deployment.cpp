@@ -1,0 +1,451 @@
+#include "persist/deployment.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/accelerator.hpp"
+#include "core/bscsr_io.hpp"
+#include "index/registry.hpp"
+#include "persist/digest.hpp"
+#include "sparse/io.hpp"
+
+namespace topk::persist {
+
+namespace {
+
+constexpr const char* kManifestMagic = "topk-deployment";
+// "TOPKFPG1": per-shard image holding the per-core BS-CSR streams.
+constexpr std::uint64_t kFpgaImageMagic = 0x544F504B'46504731ULL;
+constexpr const char* kFormatFpga = "fpga";
+constexpr const char* kFormatCsr = "csr";
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::istream& is, T& value, const std::filesystem::path& path) {
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) {
+    throw std::runtime_error("load_deployment: truncated image " +
+                             path.string());
+  }
+}
+
+core::ValueKind parse_value_kind(const std::string& token,
+                                 const std::filesystem::path& manifest) {
+  for (const core::ValueKind kind :
+       {core::ValueKind::kFixed, core::ValueKind::kFloat32,
+        core::ValueKind::kSignedFixed}) {
+    if (core::to_string(kind) == token) {
+      return kind;
+    }
+  }
+  throw std::runtime_error("load_deployment: " + manifest.string() +
+                           ": unknown value kind '" + token + "'");
+}
+
+// ------------------------------------------------------- fpga shard images
+
+/// The multi-core device image of one fpga-sim shard: core row ranges
+/// (local to the shard) followed by one bscsr_io stream per core.
+void write_fpga_image(const std::filesystem::path& path,
+                      const core::TopKAccelerator& accelerator) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw std::runtime_error("save_deployment: cannot open " + path.string());
+  }
+  write_pod(os, kFpgaImageMagic);
+  write_pod(os,
+            static_cast<std::uint32_t>(accelerator.core_streams().size()));
+  for (std::size_t core = 0; core < accelerator.core_streams().size(); ++core) {
+    write_pod(os, accelerator.partitions()[core].row_begin);
+    write_pod(os, accelerator.partitions()[core].row_end);
+    core::save_bscsr(accelerator.core_streams()[core], os);
+  }
+  if (!os) {
+    throw std::runtime_error("save_deployment: write failure on " +
+                             path.string());
+  }
+}
+
+struct FpgaImage {
+  std::vector<core::Partition> partitions;
+  std::vector<core::BsCsrMatrix> streams;
+};
+
+FpgaImage read_fpga_image(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("load_deployment: cannot open " + path.string());
+  }
+  std::uint64_t magic = 0;
+  read_pod(is, magic, path);
+  if (magic != kFpgaImageMagic) {
+    throw std::runtime_error("load_deployment: bad magic in " + path.string());
+  }
+  std::uint32_t cores = 0;
+  read_pod(is, cores, path);
+  if (cores == 0 || cores > 4096) {
+    throw std::runtime_error("load_deployment: implausible core count in " +
+                             path.string());
+  }
+  FpgaImage image;
+  image.partitions.reserve(cores);
+  image.streams.reserve(cores);
+  for (std::uint32_t core = 0; core < cores; ++core) {
+    core::Partition range;
+    read_pod(is, range.row_begin, path);
+    read_pod(is, range.row_end, path);
+    image.partitions.push_back(range);
+    try {
+      image.streams.push_back(core::load_bscsr(is));
+    } catch (const std::runtime_error& error) {
+      throw std::runtime_error("load_deployment: " + path.string() + ": " +
+                               error.what());
+    }
+  }
+  return image;
+}
+
+// --------------------------------------------------------------- manifest
+
+/// The manifest is whitespace-tokenised, so labels and backend names
+/// must be single tokens (registry keys and generated filenames are by
+/// construction; builder labels and third-party backend names are
+/// free-form).  Checked before any file is touched so a bad token
+/// cannot clobber an existing deployment.
+void require_single_token(const std::string& value, const char* what) {
+  if (value.empty() || value.find_first_of(" \t\n") != std::string::npos) {
+    throw std::invalid_argument(std::string("save_deployment: ") + what +
+                                " '" + value +
+                                "' must be a non-empty single token");
+  }
+}
+
+void write_manifest(const std::filesystem::path& path,
+                    const DeploymentManifest& manifest) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("save_deployment: cannot open " + path.string());
+  }
+  os << kManifestMagic << ' ' << manifest.version << '\n';
+  os << "label " << manifest.label << '\n';
+  os << "rows " << manifest.rows << '\n';
+  os << "cols " << manifest.cols << '\n';
+  const core::DesignConfig& design = manifest.design;
+  os << "design " << core::to_string(design.value_kind) << ' '
+     << design.value_bits << ' ' << design.cores << ' ' << design.k << ' '
+     << design.rows_per_packet << ' ' << (design.enforce_r_in_encoder ? 1 : 0)
+     << ' ' << design.packet_bits << '\n';
+  os << "shards " << manifest.shards.size() << '\n';
+  for (std::size_t s = 0; s < manifest.shards.size(); ++s) {
+    const ShardImage& image = manifest.shards[s];
+    os << "shard " << s << ' ' << image.range.row_begin << ' '
+       << image.range.row_end << ' ' << image.backend << ' ' << image.format
+       << ' ' << image.file << ' ' << image.bytes << ' ' << image.digest
+       << '\n';
+  }
+  os << "end\n";
+  if (!os) {
+    throw std::runtime_error("save_deployment: write failure on " +
+                             path.string());
+  }
+}
+
+}  // namespace
+
+DeploymentManifest read_manifest(const std::filesystem::path& dir) {
+  const std::filesystem::path path = dir / kManifestFilename;
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("load_deployment: cannot open manifest " +
+                             path.string());
+  }
+  const auto fail = [&](const std::string& why) -> void {
+    throw std::runtime_error("load_deployment: " + path.string() + ": " + why);
+  };
+  const auto expect_key = [&](const char* key) {
+    std::string token;
+    if (!(is >> token) || token != key) {
+      fail("expected '" + std::string(key) + "' field");
+    }
+  };
+
+  DeploymentManifest manifest;
+  std::string magic;
+  if (!(is >> magic >> manifest.version)) {
+    fail("missing magic/version header");
+  }
+  if (magic != kManifestMagic) {
+    fail("bad magic '" + magic + "'");
+  }
+  if (manifest.version > kManifestVersion) {
+    fail("manifest version " + std::to_string(manifest.version) +
+         " is newer than the supported version " +
+         std::to_string(kManifestVersion));
+  }
+  if (manifest.version < 1) {
+    fail("invalid manifest version " + std::to_string(manifest.version));
+  }
+
+  expect_key("label");
+  if (!(is >> manifest.label)) {
+    fail("missing label");
+  }
+  expect_key("rows");
+  if (!(is >> manifest.rows) || manifest.rows == 0) {
+    fail("missing or zero rows");
+  }
+  expect_key("cols");
+  if (!(is >> manifest.cols) || manifest.cols == 0) {
+    fail("missing or zero cols");
+  }
+
+  expect_key("design");
+  std::string kind_token;
+  int enforce_r = 0;
+  core::DesignConfig& design = manifest.design;
+  if (!(is >> kind_token >> design.value_bits >> design.cores >> design.k >>
+        design.rows_per_packet >> enforce_r >> design.packet_bits)) {
+    fail("malformed design line");
+  }
+  design.value_kind = parse_value_kind(kind_token, path);
+  design.enforce_r_in_encoder = enforce_r != 0;
+  try {
+    core::validate(design);
+  } catch (const std::invalid_argument& error) {
+    fail(std::string("invalid design: ") + error.what());
+  }
+
+  std::size_t shard_count = 0;
+  expect_key("shards");
+  if (!(is >> shard_count) || shard_count == 0 || shard_count > 65536) {
+    fail("missing or implausible shard count");
+  }
+  std::uint32_t expected_begin = 0;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    std::size_t id = 0;
+    ShardImage image;
+    expect_key("shard");
+    if (!(is >> id >> image.range.row_begin >> image.range.row_end >>
+          image.backend >> image.format >> image.file >> image.bytes >>
+          image.digest)) {
+      fail("malformed shard line " + std::to_string(s));
+    }
+    const std::string tag = "shard " + std::to_string(s);
+    if (id != s) {
+      fail(tag + ": out-of-order shard id " + std::to_string(id));
+    }
+    if (image.range.row_end <= image.range.row_begin ||
+        image.range.row_begin != expected_begin) {
+      fail(tag + ": shard plan is not contiguous from row 0");
+    }
+    if (image.format != kFormatFpga && image.format != kFormatCsr) {
+      fail(tag + ": unknown image format '" + image.format + "'");
+    }
+    if (image.digest.size() != 64 ||
+        image.digest.find_first_not_of("0123456789abcdef") !=
+            std::string::npos) {
+      fail(tag + ": malformed digest");
+    }
+    expected_begin = image.range.row_end;
+    manifest.shards.push_back(std::move(image));
+  }
+  if (expected_begin != manifest.rows) {
+    fail("shard plan covers " + std::to_string(expected_begin) +
+         " rows but the manifest declares " + std::to_string(manifest.rows));
+  }
+  expect_key("end");
+  return manifest;
+}
+
+// ---------------------------------------------------------------- save
+
+void save_deployment(const shard::ShardedIndex& index,
+                     const std::filesystem::path& dir) {
+  DeploymentManifest manifest;
+  manifest.label = index.describe().backend;
+  manifest.rows = index.rows();
+  manifest.cols = index.cols();
+
+  // Validate every shard before touching the directory: a free-form
+  // label, a backend name that would break the tokenised manifest, or
+  // a shard with no image format must fail cleanly, not after the
+  // images (or a previous deployment's manifest) have been rewritten.
+  require_single_token(manifest.label, "label");
+  for (std::size_t s = 0; s < index.shard_count(); ++s) {
+    const index::SimilarityIndex* inner = index.shard(s).inner.get();
+    require_single_token(inner->describe().backend, "shard backend");
+    if (dynamic_cast<const index::FpgaSimIndex*>(inner) == nullptr &&
+        dynamic_cast<const index::CpuHeapIndex*>(inner) == nullptr &&
+        dynamic_cast<const index::ExactSortIndex*>(inner) == nullptr &&
+        dynamic_cast<const index::GpuModelIndex*>(inner) == nullptr) {
+      throw std::invalid_argument(
+          "save_deployment: shard " + std::to_string(s) + " backend '" +
+          inner->describe().backend + "' has no persistable image format");
+    }
+  }
+  std::filesystem::create_directories(dir);
+
+  bool have_design = false;
+  for (std::size_t s = 0; s < index.shard_count(); ++s) {
+    const shard::Shard& shard = index.shard(s);
+    ShardImage image;
+    image.range = shard.range;
+    image.backend = shard.inner->describe().backend;
+
+    const sparse::Csr* csr = nullptr;
+    if (const auto* fpga =
+            dynamic_cast<const index::FpgaSimIndex*>(shard.inner.get())) {
+      const core::DesignConfig& config = fpga->accelerator().config();
+      if (!have_design) {
+        manifest.design = config;
+        have_design = true;
+      } else if (config != manifest.design) {
+        throw std::invalid_argument(
+            "save_deployment: fpga-sim shards use differing designs (one "
+            "manifest records one design)");
+      }
+      image.format = kFormatFpga;
+      image.file = "shard-" + std::to_string(s) + ".fpga.img";
+      write_fpga_image(dir / image.file, fpga->accelerator());
+    } else if (const auto* heap =
+                   dynamic_cast<const index::CpuHeapIndex*>(shard.inner.get())) {
+      csr = &heap->matrix();
+    } else if (const auto* sort = dynamic_cast<const index::ExactSortIndex*>(
+                   shard.inner.get())) {
+      csr = &sort->matrix();
+    } else if (const auto* gpu = dynamic_cast<const index::GpuModelIndex*>(
+                   shard.inner.get())) {
+      csr = &gpu->matrix();
+    } else {
+      throw std::invalid_argument("save_deployment: shard " +
+                                  std::to_string(s) + " backend '" +
+                                  image.backend +
+                                  "' has no persistable image format");
+    }
+    if (csr != nullptr) {
+      image.format = kFormatCsr;
+      image.file = "shard-" + std::to_string(s) + ".csr.img";
+      sparse::save_binary(*csr, dir / image.file);
+    }
+    image.bytes = std::filesystem::file_size(dir / image.file);
+    image.digest = sha256_file(dir / image.file);
+    manifest.shards.push_back(std::move(image));
+  }
+
+  write_manifest(dir / kManifestFilename, manifest);
+}
+
+// ---------------------------------------------------------------- load
+
+std::shared_ptr<shard::ShardedIndex> load_deployment(
+    const std::filesystem::path& dir, const index::IndexOptions& options) {
+  const DeploymentManifest manifest = read_manifest(dir);
+
+  std::vector<shard::Shard> shards;
+  shards.reserve(manifest.shards.size());
+  for (const ShardImage& image : manifest.shards) {
+    const std::filesystem::path path = dir / image.file;
+    if (!std::filesystem::exists(path)) {
+      throw std::runtime_error("load_deployment: missing shard image " +
+                               path.string());
+    }
+    const std::string digest = sha256_file(path);
+    if (digest != image.digest) {
+      throw std::runtime_error("load_deployment: digest mismatch for " +
+                               path.string() + " (manifest " + image.digest +
+                               ", file " + digest + ")");
+    }
+
+    std::shared_ptr<const index::SimilarityIndex> inner;
+    if (image.backend == "fpga-sim") {
+      if (image.format != kFormatFpga) {
+        throw std::runtime_error("load_deployment: " + path.string() +
+                                 ": format '" + image.format +
+                                 "' does not match backend fpga-sim");
+      }
+      FpgaImage fpga = read_fpga_image(path);
+      std::uint32_t stream_rows = 0;
+      for (const core::BsCsrMatrix& stream : fpga.streams) {
+        stream_rows += stream.rows();
+        if (stream.cols() != manifest.cols) {
+          throw std::runtime_error("load_deployment: " + path.string() +
+                                   ": stream cols disagree with the manifest");
+        }
+      }
+      if (stream_rows != image.range.rows()) {
+        throw std::runtime_error(
+            "load_deployment: " + path.string() + ": image rows (" +
+            std::to_string(stream_rows) +
+            ") disagree with the manifest shard range (" +
+            std::to_string(image.range.rows()) + ")");
+      }
+      try {
+        auto accelerator = std::make_shared<const core::TopKAccelerator>(
+            core::TopKAccelerator::from_parts(manifest.design,
+                                              std::move(fpga.partitions),
+                                              std::move(fpga.streams)));
+        inner = std::make_shared<index::FpgaSimIndex>(std::move(accelerator));
+      } catch (const std::invalid_argument& error) {
+        throw std::runtime_error("load_deployment: " + path.string() + ": " +
+                                 error.what());
+      }
+    } else {
+      if (image.format != kFormatCsr) {
+        throw std::runtime_error("load_deployment: " + path.string() +
+                                 ": format '" + image.format +
+                                 "' does not match backend " + image.backend);
+      }
+      sparse::Csr csr;
+      try {
+        csr = sparse::load_binary(path);
+      } catch (const std::exception& error) {
+        throw std::runtime_error("load_deployment: " + path.string() + ": " +
+                                 error.what());
+      }
+      if (csr.rows() != image.range.rows()) {
+        throw std::runtime_error(
+            "load_deployment: " + path.string() + ": image rows (" +
+            std::to_string(csr.rows()) +
+            ") disagree with the manifest shard range (" +
+            std::to_string(image.range.rows()) + ")");
+      }
+      if (csr.cols() != manifest.cols) {
+        throw std::runtime_error("load_deployment: " + path.string() +
+                                 ": image cols (" + std::to_string(csr.cols()) +
+                                 ") disagree with the manifest (" +
+                                 std::to_string(manifest.cols) + ")");
+      }
+      index::IndexOptions inner_options = options;
+      inner_options.design = manifest.design;
+      inner_options.deployment_dir.clear();
+      try {
+        inner = index::make_index(
+            image.backend,
+            std::make_shared<const sparse::Csr>(std::move(csr)),
+            inner_options);
+      } catch (const std::invalid_argument& error) {
+        throw std::runtime_error("load_deployment: " +
+                                 (dir / kManifestFilename).string() +
+                                 ": backend '" + image.backend +
+                                 "': " + error.what());
+      }
+    }
+    shards.push_back(shard::Shard{image.range, std::move(inner)});
+  }
+
+  try {
+    return std::make_shared<shard::ShardedIndex>(std::move(shards),
+                                                 manifest.label);
+  } catch (const std::invalid_argument& error) {
+    throw std::runtime_error("load_deployment: " +
+                             (dir / kManifestFilename).string() + ": " +
+                             error.what());
+  }
+}
+
+}  // namespace topk::persist

@@ -1,0 +1,104 @@
+// Persistent shard deployments: a sharded index saved as versioned
+// on-disk images and reloaded without re-running the encoder.
+//
+// The paper's premise is that encoding a BS-CSR image is far slower
+// than streaming it, so a real deployment encodes once and ships bytes
+// to HBM at load time.  save_deployment() writes one image file per
+// shard of a shard::ShardedIndex — the multi-core BS-CSR streams for
+// fpga-sim shards (the bytes an XDMA transfer would replay into HBM),
+// a raw little-endian CSR image (sparse::save_binary) for the
+// CSR-backed backends — plus a versioned, digest-carrying text
+// manifest:
+//
+//   topk-deployment 1
+//   label sharded-fpga-sim
+//   rows 60000
+//   cols 1024
+//   design fixed 20 8 8 8 0 512   (kind V cores k r enforce_r packet_bits)
+//   shards 4
+//   shard 0 0 15731 fpga-sim fpga shard-0.fpga.img 212992 <sha256 hex>
+//   ...
+//   end
+//
+// load_deployment() verifies every image's SHA-256 digest and shape
+// against the manifest before any bytes reach an index, reconstructs
+// each inner backend (core::TopKAccelerator::from_parts for fpga-sim;
+// the registry for the rest), and returns a ShardedIndex that is
+// bit-identical to the one saved — the foundation for replication (a
+// replica is just a second load of the same images).  Every corruption
+// mode — truncated or bit-flipped image, wrong magic, future manifest
+// version, missing shard file, manifest/image shape disagreement —
+// throws std::runtime_error naming the offending file; nothing is
+// served from a partially valid deployment.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/design.hpp"
+#include "core/partitioner.hpp"
+#include "index/backends.hpp"
+#include "shard/sharded_index.hpp"
+
+namespace topk::persist {
+
+/// Manifest schema version written by save_deployment; newer versions
+/// on disk are rejected (forward compatibility is explicit, never
+/// silent misparsing).
+inline constexpr int kManifestVersion = 1;
+
+/// Manifest filename inside a deployment directory.
+inline constexpr const char* kManifestFilename = "deployment.manifest";
+
+/// One shard image as recorded in the manifest.
+struct ShardImage {
+  core::Partition range;     ///< global row range the shard serves
+  std::string backend;       ///< inner registry name, e.g. "fpga-sim"
+  std::string format;        ///< "fpga" (BS-CSR core streams) or "csr"
+  std::string file;          ///< filename inside the deployment dir
+  std::uint64_t bytes = 0;   ///< image file size
+  std::string digest;        ///< SHA-256 hex of the image file
+};
+
+/// Parsed deployment manifest.
+struct DeploymentManifest {
+  int version = kManifestVersion;
+  std::string label;  ///< the saved index's describe().backend
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  /// Geometry and k-policy of the fpga-sim shards (value kind/width,
+  /// cores per shard, per-core k, rows-per-packet budget, packet
+  /// width).  Defaulted when the deployment holds no fpga-sim shard.
+  core::DesignConfig design;
+  std::vector<ShardImage> shards;
+};
+
+/// Writes `index` as a deployment directory (created if needed): one
+/// image per shard plus the manifest.  Supported inner backends are
+/// fpga-sim (BS-CSR core streams) and the CSR-backed built-ins
+/// (cpu-heap, exact-sort, gpu-f16).  Throws std::invalid_argument for
+/// an inner backend without a persistable image (e.g. a third-party
+/// registry backend) and std::runtime_error on I/O failure.
+void save_deployment(const shard::ShardedIndex& index,
+                     const std::filesystem::path& dir);
+
+/// Reads and validates just the manifest (magic, version, field
+/// ranges, shard-plan contiguity).  Throws std::runtime_error naming
+/// the manifest on any problem.
+[[nodiscard]] DeploymentManifest read_manifest(
+    const std::filesystem::path& dir);
+
+/// Reconstructs the saved ShardedIndex from `dir` without re-running
+/// the encoder.  Every image is digest-verified and shape-checked
+/// against the manifest first.  `options` supplies the non-geometric
+/// knobs of the inner factories (e.g. the gpu-f16 perf model); the
+/// design and shard plan always come from the manifest.  Throws
+/// std::runtime_error naming the offending file on any corruption or
+/// disagreement.
+[[nodiscard]] std::shared_ptr<shard::ShardedIndex> load_deployment(
+    const std::filesystem::path& dir, const index::IndexOptions& options = {});
+
+}  // namespace topk::persist

@@ -1,0 +1,412 @@
+#include "persist/digest.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define TOPK_SHA_NI_DISPATCH 1
+#include <immintrin.h>
+#endif
+
+namespace topk::persist {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 64> kRoundConstants = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+/// Portable compression loop (FIPS 180-4 reference arithmetic).
+void sha256_blocks_scalar(std::array<std::uint32_t, 8>& state,
+                          const std::uint8_t* block, std::size_t blocks) {
+  for (; blocks > 0; --blocks, block += 64) {
+    std::uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+             (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+             (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+             static_cast<std::uint32_t>(block[i * 4 + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      const std::uint32_t s0 = std::rotr(w[i - 15], 7) ^
+                               std::rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const std::uint32_t s1 = std::rotr(w[i - 2], 17) ^
+                               std::rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+    for (int i = 0; i < 64; ++i) {
+      const std::uint32_t s1 =
+          std::rotr(e, 6) ^ std::rotr(e, 11) ^ std::rotr(e, 25);
+      const std::uint32_t ch = (e & f) ^ (~e & g);
+      const std::uint32_t temp1 = h + s1 + ch + kRoundConstants[i] + w[i];
+      const std::uint32_t s0 =
+          std::rotr(a, 2) ^ std::rotr(a, 13) ^ std::rotr(a, 22);
+      const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const std::uint32_t temp2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + temp1;
+      d = c;
+      c = b;
+      b = a;
+      a = temp1 + temp2;
+    }
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+  }
+}
+
+#ifdef TOPK_SHA_NI_DISPATCH
+
+/// x86 SHA-NI compression loop (the standard Intel round schedule) —
+/// digesting a deployment at load time must stay an order of magnitude
+/// cheaper than the encoder the warm path skips.  Selected at runtime
+/// only when the CPU reports the sha/sse4.1 features; CI pins both
+/// paths to the FIPS vectors (the fallback via TOPK_NO_SHA_NI, since
+/// the cached probe means one process only ever runs one path).
+__attribute__((target("sha,sse4.1,ssse3"))) void sha256_blocks_shani(
+    std::array<std::uint32_t, 8>& state, const std::uint8_t* data,
+    std::size_t blocks) {
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0c0d0e0f'08090a0bLL, 0x04050607'00010203LL);
+
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);          // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);    // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);    // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);         // CDGH
+
+  for (; blocks > 0; --blocks, data += 64) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+    __m128i msg, msg0, msg1, msg2, msg3;
+
+    // Rounds 0-3
+    msg0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 0)), kShuffle);
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0xE9B5DBA5'B5C0FBCFULL, 0x71374491'428A2F98ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 4-7
+    msg1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)), kShuffle);
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0xAB1C5ED5'923F82A4ULL, 0x59F111F1'3956C25BULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 8-11
+    msg2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)), kShuffle);
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0x550C7DC3'243185BEULL, 0x12835B01'D807AA98ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 12-15
+    msg3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)), kShuffle);
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0xC19BF174'9BDC06A7ULL, 0x80DEB1FE'72BE5D74ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 16-19
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0x240CA1CC'0FC19DC6ULL, 0xEFBE4786'E49B69C1ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 20-23
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0x76F988DA'5CB0A9DCULL, 0x4A7484AA'2DE92C6FULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 24-27
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0xBF597FC7'B00327C8ULL, 0xA831C66D'983E5152ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 28-31
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0x14292967'06CA6351ULL, 0xD5A79147'C6E00BF3ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 32-35
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0x53380D13'4D2C6DFCULL, 0x2E1B2138'27B70A85ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 36-39
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0x92722C85'81C2C92EULL, 0x766A0ABB'650A7354ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 40-43
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0xC76C51A3'C24B8B70ULL, 0xA81A664B'A2BFE8A1ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 44-47
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0x106AA070'F40E3585ULL, 0xD6990624'D192E819ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, tmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 48-51
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0x34B0BCB5'2748774CULL, 0x1E376C08'19A4C116ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 52-55
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0x682E6FF3'5B9CCA4FULL, 0x4ED8AA4A'391C0CB3ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, tmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 56-59
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0x8CC70208'84C87814ULL, 0x78A5636F'748F82EEULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, tmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 60-63
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0xC67178F2'BEF9A3F7ULL, 0xA4506CEB'90BEFFFAULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+  }
+
+  tmp = _mm_shuffle_epi32(state0, 0x1B);       // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);    // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0); // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);    // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+bool cpu_has_sha_ni() {
+  // TOPK_NO_SHA_NI forces the portable path (so the fallback stays
+  // testable on hardware that would otherwise always dispatch to
+  // SHA-NI).
+  static const bool supported = std::getenv("TOPK_NO_SHA_NI") == nullptr &&
+                                __builtin_cpu_supports("sha") &&
+                                __builtin_cpu_supports("sse4.1") &&
+                                __builtin_cpu_supports("ssse3");
+  return supported;
+}
+
+#endif  // TOPK_SHA_NI_DISPATCH
+
+void sha256_blocks(std::array<std::uint32_t, 8>& state,
+                   const std::uint8_t* block, std::size_t blocks) {
+#ifdef TOPK_SHA_NI_DISPATCH
+  if (cpu_has_sha_ni()) {
+    sha256_blocks_shani(state, block, blocks);
+    return;
+  }
+#endif
+  sha256_blocks_scalar(state, block, blocks);
+}
+
+}  // namespace
+
+Sha256::Sha256()
+    : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+             0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19} {}
+
+void Sha256::process_block(const std::uint8_t* block) {
+  sha256_blocks(state_, block, 1);
+}
+
+void Sha256::update(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  total_bytes_ += bytes;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(bytes, buffer_.size() - buffered_);
+    std::memcpy(buffer_.data() + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    bytes -= take;
+    if (buffered_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  if (bytes >= buffer_.size()) {
+    const std::size_t whole_blocks = bytes / buffer_.size();
+    sha256_blocks(state_, p, whole_blocks);
+    p += whole_blocks * buffer_.size();
+    bytes -= whole_blocks * buffer_.size();
+  }
+  if (bytes > 0) {
+    std::memcpy(buffer_.data(), p, bytes);
+    buffered_ = bytes;
+  }
+}
+
+std::array<std::uint8_t, 32> Sha256::finish() {
+  const std::uint64_t bit_length = total_bytes_ * 8;
+  const std::uint8_t pad = 0x80;
+  update(&pad, 1);
+  const std::uint8_t zero = 0x00;
+  while (buffered_ != 56) {
+    update(&zero, 1);
+  }
+  std::uint8_t length_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    length_bytes[i] = static_cast<std::uint8_t>(bit_length >> (56 - i * 8));
+  }
+  // Bypass update(): the length must not count towards itself.
+  std::memcpy(buffer_.data() + 56, length_bytes, 8);
+  process_block(buffer_.data());
+  buffered_ = 0;
+
+  std::array<std::uint8_t, 32> digest;
+  for (int i = 0; i < 8; ++i) {
+    digest[i * 4] = static_cast<std::uint8_t>(state_[i] >> 24);
+    digest[i * 4 + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    digest[i * 4 + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    digest[i * 4 + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  return digest;
+}
+
+namespace {
+
+std::string to_hex(const std::array<std::uint8_t, 32>& digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string hex(64, '0');
+  for (std::size_t i = 0; i < digest.size(); ++i) {
+    hex[i * 2] = kHex[digest[i] >> 4];
+    hex[i * 2 + 1] = kHex[digest[i] & 0xF];
+  }
+  return hex;
+}
+
+}  // namespace
+
+std::string sha256_hex(std::span<const std::uint8_t> bytes) {
+  Sha256 hasher;
+  hasher.update(bytes.data(), bytes.size());
+  return to_hex(hasher.finish());
+}
+
+std::string sha256_file(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("sha256_file: cannot open " + path.string());
+  }
+  Sha256 hasher;
+  char chunk[1 << 16];
+  while (is) {
+    is.read(chunk, sizeof(chunk));
+    hasher.update(chunk, static_cast<std::size_t>(is.gcount()));
+  }
+  if (is.bad()) {
+    throw std::runtime_error("sha256_file: read failure on " + path.string());
+  }
+  return to_hex(hasher.finish());
+}
+
+}  // namespace topk::persist

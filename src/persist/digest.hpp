@@ -1,0 +1,49 @@
+// SHA-256 digests for deployment images.
+//
+// A persisted shard deployment is only trustworthy if a bit flip on
+// disk is caught before the bytes reach the accelerator, so every
+// image file's digest is recorded in the deployment manifest and
+// re-verified on load (persist/deployment.hpp).  The implementation is
+// the plain FIPS 180-4 compression function — no external dependency,
+// and throughput (hundreds of MB/s) is far above the encoder the warm
+// path exists to skip.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+
+namespace topk::persist {
+
+/// Incremental SHA-256 hasher (FIPS 180-4).
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorbs `bytes` more input bytes.
+  void update(const void* data, std::size_t bytes);
+
+  /// Finalises and returns the 32-byte digest.  The hasher must not be
+  /// reused afterwards.
+  [[nodiscard]] std::array<std::uint8_t, 32> finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// Lower-case hex SHA-256 of a byte span.
+[[nodiscard]] std::string sha256_hex(std::span<const std::uint8_t> bytes);
+
+/// Lower-case hex SHA-256 of a file's contents.  Throws
+/// std::runtime_error (naming the file) when it cannot be read.
+[[nodiscard]] std::string sha256_file(const std::filesystem::path& path);
+
+}  // namespace topk::persist

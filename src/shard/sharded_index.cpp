@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "index/registry.hpp"
+#include "persist/deployment.hpp"
 #include "serve/thread_pool.hpp"
 
 namespace topk::shard {
@@ -293,6 +294,11 @@ std::shared_ptr<ShardedIndex> ShardedIndexBuilder::build() const {
     label = overrides_.empty() ? "sharded-" + inner_backend_ : "sharded";
   }
   return std::make_shared<ShardedIndex>(std::move(built), std::move(label));
+}
+
+std::shared_ptr<ShardedIndex> ShardedIndexBuilder::from_deployment(
+    const std::filesystem::path& dir, const index::IndexOptions& options) {
+  return persist::load_deployment(dir, options);
 }
 
 }  // namespace topk::shard

@@ -19,6 +19,7 @@
 // built-in backends (index/registry.hpp).
 #pragma once
 
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -144,6 +145,17 @@ class ShardedIndexBuilder {
   /// count does not fit the matrix, an override is out of range, or a
   /// backend name is unknown to the registry.
   [[nodiscard]] std::shared_ptr<ShardedIndex> build() const;
+
+  /// Warm restart: reconstructs a ShardedIndex from a deployment
+  /// directory written by persist::save_deployment, replaying the
+  /// persisted shard images instead of re-running the encoder.
+  /// `options` supplies the non-geometric knobs of the inner factories
+  /// (e.g. the gpu-f16 perf model); the design, shard plan and
+  /// backends come from the manifest.  Throws std::runtime_error
+  /// naming the offending file on missing/corrupt/mismatched images.
+  [[nodiscard]] static std::shared_ptr<ShardedIndex> from_deployment(
+      const std::filesystem::path& dir,
+      const index::IndexOptions& options = {});
 
  private:
   std::shared_ptr<const sparse::Csr> matrix_;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -12,16 +13,7 @@
 namespace topk::core {
 namespace {
 
-class BsCsrIoTest : public ::testing::Test {
- protected:
-  void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "topk_bscsr_io_test";
-    std::filesystem::create_directories(dir_);
-  }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
-
-  std::filesystem::path dir_;
-};
+using BsCsrIoTest = test::TempDirFixture;
 
 BsCsrMatrix make_encoded(ValueKind kind, int val_bits) {
   const sparse::Csr matrix = test::small_random_matrix(120, 256, 12.0, 91);
@@ -34,7 +26,7 @@ TEST_F(BsCsrIoTest, RoundTripPreservesEverything) {
        {std::pair{ValueKind::kFixed, 20}, {ValueKind::kFloat32, 32},
         {ValueKind::kSignedFixed, 25}}) {
     const BsCsrMatrix original = make_encoded(kind, bits);
-    const auto path = dir_ / "image.bin";
+    const auto path = dir() / "image.bin";
     save_bscsr(original, path);
     const BsCsrMatrix loaded = load_bscsr(path);
 
@@ -67,7 +59,7 @@ TEST_F(BsCsrIoTest, LoadedImageStreamsIdentically) {
 }
 
 TEST_F(BsCsrIoTest, RejectsBadMagicAndTruncation) {
-  const auto path = dir_ / "garbage.bin";
+  const auto path = dir() / "garbage.bin";
   std::ofstream(path, std::ios::binary) << "definitely not an image";
   EXPECT_THROW((void)load_bscsr(path), std::runtime_error);
 
@@ -77,7 +69,7 @@ TEST_F(BsCsrIoTest, RejectsBadMagicAndTruncation) {
   const std::string full = buffer.str();
   std::istringstream truncated(full.substr(0, full.size() - 16));
   EXPECT_THROW((void)load_bscsr(truncated), std::runtime_error);
-  EXPECT_THROW((void)load_bscsr(dir_ / "missing.bin"), std::runtime_error);
+  EXPECT_THROW((void)load_bscsr(dir() / "missing.bin"), std::runtime_error);
 }
 
 TEST_F(BsCsrIoTest, RejectsTamperedHeader) {
@@ -89,6 +81,53 @@ TEST_F(BsCsrIoTest, RejectsTamperedHeader) {
   bytes[8 + 16] = 120;
   std::istringstream corrupted(bytes);
   EXPECT_THROW((void)load_bscsr(corrupted), std::runtime_error);
+}
+
+// Regression: a header whose row/col counts disagree with the packet
+// words actually present used to load silently (from_parts checks only
+// word/entry-count arithmetic); the streaming kernel then recovers the
+// wrong row ids.  load_bscsr now audits the stream's ptr boundaries.
+TEST_F(BsCsrIoTest, RejectsHeaderRowsDisagreeingWithStream) {
+  const BsCsrMatrix original = make_encoded(ValueKind::kFixed, 20);
+  ASSERT_EQ(original.rows(), 120u);
+  const auto path = dir() / "image.bin";
+  save_bscsr(original, path);
+
+  // Header layout: magic(8) + 5 layout int32 + kind int32 = 32 bytes,
+  // then rows (uint32) at 32 and cols (uint32) at 36.
+  std::string bytes = test::read_file(path);
+  std::uint32_t rows = 0;
+  std::memcpy(&rows, bytes.data() + 32, 4);
+  ASSERT_EQ(rows, 120u);
+  ++rows;  // 121 claimed rows, 120 boundaries in the stream
+  std::memcpy(bytes.data() + 32, &rows, 4);
+  test::write_file(path, bytes);
+  try {
+    (void)load_bscsr(path);
+    FAIL() << "tampered row count loaded";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("rows"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(BsCsrIoTest, RejectsHeaderColsBeyondIndexRange) {
+  const BsCsrMatrix original = make_encoded(ValueKind::kFixed, 20);
+  ASSERT_EQ(original.cols(), 256u);  // idx_bits == 8 addresses exactly 256
+  const auto path = dir() / "image.bin";
+  save_bscsr(original, path);
+
+  std::string bytes = test::read_file(path);
+  const std::uint32_t cols = 300;  // not addressable by 8-bit indices
+  std::memcpy(bytes.data() + 36, &cols, 4);
+  test::write_file(path, bytes);
+  try {
+    (void)load_bscsr(path);
+    FAIL() << "tampered column count loaded";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("cols"), std::string::npos)
+        << error.what();
+  }
 }
 
 TEST(BsCsrFromParts, ValidatesConsistency) {

@@ -6,17 +6,103 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/design.hpp"
 #include "core/topk_spmv.hpp"
 #include "fixed/fixed_point.hpp"
+#include "index/backends.hpp"
+#include "shard/sharded_index.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/generator.hpp"
 #include "util/rng.hpp"
 
 namespace topk::test {
+
+/// Fixture owning a unique scratch directory under the system temp
+/// path, created fresh per test and removed on teardown — the one
+/// temp-file idiom for every I/O and persistence test (bscsr_io,
+/// deployments).
+class TempDirFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("topk_") + info->test_suite_name() + "_" + info->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept {
+    return dir_;
+  }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+/// XORs one byte of a file in place — the minimal on-disk corruption
+/// (a digest check must catch it).
+inline void flip_byte(const std::filesystem::path& path, std::uint64_t offset) {
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(file) << "cannot open " << path;
+  file.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  file.read(&byte, 1);
+  ASSERT_TRUE(file) << "offset " << offset << " past end of " << path;
+  byte = static_cast<char>(byte ^ 0x01);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.write(&byte, 1);
+  ASSERT_TRUE(file);
+}
+
+/// Truncates a file to its first `keep_bytes` bytes.
+inline void truncate_file(const std::filesystem::path& path,
+                          std::uint64_t keep_bytes) {
+  std::filesystem::resize_file(path, keep_bytes);
+}
+
+/// Reads a whole file into a string (binary).
+inline std::string read_file(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is) << "cannot open " << path;
+  return {std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>()};
+}
+
+/// Writes a string to a file (binary), replacing it.
+inline void write_file(const std::filesystem::path& path,
+                       const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(os) << "cannot open " << path;
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(os);
+}
+
+/// Builds the standard test deployment source: a ShardedIndex over a
+/// small deterministic matrix, with uniform or per-shard-overridden
+/// inner backends — the cold half of every save/load round-trip test.
+inline std::shared_ptr<shard::ShardedIndex> build_test_sharded(
+    std::shared_ptr<const sparse::Csr> matrix, int shards,
+    const std::string& inner_backend,
+    const index::IndexOptions& options = {},
+    const std::vector<std::pair<int, std::string>>& overrides = {}) {
+  shard::ShardedIndexBuilder builder;
+  builder.matrix(std::move(matrix))
+      .shards(shards)
+      .inner_backend(inner_backend)
+      .inner_options(options);
+  for (const auto& [shard, name] : overrides) {
+    builder.shard_backend(shard, name);
+  }
+  return builder.build();
+}
 
 /// Per-row scores computed with the same arithmetic as the streaming
 /// kernel, but directly from CSR — the bit-exact oracle the kernel
