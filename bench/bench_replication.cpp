@@ -1,0 +1,249 @@
+// Replicated-shard throughput sweep: queries/sec at R = 1/2/4 replicas
+// per shard under concurrent QueryEngine load, with a bit-identicality
+// gate against the flat backend.
+//
+// What replication buys is device throughput, not host FLOPs: a
+// replica is one single-occupancy accelerator serving one (query,
+// shard) cell at a time (the paper's board runs one Top-K SpMV pass
+// per query), so R replicas of a shard serve R cells concurrently.
+// This bench models that explicitly, in the same spirit as the repo's
+// modelled FPGA times: every replica is wrapped in a single-occupancy
+// device — a mutex held for the real inner query plus a fixed modelled
+// device dwell — so the measured queries/sec scales with the device
+// count rather than this machine's core count (the dwell is slept, not
+// burned, which keeps the scaling visible on any host).  The inner
+// compute is real cpu-heap work and the results pass through the full
+// scatter/route/failover/gather path, so the bit-identicality gate is
+// end to end: every result from every client must equal the flat
+// cpu-heap answer, at every replica count.
+//
+// Eight client threads issue batches through one serve::QueryEngine
+// (the acceptance setup: 8 concurrent engine clients on the default
+// 120k-row collection), and least-loaded routing spreads the cells
+// over the replica devices by live in-flight counts.
+//
+//   $ ./bench_replication [--quick] [--full] [--queries=N] [--seed=N]
+//
+// The acceptance number is >= 1.5x batch throughput at R=2 vs R=1 at
+// the default scale (the bench exits non-zero below it, and always
+// exits non-zero on any bit mismatch).  --quick shrinks the matrix,
+// dwell and repeat count for CI smoke runs (printed but not gated);
+// --queries overrides the per-client batch iteration count.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "index/registry.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/thread_pool.hpp"
+#include "shard/sharded_index.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+constexpr int kShards = 4;
+constexpr int kClients = 8;
+constexpr int kClientBatch = 6;  ///< queries per query_batch() call
+constexpr int kTopK = 50;
+
+/// Single-occupancy replica device: the mutex is the device (one cell
+/// in flight), the dwell is the modelled per-query device time.  Real
+/// inner compute runs under the lock, so a device is busy for
+/// (compute + dwell) per cell.
+class SingleOccupancyDevice final : public topk::index::SimilarityIndex {
+ public:
+  SingleOccupancyDevice(
+      std::shared_ptr<const topk::index::SimilarityIndex> inner,
+      double dwell_seconds)
+      : inner_(std::move(inner)), dwell_seconds_(dwell_seconds) {}
+
+  [[nodiscard]] topk::index::QueryResult query(
+      std::span<const float> x, int top_k,
+      const topk::index::QueryOptions& options = {}) const override {
+    std::lock_guard<std::mutex> lock(busy_);
+    auto result = inner_->query(x, top_k, options);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(dwell_seconds_));
+    return result;
+  }
+  [[nodiscard]] std::uint32_t rows() const noexcept override {
+    return inner_->rows();
+  }
+  [[nodiscard]] std::uint32_t cols() const noexcept override {
+    return inner_->cols();
+  }
+  [[nodiscard]] topk::index::IndexDescription describe() const override {
+    return inner_->describe();
+  }
+  [[nodiscard]] int max_top_k() const noexcept override {
+    return inner_->max_top_k();
+  }
+
+ private:
+  std::shared_ptr<const topk::index::SimilarityIndex> inner_;
+  double dwell_seconds_;
+  mutable std::mutex busy_;
+};
+
+/// R device replicas per shard, each its own single-occupancy wrapper
+/// around the shard's (shared, thread-compatible) inner index — the
+/// images are byte-identical, so sharing the in-memory copy models R
+/// devices loaded from one deployment image.
+std::shared_ptr<topk::shard::ShardedIndex> make_device_index(
+    const topk::shard::ShardedIndex& base, int replicas, double dwell_seconds) {
+  std::vector<topk::shard::Shard> shards;
+  for (std::size_t s = 0; s < base.shard_count(); ++s) {
+    std::vector<std::shared_ptr<const topk::index::SimilarityIndex>> devices;
+    devices.reserve(static_cast<std::size_t>(replicas));
+    for (int r = 0; r < replicas; ++r) {
+      devices.push_back(std::make_shared<SingleOccupancyDevice>(
+          base.shard(s).replicas.front(), dwell_seconds));
+    }
+    shards.push_back(topk::shard::Shard{base.shard(s).range, std::move(devices)});
+  }
+  return std::make_shared<topk::shard::ShardedIndex>(
+      std::move(shards), "sharded-devices-x" + std::to_string(replicas),
+      topk::shard::RoutingPolicy::kLeastLoaded);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const topk::bench::BenchArgs args = topk::bench::parse_args(argc, argv);
+
+  topk::sparse::GeneratorConfig generator;
+  generator.rows = args.quick ? 20'000 : (args.full ? 1'000'000 : 120'000);
+  generator.cols = 512;
+  generator.mean_nnz_per_row = 16.0;
+  generator.seed = args.seed;
+  const auto matrix = std::make_shared<const topk::sparse::Csr>(
+      topk::sparse::generate_matrix(generator));
+
+  // Modelled per-query device dwell.  Sized well above one shard's
+  // real cpu-heap compute on this collection so the sweep measures
+  // device occupancy (what replication scales), not host cores.
+  const double dwell_seconds = args.quick ? 0.008 : 0.025;
+  const int iterations = args.queries > 0 ? args.queries : (args.quick ? 2 : 3);
+
+  // One unreplicated base index; every R-config wraps its shards in
+  // fresh device replicas.  Flat cpu-heap is the bit-identicality
+  // reference for every result of every client.
+  const auto base = topk::shard::ShardedIndexBuilder()
+                        .matrix(matrix)
+                        .shards(kShards)
+                        .inner_backend("cpu-heap")
+                        .build();
+  const auto flat = topk::index::make_index("cpu-heap", matrix);
+
+  topk::util::Xoshiro256 rng(args.seed + 11);
+  std::vector<std::vector<std::vector<float>>> client_queries(kClients);
+  std::vector<std::vector<std::vector<topk::core::TopKEntry>>> reference(
+      kClients);
+  for (int c = 0; c < kClients; ++c) {
+    for (int q = 0; q < kClientBatch; ++q) {
+      client_queries[c].push_back(
+          topk::sparse::generate_dense_vector(generator.cols, rng));
+      reference[c].push_back(
+          flat->query(client_queries[c].back(), kTopK).entries);
+    }
+  }
+
+  const int total_queries = kClients * kClientBatch * iterations;
+  std::cout << "Replication sweep: " << matrix->rows() << " rows, "
+            << matrix->nnz() << " nnz, " << kShards
+            << " cpu-heap shards behind single-occupancy replica devices ("
+            << topk::util::format_double(dwell_seconds * 1e3, 0)
+            << " ms modelled dwell each), top-" << kTopK << "\n"
+            << kClients << " concurrent engine clients x " << kClientBatch
+            << "-query batches x " << iterations << " iterations = "
+            << total_queries << " queries per config, least-loaded routing\n\n";
+
+  // Enough pool workers that every client batch fans out fully; the
+  // executors mostly sleep in device dwell, so they are cheap.
+  topk::serve::shared_pool().ensure_workers(kClients * kClientBatch + kClients);
+
+  topk::util::TablePrinter table(
+      {"Replicas", "Devices", "Wall (s)", "Queries/s", "Speedup", "Identical"});
+  bool all_identical = true;
+  double qps_at_1 = 0.0;
+  double speedup_at_2 = 0.0;
+
+  for (const int replicas : {1, 2, 4}) {
+    const auto devices = make_device_index(*base, replicas, dwell_seconds);
+    topk::serve::QueryEngine engine(
+        devices, {.workers = kClientBatch,
+                  .max_pending = static_cast<std::size_t>(total_queries),
+                  .latency_window = 1024});
+
+    std::atomic<int> mismatches{0};
+    topk::util::WallTimer timer;
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int i = 0; i < iterations; ++i) {
+          const auto results = engine.query_batch(client_queries[c], kTopK);
+          for (int q = 0; q < kClientBatch; ++q) {
+            if (results[static_cast<std::size_t>(q)].entries !=
+                reference[c][static_cast<std::size_t>(q)]) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      });
+    }
+    for (auto& client : clients) {
+      client.join();
+    }
+    const double wall_seconds = timer.seconds();
+    const double qps = total_queries / wall_seconds;
+    if (replicas == 1) {
+      qps_at_1 = qps;
+    }
+    const double speedup = qps_at_1 > 0.0 ? qps / qps_at_1 : 0.0;
+    if (replicas == 2) {
+      speedup_at_2 = speedup;
+    }
+    const bool identical = mismatches.load() == 0;
+    if (!identical) {
+      std::cerr << "FAIL: " << mismatches.load() << " results at R="
+                << replicas << " differ from the flat cpu-heap reference\n";
+      all_identical = false;
+    }
+    table.add_row({std::to_string(replicas),
+                   std::to_string(kShards * replicas),
+                   topk::util::format_double(wall_seconds, 2),
+                   topk::util::format_double(qps, 1),
+                   topk::util::format_double(speedup, 2) + "x",
+                   identical ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nBatch throughput speedup at R=2 vs R=1 under " << kClients
+            << " concurrent clients: "
+            << topk::util::format_double(speedup_at_2, 2)
+            << "x (acceptance target: >= 1.5x at the default scale"
+            << (args.quick || args.full
+                    ? "; rerun without --quick/--full for the gated config"
+                    : "")
+            << ")\n";
+  std::cout << "All results bit-identical to flat cpu-heap: "
+            << (all_identical ? "yes" : "NO") << "\n";
+  if (!all_identical) {
+    return 1;
+  }
+  if (!args.quick && !args.full && speedup_at_2 < 1.5) {
+    std::cerr << "FAIL: R=2 batch throughput is below 1.5x of R=1\n";
+    return 1;
+  }
+  return 0;
+}

@@ -138,8 +138,9 @@ int main(int argc, char** argv) {
       double critical_seconds = 0.0;
       for (std::size_t s = 0; s < sharded->shard_count(); ++s) {
         critical_seconds = std::max(
-            critical_seconds, measure_query_seconds(*sharded->shard(s).inner,
-                                                    x, 1, repeats, nullptr));
+            critical_seconds,
+            measure_query_seconds(sharded->shard(s).primary(), x, 1, repeats,
+                                  nullptr));
       }
       const double speedup = baseline_seconds / critical_seconds;
       std::string match = "n/a";

@@ -1,29 +1,43 @@
 // Sharded serving demo — the host-scale version of the paper's
-// multi-core design, with a persistent-deployment warm-restart path.
-// A 60k-row collection is split into four nnz-balanced row-range
-// shards served by mixed backends (three fpga-sim shards plus one
-// exact cpu-heap straggler), and the composite ShardedIndex — itself a
-// SimilarityIndex — serves batch and async traffic through the
-// backend-agnostic serve::QueryEngine.  Queries scatter across the
-// shards on the shared thread pool; the gather is a deterministic
-// k-way merge, with the scatter described by the index::ShardStats
-// extension (width, critical-path shard, candidates merged).
+// multi-core design, with a persistent-deployment warm-restart path
+// and per-shard replica sets.  A 60k-row collection is split into four
+// nnz-balanced row-range shards served by mixed backends (three
+// fpga-sim shards plus one exact cpu-heap straggler), and the
+// composite ShardedIndex — itself a SimilarityIndex — serves batch and
+// async traffic through the backend-agnostic serve::QueryEngine.
+// Queries scatter across the shards on the shared thread pool; each
+// (query, shard) cell routes to one replica (least-loaded) and fails
+// over on error; the gather is a deterministic k-way merge, with the
+// scatter described by the index::ShardStats extension (width,
+// replicas, critical-path shard, candidates merged, failovers).
 //
 //   $ ./sharded_service                 # build the index, serve
+//   $ ./sharded_service --replicas 2    # replica pairs + failover demo
 //   $ ./sharded_service --save DIR      # also persist it as a deployment
 //   $ ./sharded_service --load DIR      # warm restart: replay the images
 //                                       # (no encoder) and serve
 //
+// --replicas N composes with both paths: a cold build constructs N
+// registry replicas per shard, a warm load replays each shard's
+// digest-verified image N times.  With N >= 2 the demo additionally
+// injects a fault — replica 0 of every shard is wrapped in an index
+// that throws on every call — and proves failover serves results
+// bit-identical to the healthy index, with the absorbed failures
+// visible in the per-replica stats.
+//
 // --save additionally records a SHA-256 digest of every query result;
 // --load recomputes it in the fresh process and fails unless the
 // warm-loaded index reproduced the cold process's results bit for bit
-// — the cross-process reuse proof CI runs.
+// — the cross-process reuse proof CI runs (with --replicas 2, the
+// replicated warm load must reproduce the unreplicated cold results).
 #include <filesystem>
 #include <fstream>
 #include <future>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "index/registry.hpp"
@@ -59,19 +73,104 @@ std::string results_digest(
   return topk::persist::sha256_hex({digest.data(), digest.size()});
 }
 
+/// A replica device that is down: every call throws.  Metadata still
+/// forwards, so the replica set validates — exactly the failure mode
+/// failover exists for.
+class DownReplica final : public topk::index::SimilarityIndex {
+ public:
+  explicit DownReplica(
+      std::shared_ptr<const topk::index::SimilarityIndex> inner)
+      : inner_(std::move(inner)) {}
+
+  [[nodiscard]] topk::index::QueryResult query(
+      std::span<const float> /*x*/, int /*top_k*/,
+      const topk::index::QueryOptions& /*options*/ = {}) const override {
+    throw std::runtime_error("injected fault: replica device down");
+  }
+  [[nodiscard]] std::uint32_t rows() const noexcept override {
+    return inner_->rows();
+  }
+  [[nodiscard]] std::uint32_t cols() const noexcept override {
+    return inner_->cols();
+  }
+  [[nodiscard]] topk::index::IndexDescription describe() const override {
+    return inner_->describe();
+  }
+  [[nodiscard]] int max_top_k() const noexcept override {
+    return inner_->max_top_k();
+  }
+
+ private:
+  std::shared_ptr<const topk::index::SimilarityIndex> inner_;
+};
+
+/// Fault-injection proof: replica 0 of every shard goes down; the
+/// replicated index must absorb every failure and reproduce the
+/// healthy index's results bit for bit.  Returns false on any
+/// disagreement.
+bool run_failover_demo(const topk::shard::ShardedIndex& healthy,
+                       const std::vector<std::vector<float>>& queries,
+                       const std::string& healthy_digest) {
+  std::vector<topk::shard::Shard> shards;
+  for (std::size_t s = 0; s < healthy.shard_count(); ++s) {
+    shards.push_back(healthy.shard(s));
+    shards.back().replicas[0] =
+        std::make_shared<DownReplica>(shards.back().replicas[0]);
+  }
+  const topk::shard::ShardedIndex faulty(std::move(shards), "sharded-faulty",
+                                         healthy.routing());
+
+  auto results = faulty.query_batch(queries, kTopK);
+  std::uint64_t failovers = 0;
+  for (const auto& result : results) {
+    const topk::index::ShardStats* scatter = topk::index::shard_stats(result);
+    if (scatter != nullptr) {
+      failovers += scatter->failovers;
+    }
+  }
+  std::uint64_t absorbed_failures = 0;
+  std::uint64_t surviving_queries = 0;
+  for (std::size_t s = 0; s < faulty.shard_count(); ++s) {
+    for (const auto& replica : faulty.replica_stats(s)) {
+      absorbed_failures += replica.failures;
+      surviving_queries += replica.queries;
+    }
+  }
+  const std::string digest = results_digest(results);
+  const bool identical = digest == healthy_digest;
+  std::cout << "\nFault injection: replica 0 of every shard down — "
+            << failovers << " cells failed over, " << absorbed_failures
+            << " failures absorbed, " << surviving_queries
+            << " cells served by the survivors; results vs healthy index: "
+            << (identical ? "bit-identical" : "MISMATCH") << "\n";
+  return identical;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   enum class Mode { kCold, kSave, kLoad };
   Mode mode = Mode::kCold;
   std::filesystem::path deploy_dir;
+  int replicas = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if ((arg == "--save" || arg == "--load") && i + 1 < argc) {
       mode = arg == "--save" ? Mode::kSave : Mode::kLoad;
       deploy_dir = argv[++i];
+    } else if (arg == "--replicas" && i + 1 < argc) {
+      try {
+        replicas = std::stoi(argv[++i]);
+      } catch (const std::exception&) {
+        replicas = 0;
+      }
+      if (replicas < 1) {
+        std::cerr << "--replicas needs a positive count\n";
+        return 2;
+      }
     } else {
-      std::cerr << "usage: sharded_service [--save DIR | --load DIR]\n";
+      std::cerr << "usage: sharded_service [--replicas N] "
+                   "[--save DIR | --load DIR]\n";
       return 2;
     }
   }
@@ -80,15 +179,21 @@ int main(int argc, char** argv) {
   //    embeddings, M = 1024, ~20 nnz/row; mixed backends — fpga-sim
   //    shards with an exact cpu-heap straggler on the last row range,
   //    the fallback/shadow mix of a partial rollout), or warm-loaded
-  //    from a persisted deployment without touching the encoder.
+  //    from a persisted deployment without touching the encoder.  With
+  //    --replicas N every shard becomes a replica set: N registry
+  //    builds cold, N replays of the same digest-verified image warm.
   std::shared_ptr<topk::shard::ShardedIndex> sharded;
   std::shared_ptr<const topk::sparse::Csr> matrix;
   topk::util::WallTimer index_timer;
   if (mode == Mode::kLoad) {
-    sharded = topk::shard::ShardedIndexBuilder::from_deployment(deploy_dir);
+    topk::index::IndexOptions load_options;
+    load_options.replicas = replicas;
+    sharded =
+        topk::shard::ShardedIndexBuilder::from_deployment(deploy_dir,
+                                                          load_options);
     std::cout << "Warm-loaded deployment from " << deploy_dir << " in "
               << topk::util::format_double(index_timer.millis(), 1)
-              << " ms (no encoder)\n";
+              << " ms (no encoder, " << replicas << " replica(s)/shard)\n";
   } else {
     topk::sparse::GeneratorConfig generator;
     generator.rows = 60'000;
@@ -110,10 +215,12 @@ int main(int argc, char** argv) {
                   .inner_backend("fpga-sim")
                   .inner_options(options)
                   .shard_backend(3, "cpu-heap")
+                  .replicas(replicas)
                   .label("sharded-mixed")
                   .build();
     std::cout << "Cold-built index in "
-              << topk::util::format_double(index_timer.millis(), 1) << " ms\n";
+              << topk::util::format_double(index_timer.millis(), 1) << " ms ("
+              << replicas << " replica(s)/shard)\n";
   }
   const auto description = sharded->describe();
   std::cout << "Index: " << description.backend << " — " << description.detail
@@ -150,14 +257,17 @@ int main(int argc, char** argv) {
   }
 
   // 3. Invariants: every query saw all rows (the shards' rows_scanned
-  //    sum to the collection), scattered across all four shards, and
-  //    gathered at least kTopK candidates.
+  //    sum to the collection), scattered across all four shards with
+  //    the requested replication, gathered at least kTopK candidates,
+  //    and — all replicas healthy — never failed over; the
+  //    slowest-shard load signal is live for every backend mix.
   for (const auto& result : results) {
     const topk::index::ShardStats* scatter = topk::index::shard_stats(result);
     if (result.entries.size() != static_cast<std::size_t>(kTopK) ||
         result.stats.rows_scanned != sharded->rows() || scatter == nullptr ||
-        scatter->shards != 4 ||
-        scatter->gathered_candidates < static_cast<std::uint64_t>(kTopK)) {
+        scatter->shards != 4 || scatter->replicas != replicas ||
+        scatter->gathered_candidates < static_cast<std::uint64_t>(kTopK) ||
+        scatter->failovers != 0 || scatter->slowest_shard < 0) {
       std::cerr << "scatter-gather invariant violated\n";
       return 1;
     }
@@ -169,6 +279,8 @@ int main(int argc, char** argv) {
   topk::util::TablePrinter table({"Metric", "Value"});
   table.add_row({"Backend", description.backend});
   table.add_row({"Shards", std::to_string(scatter->shards)});
+  table.add_row({"Replicas / shard", std::to_string(scatter->replicas)});
+  table.add_row({"Routing policy", topk::shard::to_string(sharded->routing())});
   table.add_row({"Batch + async queries",
                  std::to_string(kBatch) + " + " + std::to_string(kAsync)});
   table.add_row({"Batch wall time",
@@ -178,18 +290,32 @@ int main(int argc, char** argv) {
                      topk::util::format_double(latency.p99_ms, 1) + " ms"});
   table.add_row({"Candidates gathered / query",
                  std::to_string(scatter->gathered_candidates)});
-  table.add_row({"Critical-path shard (modelled)",
-                 std::to_string(scatter->slowest_shard)});
+  table.add_row({"Slowest shard (modelled or measured)",
+                 std::to_string(scatter->slowest_shard) + " (" +
+                     topk::util::format_double(
+                         scatter->slowest_seconds * 1e3, 3) +
+                     " ms)"});
   table.add_row({"Modelled FPGA critical path",
                  topk::util::format_double(
                      results.front().stats.modelled_seconds * 1e3, 3) +
                      " ms"});
   table.print(std::cout);
 
-  // 4. Persistence: --save writes the deployment images plus the
-  //    results digest; --load proves the warm-loaded index reproduced
-  //    the cold process's results bit for bit.
   const std::string digest = results_digest(results);
+
+  // 4. Replication: with R >= 2, prove the point of the replica tier —
+  //    kill replica 0 of every shard and serve the same workload
+  //    bit-identically off the survivors.
+  if (replicas >= 2) {
+    if (!run_failover_demo(*sharded, queries, digest)) {
+      return 1;
+    }
+  }
+
+  // 5. Persistence: --save writes the deployment images plus the
+  //    results digest; --load proves the warm-loaded index reproduced
+  //    the cold process's results bit for bit (at any replica count —
+  //    replication must never change a bit).
   if (mode == Mode::kSave) {
     topk::util::WallTimer save_timer;
     topk::persist::save_deployment(*sharded, deploy_dir);
@@ -215,7 +341,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // 5. The registry one-liner: a uniform sharded backend is just
+  // 6. The registry one-liner: a uniform sharded backend is just
   //    another name, and its exact variant agrees with the flat exact
   //    scan bit-for-bit.
   const auto sharded_exact =

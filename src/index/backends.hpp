@@ -45,6 +45,13 @@ struct IndexOptions {
   /// Shard planning for "sharded-*": nnz-balanced row boundaries
   /// (default) or an even row split when false.
   bool nnz_balanced_shards = true;
+  /// Replicas per shard for the "sharded-*" backends (clamped to at
+  /// least 1).  Cold builds construct each replica through the
+  /// registry; deployment warm loads (deployment_dir) load the same
+  /// digest-verified images this many times, so the replicas are
+  /// byte-identical by construction.  Queries route to one replica per
+  /// (query, shard) cell and fail over to the others on error.
+  int replicas = 1;
   /// Warm restart for the "sharded-*" backends: when non-empty, the
   /// factory loads the persisted deployment at this directory (see
   /// persist/deployment.hpp) instead of encoding the matrix — the

@@ -87,12 +87,15 @@ Registry& registry() {
             const int shards = static_cast<int>(std::min<std::uint64_t>(
                 static_cast<std::uint64_t>(std::max(1, options.shards)),
                 std::max<std::uint32_t>(1, matrix->rows())));
+            // Replica count clamped like the shard count, so generic
+            // sweeps can set it unconditionally.
             return shard::ShardedIndexBuilder()
                 .matrix(std::move(matrix))
                 .shards(shards)
                 .policy(options.nnz_balanced_shards
                             ? shard::ShardPolicy::kNnzBalanced
                             : shard::ShardPolicy::kEvenRows)
+                .replicas(std::max(1, options.replicas))
                 .inner_backend(inner)
                 .inner_options(options)
                 .label(label)
@@ -209,6 +212,11 @@ IndexBuilder& IndexBuilder::shards(int count) {
 
 IndexBuilder& IndexBuilder::nnz_balanced_shards(bool balanced) {
   options_.nnz_balanced_shards = balanced;
+  return *this;
+}
+
+IndexBuilder& IndexBuilder::replicas(int count) {
+  options_.replicas = count;
   return *this;
 }
 

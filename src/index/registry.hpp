@@ -79,6 +79,9 @@ class IndexBuilder {
   /// Shard count / planning policy for the "sharded-*" backends.
   IndexBuilder& shards(int count);
   IndexBuilder& nnz_balanced_shards(bool balanced);
+  /// Replicas per shard for the "sharded-*" backends (failover +
+  /// load-balanced routing; see shard/sharded_index.hpp).
+  IndexBuilder& replicas(int count);
   /// Warm-load a "sharded-*" backend from a persisted deployment
   /// directory (see persist/deployment.hpp); no matrix required.
   IndexBuilder& deployment_dir(std::string dir);

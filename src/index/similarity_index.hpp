@@ -45,11 +45,43 @@ struct GpuModelStats {
 /// parallel scatter); these record the gather itself.
 struct ShardStats {
   int shards = 0;          ///< scatter width of this query
-  /// Shard with the largest modelled time (the critical path), or -1
-  /// when no shard reported a modelled time.
+  /// Replication factor: the largest replica count of any shard (1 for
+  /// an unreplicated index).
+  int replicas = 1;
+  /// Shard with the largest per-shard time — the modelled device time
+  /// when the shard reports one (fpga-sim, gpu-f16), the measured wall
+  /// time of its query_shard call otherwise (cpu-heap, exact-sort).
+  /// Always set after a successful query: the scatter times every
+  /// shard, so there is no "-1, no signal" state any more.
   int slowest_shard = -1;
+  /// The slowest shard's time in seconds (modelled or measured, per
+  /// the slowest_shard rule) — the load signal dynamic resharding
+  /// rebalances on.
+  double slowest_seconds = 0.0;
   /// Candidate entries the k-way merge consumed before the final cut.
   std::uint64_t gathered_candidates = 0;
+  /// (query, shard) cells that failed on their routed replica and were
+  /// retried on another during this query — 0 on an all-healthy set.
+  std::uint64_t failovers = 0;
+};
+
+/// Cumulative health/performance counters of one replica of one shard,
+/// snapshot via shard::ShardedIndex::replica_stats().  The routing
+/// policies read the live counters behind this view: kLeastLoaded
+/// routes to the replica with the fewest in-flight calls (ties broken
+/// by the lower EWMA), and failover skips replicas marked unhealthy by
+/// their last call.
+struct ReplicaStats {
+  std::uint64_t queries = 0;   ///< calls served successfully
+  std::uint64_t failures = 0;  ///< calls that threw (absorbed by failover)
+  int inflight = 0;            ///< calls executing right now
+  /// Exponentially weighted moving average of observed per-call wall
+  /// time (seconds); 0 until the replica has served a call.
+  double ewma_seconds = 0.0;
+  /// False while the replica's most recent call failed; a success
+  /// flips it back (transient faults recover).
+  bool healthy = true;
+  std::string last_error;  ///< what() of the most recent failure
 };
 
 /// Per-query counters.  The common fields are meaningful for every

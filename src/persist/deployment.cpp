@@ -277,7 +277,7 @@ void save_deployment(const shard::ShardedIndex& index,
   // images (or a previous deployment's manifest) have been rewritten.
   require_single_token(manifest.label, "label");
   for (std::size_t s = 0; s < index.shard_count(); ++s) {
-    const index::SimilarityIndex* inner = index.shard(s).inner.get();
+    const index::SimilarityIndex* inner = &index.shard(s).primary();
     require_single_token(inner->describe().backend, "shard backend");
     if (dynamic_cast<const index::FpgaSimIndex*>(inner) == nullptr &&
         dynamic_cast<const index::CpuHeapIndex*>(inner) == nullptr &&
@@ -293,13 +293,16 @@ void save_deployment(const shard::ShardedIndex& index,
   bool have_design = false;
   for (std::size_t s = 0; s < index.shard_count(); ++s) {
     const shard::Shard& shard = index.shard(s);
+    // Replicas of a shard are interchangeable by construction, so one
+    // image per shard covers any replica count — a warm load replays
+    // it as many times as IndexOptions::replicas asks for.
+    const index::SimilarityIndex* primary = &shard.primary();
     ShardImage image;
     image.range = shard.range;
-    image.backend = shard.inner->describe().backend;
+    image.backend = primary->describe().backend;
 
     const sparse::Csr* csr = nullptr;
-    if (const auto* fpga =
-            dynamic_cast<const index::FpgaSimIndex*>(shard.inner.get())) {
+    if (const auto* fpga = dynamic_cast<const index::FpgaSimIndex*>(primary)) {
       const core::DesignConfig& config = fpga->accelerator().config();
       if (!have_design) {
         manifest.design = config;
@@ -313,13 +316,13 @@ void save_deployment(const shard::ShardedIndex& index,
       image.file = "shard-" + std::to_string(s) + ".fpga.img";
       write_fpga_image(dir / image.file, fpga->accelerator());
     } else if (const auto* heap =
-                   dynamic_cast<const index::CpuHeapIndex*>(shard.inner.get())) {
+                   dynamic_cast<const index::CpuHeapIndex*>(primary)) {
       csr = &heap->matrix();
-    } else if (const auto* sort = dynamic_cast<const index::ExactSortIndex*>(
-                   shard.inner.get())) {
+    } else if (const auto* sort =
+                   dynamic_cast<const index::ExactSortIndex*>(primary)) {
       csr = &sort->matrix();
-    } else if (const auto* gpu = dynamic_cast<const index::GpuModelIndex*>(
-                   shard.inner.get())) {
+    } else if (const auto* gpu =
+                   dynamic_cast<const index::GpuModelIndex*>(primary)) {
       csr = &gpu->matrix();
     } else {
       throw std::invalid_argument("save_deployment: shard " +
@@ -345,6 +348,10 @@ void save_deployment(const shard::ShardedIndex& index,
 std::shared_ptr<shard::ShardedIndex> load_deployment(
     const std::filesystem::path& dir, const index::IndexOptions& options) {
   const DeploymentManifest manifest = read_manifest(dir);
+  // options.replicas loads the same digest-verified image that many
+  // times — the digests guarantee every replica is byte-identical, so
+  // replication costs only the extra loads, never a re-encode.
+  const int replica_count = std::max(1, options.replicas);
 
   std::vector<shard::Shard> shards;
   shards.reserve(manifest.shards.size());
@@ -361,13 +368,18 @@ std::shared_ptr<shard::ShardedIndex> load_deployment(
                                ", file " + digest + ")");
     }
 
-    std::shared_ptr<const index::SimilarityIndex> inner;
+    std::vector<std::shared_ptr<const index::SimilarityIndex>> replicas;
+    replicas.reserve(static_cast<std::size_t>(replica_count));
     if (image.backend == "fpga-sim") {
       if (image.format != kFormatFpga) {
         throw std::runtime_error("load_deployment: " + path.string() +
                                  ": format '" + image.format +
                                  "' does not match backend fpga-sim");
       }
+      // Read and audit the image once; each replica adopts its own
+      // accelerator off an in-memory copy of the parsed streams
+      // (memcpy-speed, no repeated disk I/O — warm-load time must not
+      // grow with the replica count).
       FpgaImage fpga = read_fpga_image(path);
       std::uint32_t stream_rows = 0;
       for (const core::BsCsrMatrix& stream : fpga.streams) {
@@ -384,15 +396,20 @@ std::shared_ptr<shard::ShardedIndex> load_deployment(
             ") disagree with the manifest shard range (" +
             std::to_string(image.range.rows()) + ")");
       }
-      try {
-        auto accelerator = std::make_shared<const core::TopKAccelerator>(
-            core::TopKAccelerator::from_parts(manifest.design,
-                                              std::move(fpga.partitions),
-                                              std::move(fpga.streams)));
-        inner = std::make_shared<index::FpgaSimIndex>(std::move(accelerator));
-      } catch (const std::invalid_argument& error) {
-        throw std::runtime_error("load_deployment: " + path.string() + ": " +
-                                 error.what());
+      for (int r = 0; r < replica_count; ++r) {
+        FpgaImage parts =
+            r + 1 < replica_count ? fpga : std::move(fpga);  // last one moves
+        try {
+          auto accelerator = std::make_shared<const core::TopKAccelerator>(
+              core::TopKAccelerator::from_parts(manifest.design,
+                                                std::move(parts.partitions),
+                                                std::move(parts.streams)));
+          replicas.push_back(
+              std::make_shared<index::FpgaSimIndex>(std::move(accelerator)));
+        } catch (const std::invalid_argument& error) {
+          throw std::runtime_error("load_deployment: " + path.string() + ": " +
+                                   error.what());
+        }
       }
     } else {
       if (image.format != kFormatCsr) {
@@ -423,19 +440,23 @@ std::shared_ptr<shard::ShardedIndex> load_deployment(
       index::IndexOptions inner_options = options;
       inner_options.design = manifest.design;
       inner_options.deployment_dir.clear();
-      try {
-        inner = index::make_index(
-            image.backend,
-            std::make_shared<const sparse::Csr>(std::move(csr)),
-            inner_options);
-      } catch (const std::invalid_argument& error) {
-        throw std::runtime_error("load_deployment: " +
-                                 (dir / kManifestFilename).string() +
-                                 ": backend '" + image.backend +
-                                 "': " + error.what());
+      inner_options.replicas = 1;  // replication lives at the shard tier
+      // CSR-backed replicas share one in-memory copy of the image.
+      const auto shared_csr =
+          std::make_shared<const sparse::Csr>(std::move(csr));
+      for (int r = 0; r < replica_count; ++r) {
+        try {
+          replicas.push_back(
+              index::make_index(image.backend, shared_csr, inner_options));
+        } catch (const std::invalid_argument& error) {
+          throw std::runtime_error("load_deployment: " +
+                                   (dir / kManifestFilename).string() +
+                                   ": backend '" + image.backend +
+                                   "': " + error.what());
+        }
       }
     }
-    shards.push_back(shard::Shard{image.range, std::move(inner)});
+    shards.push_back(shard::Shard{image.range, std::move(replicas)});
   }
 
   try {

@@ -94,10 +94,13 @@ void save_deployment(const shard::ShardedIndex& index,
 /// Reconstructs the saved ShardedIndex from `dir` without re-running
 /// the encoder.  Every image is digest-verified and shape-checked
 /// against the manifest first.  `options` supplies the non-geometric
-/// knobs of the inner factories (e.g. the gpu-f16 perf model); the
-/// design and shard plan always come from the manifest.  Throws
-/// std::runtime_error naming the offending file on any corruption or
-/// disagreement.
+/// knobs of the inner factories (e.g. the gpu-f16 perf model) and the
+/// replica count: options.replicas > 1 loads every shard's image that
+/// many times into interchangeable replicas — the digests guarantee
+/// the replicas are byte-identical, which is what makes failover
+/// serving bit-identical.  The design and shard plan always come from
+/// the manifest.  Throws std::runtime_error naming the offending file
+/// on any corruption or disagreement.
 [[nodiscard]] std::shared_ptr<shard::ShardedIndex> load_deployment(
     const std::filesystem::path& dir, const index::IndexOptions& options = {});
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <exception>
 #include <limits>
 #include <queue>
 #include <stdexcept>
@@ -10,22 +11,54 @@
 #include "index/registry.hpp"
 #include "persist/deployment.hpp"
 #include "serve/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace topk::shard {
 
-ShardedIndex::ShardedIndex(std::vector<Shard> shards, std::string backend_label)
-    : shards_(std::move(shards)), label_(std::move(backend_label)) {
+namespace {
+
+/// EWMA smoothing for observed per-call wall time: heavy enough on
+/// history to ride out scheduler noise, responsive enough that a
+/// replica going slow is visible within a few calls.
+constexpr double kEwmaAlpha = 0.2;
+
+/// Every kProbeInterval-th pick on a shard with both healthy and
+/// unhealthy replicas routes to an unhealthy one: a transiently failed
+/// replica must get a chance to succeed and rejoin, or one blip would
+/// drain its traffic forever.  The cost of a probe that still fails is
+/// one absorbed failover.
+constexpr std::uint64_t kProbeInterval = 16;
+
+}  // namespace
+
+std::string to_string(RoutingPolicy policy) {
+  switch (policy) {
+    case RoutingPolicy::kRoundRobin:
+      return "round-robin";
+    case RoutingPolicy::kLeastLoaded:
+      return "least-loaded";
+  }
+  return "unknown";
+}
+
+ShardedIndex::ShardedIndex(std::vector<Shard> shards, std::string backend_label,
+                           RoutingPolicy routing)
+    : shards_(std::move(shards)),
+      label_(std::move(backend_label)),
+      routing_(routing) {
   if (shards_.empty()) {
     throw std::invalid_argument(label_ + ": no shards");
   }
   std::uint32_t expected_begin = 0;
   bool any_uncapped = false;
   std::int64_t cap_sum = 0;
+  shard_caps_.reserve(shards_.size());
+  state_.reserve(shards_.size());
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     const Shard& shard = shards_[s];
     const std::string tag = label_ + " shard " + std::to_string(s);
-    if (!shard.inner) {
-      throw std::invalid_argument(tag + ": null inner index");
+    if (shard.replicas.empty()) {
+      throw std::invalid_argument(tag + ": no replicas");
     }
     if (shard.range.row_end <= shard.range.row_begin) {
       throw std::invalid_argument(tag + ": empty row range");
@@ -33,20 +66,45 @@ ShardedIndex::ShardedIndex(std::vector<Shard> shards, std::string backend_label)
     if (shard.range.row_begin != expected_begin) {
       throw std::invalid_argument(tag + ": row ranges are not contiguous");
     }
-    if (shard.inner->rows() != shard.range.rows()) {
-      throw std::invalid_argument(tag + ": inner rows() does not match range");
+    // Every replica must be interchangeable with the others: same row
+    // range, same column space.  The shard's top_k cap is the smallest
+    // replica cap, so a clamped request is valid on whichever replica
+    // ends up serving it.
+    int shard_cap = 0;
+    for (std::size_t r = 0; r < shard.replicas.size(); ++r) {
+      const auto& replica = shard.replicas[r];
+      const std::string replica_tag = tag + " replica " + std::to_string(r);
+      if (!replica) {
+        throw std::invalid_argument(replica_tag + ": null inner index");
+      }
+      if (replica->rows() != shard.range.rows()) {
+        throw std::invalid_argument(replica_tag +
+                                    ": inner rows() does not match range");
+      }
+      if (s == 0 && r == 0) {
+        cols_ = replica->cols();
+      } else if (replica->cols() != cols_) {
+        throw std::invalid_argument(replica_tag + ": column count mismatch");
+      }
+      const int cap = replica->max_top_k();
+      if (cap > 0) {
+        shard_cap = shard_cap == 0 ? cap : std::min(shard_cap, cap);
+      }
     }
-    if (s == 0) {
-      cols_ = shard.inner->cols();
-    } else if (shard.inner->cols() != cols_) {
-      throw std::invalid_argument(tag + ": column count mismatch");
-    }
-    const int cap = shard.inner->max_top_k();
-    if (cap <= 0) {
+    shard_caps_.push_back(shard_cap);
+    if (shard_cap <= 0) {
       any_uncapped = true;
     } else {
-      cap_sum += cap;
+      cap_sum += shard_cap;
     }
+    max_replicas_ =
+        std::max(max_replicas_, static_cast<int>(shard.replicas.size()));
+    std::vector<std::unique_ptr<ReplicaState>> shard_state;
+    shard_state.reserve(shard.replicas.size());
+    for (std::size_t r = 0; r < shard.replicas.size(); ++r) {
+      shard_state.push_back(std::make_unique<ReplicaState>());
+    }
+    state_.push_back(std::move(shard_state));
     expected_begin = shard.range.row_end;
   }
   rows_ = expected_begin;
@@ -54,31 +112,186 @@ ShardedIndex::ShardedIndex(std::vector<Shard> shards, std::string backend_label)
                    ? 0
                    : static_cast<int>(std::min<std::int64_t>(
                          cap_sum, std::numeric_limits<int>::max()));
+  round_robin_ = std::vector<std::atomic<std::uint64_t>>(shards_.size());
 }
 
-index::QueryResult ShardedIndex::query_shard(std::size_t s,
-                                             std::span<const float> x,
-                                             int top_k) const {
-  const index::SimilarityIndex& inner = *shards_[s].inner;
-  const int cap = inner.max_top_k();
+std::vector<index::ReplicaStats> ShardedIndex::replica_stats(
+    std::size_t i) const {
+  const auto& states = state_.at(i);
+  std::vector<index::ReplicaStats> out;
+  out.reserve(states.size());
+  for (const auto& state : states) {
+    index::ReplicaStats stats;
+    stats.queries = state->queries.load(std::memory_order_relaxed);
+    stats.failures = state->failures.load(std::memory_order_relaxed);
+    stats.inflight = state->inflight.load(std::memory_order_relaxed);
+    stats.ewma_seconds = state->ewma_seconds.load(std::memory_order_relaxed);
+    stats.healthy = state->healthy.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(state->error_mutex);
+      stats.last_error = state->last_error;
+    }
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+std::size_t ShardedIndex::pick_replica(std::size_t s) const {
+  const auto& states = state_[s];
+  const std::size_t count = states.size();
+  if (count == 1) {
+    return 0;
+  }
+  // Health-first routing without materialising candidate lists (this
+  // runs once per (query, shard) cell on the scatter hot path):
+  // replicas whose last call failed are skipped while any healthy one
+  // remains, except for a periodic recovery probe — without it a
+  // transient one-off failure would exclude a replica forever (nothing
+  // else ever retries it once the healthy replicas stop throwing).
+  // Health bits may flip between the passes below; a stale pick is
+  // harmless (failover corrects it), so the scans fall back to
+  // replica 0 rather than synchronise.
+  std::size_t healthy_count = 0;
+  for (std::size_t r = 0; r < count; ++r) {
+    healthy_count += states[r]->healthy.load(std::memory_order_relaxed) ? 1 : 0;
+  }
+  const std::size_t unhealthy_count = count - healthy_count;
+  const auto nth_matching = [&](std::size_t n, bool want_healthy) {
+    for (std::size_t r = 0; r < count; ++r) {
+      if (states[r]->healthy.load(std::memory_order_relaxed) == want_healthy &&
+          n-- == 0) {
+        return r;
+      }
+    }
+    return std::size_t{0};  // a health bit flipped mid-scan
+  };
+  // One ticket per pick for both policies: the round-robin cursor and
+  // the probe clock.
+  const std::uint64_t ticket =
+      round_robin_[s].fetch_add(1, std::memory_order_relaxed);
+  if (healthy_count > 0 && unhealthy_count > 0 &&
+      ticket % kProbeInterval == kProbeInterval - 1) {
+    return nth_matching(
+        static_cast<std::size_t>((ticket / kProbeInterval) % unhealthy_count),
+        false);
+  }
+  // All-unhealthy degrades to routing over everything (want_healthy =
+  // false then matches every replica).
+  const bool want_healthy = healthy_count > 0;
+  const std::size_t pool = want_healthy ? healthy_count : count;
+  if (routing_ == RoutingPolicy::kRoundRobin) {
+    return nth_matching(static_cast<std::size_t>(ticket % pool), want_healthy);
+  }
+  // Least-loaded: fewest in-flight calls, ties by the lower wall-time
+  // EWMA (0 = unmeasured, explored first), then by the lower id — the
+  // deterministic tie chain keeps serial traffic reproducible.
+  std::size_t best = 0;
+  bool found = false;
+  int best_inflight = std::numeric_limits<int>::max();
+  double best_ewma = std::numeric_limits<double>::max();
+  for (std::size_t r = 0; r < count; ++r) {
+    if (states[r]->healthy.load(std::memory_order_relaxed) != want_healthy) {
+      continue;
+    }
+    const int inflight = states[r]->inflight.load(std::memory_order_relaxed);
+    const double ewma =
+        states[r]->ewma_seconds.load(std::memory_order_relaxed);
+    if (!found || inflight < best_inflight ||
+        (inflight == best_inflight && ewma < best_ewma)) {
+      best = r;
+      found = true;
+      best_inflight = inflight;
+      best_ewma = ewma;
+    }
+  }
+  return best;
+}
+
+ShardedIndex::ShardCall ShardedIndex::query_shard(std::size_t s,
+                                                  std::span<const float> x,
+                                                  int top_k) const {
+  const Shard& shard = shards_[s];
+  const auto& states = state_[s];
+  const std::size_t count = shard.replicas.size();
+  const int cap = shard_caps_[s];
   const int shard_top_k = cap > 0 ? std::min(top_k, cap) : top_k;
   index::QueryOptions sequential;
   sequential.threads = 1;  // parallelism lives in the scatter
-  return inner.query(x, shard_top_k, sequential);
+
+  const std::size_t start = pick_replica(s);
+  std::exception_ptr last_error;
+  const auto record_failure = [](ReplicaState& state, const char* message) {
+    state.inflight.fetch_sub(1, std::memory_order_relaxed);
+    state.failures.fetch_add(1, std::memory_order_relaxed);
+    state.healthy.store(false, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(state.error_mutex);
+    state.last_error = message;
+  };
+  for (std::size_t attempt = 0; attempt < count; ++attempt) {
+    const std::size_t r = (start + attempt) % count;
+    ReplicaState& state = *states[r];
+    state.inflight.fetch_add(1, std::memory_order_relaxed);
+    util::WallTimer timer;
+    try {
+      ShardCall call;
+      call.result = shard.replicas[r]->query(x, shard_top_k, sequential);
+      const double seconds = timer.seconds();
+      state.inflight.fetch_sub(1, std::memory_order_relaxed);
+      state.queries.fetch_add(1, std::memory_order_relaxed);
+      state.healthy.store(true, std::memory_order_relaxed);
+      // Lock-free EWMA update; a lost race just re-blends with the
+      // concurrent writer's value.
+      double previous = state.ewma_seconds.load(std::memory_order_relaxed);
+      double next = 0.0;
+      do {
+        next = previous == 0.0
+                   ? seconds
+                   : kEwmaAlpha * seconds + (1.0 - kEwmaAlpha) * previous;
+      } while (!state.ewma_seconds.compare_exchange_weak(
+          previous, next, std::memory_order_relaxed));
+      call.measured_seconds = seconds;
+      call.failovers = attempt;
+      return call;
+    } catch (const std::exception& error) {
+      record_failure(state, error.what());
+      last_error = std::current_exception();
+    } catch (...) {
+      record_failure(state, "unknown error");
+      last_error = std::current_exception();
+    }
+  }
+  // Every replica failed: the shard is down, surface the last error to
+  // the caller (the scatter propagates it out of query/query_batch).
+  std::rethrow_exception(last_error);
 }
 
-index::QueryResult ShardedIndex::gather(
-    std::span<const index::QueryResult> per_shard, int top_k) const {
+index::QueryResult ShardedIndex::gather(std::span<const ShardCall> per_shard,
+                                        int top_k) const {
   index::QueryResult out;
   index::ShardStats gathered;
   gathered.shards = static_cast<int>(shards_.size());
+  gathered.replicas = max_replicas_;
+  double slowest_seconds = -1.0;
   for (std::size_t s = 0; s < per_shard.size(); ++s) {
-    out.stats.rows_scanned += per_shard[s].stats.rows_scanned;
-    if (per_shard[s].stats.modelled_seconds > out.stats.modelled_seconds) {
-      out.stats.modelled_seconds = per_shard[s].stats.modelled_seconds;
+    const index::QueryStats& stats = per_shard[s].result.stats;
+    out.stats.rows_scanned += stats.rows_scanned;
+    out.stats.modelled_seconds =
+        std::max(out.stats.modelled_seconds, stats.modelled_seconds);
+    // The load signal: the shard's modelled device time when it
+    // reports one, its measured wall time otherwise — so cpu-heap and
+    // exact-sort shards drive the slowest-shard signal too instead of
+    // leaving it at -1.
+    const double shard_seconds = stats.modelled_seconds > 0.0
+                                     ? stats.modelled_seconds
+                                     : per_shard[s].measured_seconds;
+    if (shard_seconds > slowest_seconds) {
+      slowest_seconds = shard_seconds;
       gathered.slowest_shard = static_cast<int>(s);
+      gathered.slowest_seconds = shard_seconds;
     }
-    gathered.gathered_candidates += per_shard[s].entries.size();
+    gathered.failovers += per_shard[s].failovers;
+    gathered.gathered_candidates +=
+        static_cast<std::uint64_t>(per_shard[s].result.entries.size());
   }
 
   // Deterministic k-way heap merge on the repo-wide Top-K order.  Each
@@ -90,7 +303,7 @@ index::QueryResult ShardedIndex::gather(
     std::size_t pos;
   };
   const auto global_entry = [&](const Head& head) {
-    core::TopKEntry entry = per_shard[head.shard].entries[head.pos];
+    core::TopKEntry entry = per_shard[head.shard].result.entries[head.pos];
     entry.index += shards_[head.shard].range.row_begin;
     return entry;
   };
@@ -100,17 +313,18 @@ index::QueryResult ShardedIndex::gather(
   std::priority_queue<Head, std::vector<Head>, decltype(heap_after)> heads(
       heap_after);
   for (std::size_t s = 0; s < per_shard.size(); ++s) {
-    if (!per_shard[s].entries.empty()) {
+    if (!per_shard[s].result.entries.empty()) {
       heads.push(Head{s, 0});
     }
   }
-  const auto wanted = static_cast<std::size_t>(top_k);
-  out.entries.reserve(std::min<std::size_t>(wanted, gathered.gathered_candidates));
+  const auto wanted = static_cast<std::uint64_t>(top_k);
+  out.entries.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(wanted, gathered.gathered_candidates)));
   while (!heads.empty() && out.entries.size() < wanted) {
     Head head = heads.top();
     heads.pop();
     out.entries.push_back(global_entry(head));
-    if (++head.pos < per_shard[head.shard].entries.size()) {
+    if (++head.pos < per_shard[head.shard].result.entries.size()) {
       heads.push(head);
     }
   }
@@ -123,7 +337,7 @@ index::QueryResult ShardedIndex::query(std::span<const float> x, int top_k,
   validate_query(x, top_k);
   const int threads = index::resolve_fanout_threads(options.threads, shards_.size());
 
-  std::vector<index::QueryResult> per_shard(shards_.size());
+  std::vector<ShardCall> per_shard(shards_.size());
   if (threads <= 1) {
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       per_shard[s] = query_shard(s, x, top_k);
@@ -153,7 +367,7 @@ std::vector<index::QueryResult> ShardedIndex::query_batch(
   const std::size_t width = shards_.size();
   const std::size_t grid = queries.size() * width;
   const int threads = index::resolve_fanout_threads(options.threads, grid);
-  std::vector<index::QueryResult> partial(grid);
+  std::vector<ShardCall> partial(grid);
   const auto run_cell = [&](std::size_t cell) {
     partial[cell] = query_shard(cell % width, queries[cell / width], top_k);
   };
@@ -183,21 +397,50 @@ index::IndexDescription ShardedIndex::describe() const {
   description.backend = label_;
 
   // Summarise the inner mix in first-seen order: "cpu-heap x4" or
-  // "fpga-sim x3 + cpu-heap x1".
+  // "fpga-sim x3 + cpu-heap x1"; the mix names shards, not replicas.
+  // The footprint dedupes storage shared between replicas: the builder
+  // and the deployment loader hand every CSR-backed replica of a shard
+  // the same slice, so counting each would overstate resident bytes
+  // R-fold, while fpga-sim replicas each own a device image and count
+  // individually (unknown backends count per replica — an upper
+  // bound).
+  const auto storage_key =
+      [](const index::SimilarityIndex& replica) -> const void* {
+    if (const auto* heap = dynamic_cast<const index::CpuHeapIndex*>(&replica)) {
+      return &heap->matrix();
+    }
+    if (const auto* sort =
+            dynamic_cast<const index::ExactSortIndex*>(&replica)) {
+      return &sort->matrix();
+    }
+    if (const auto* gpu = dynamic_cast<const index::GpuModelIndex*>(&replica)) {
+      return &gpu->matrix();
+    }
+    return &replica;
+  };
   std::vector<std::pair<std::string, int>> mix;
+  std::vector<const void*> counted_storage;
   bool exact = true;
   std::uint64_t bytes = 0;
   for (const Shard& shard : shards_) {
-    const index::IndexDescription inner = shard.inner->describe();
-    exact = exact && inner.exact;
-    bytes += inner.memory_bytes;
+    const index::IndexDescription primary = shard.primary().describe();
     const auto seen =
         std::find_if(mix.begin(), mix.end(),
-                     [&](const auto& entry) { return entry.first == inner.backend; });
+                     [&](const auto& entry) { return entry.first == primary.backend; });
     if (seen == mix.end()) {
-      mix.emplace_back(inner.backend, 1);
+      mix.emplace_back(primary.backend, 1);
     } else {
       ++seen->second;
+    }
+    for (const auto& replica : shard.replicas) {
+      const index::IndexDescription inner = replica->describe();
+      exact = exact && inner.exact;
+      const void* key = storage_key(*replica);
+      if (std::find(counted_storage.begin(), counted_storage.end(), key) ==
+          counted_storage.end()) {
+        counted_storage.push_back(key);
+        bytes += inner.memory_bytes;
+      }
     }
   }
   description.detail = std::to_string(shards_.size()) + " row-range shards (";
@@ -207,7 +450,12 @@ index::IndexDescription ShardedIndex::describe() const {
     }
     description.detail += mix[i].first + " x" + std::to_string(mix[i].second);
   }
-  description.detail += "), k-way gather";
+  description.detail += ")";
+  if (max_replicas_ > 1) {
+    description.detail += " x" + std::to_string(max_replicas_) +
+                          " replicas, " + to_string(routing_) + " routing";
+  }
+  description.detail += ", k-way gather";
   description.exact = exact;
   description.rows = rows_;
   description.cols = cols_;
@@ -239,6 +487,16 @@ ShardedIndexBuilder& ShardedIndexBuilder::policy(ShardPolicy policy) {
   return *this;
 }
 
+ShardedIndexBuilder& ShardedIndexBuilder::replicas(int count) {
+  replicas_ = count;
+  return *this;
+}
+
+ShardedIndexBuilder& ShardedIndexBuilder::routing(RoutingPolicy policy) {
+  routing_ = policy;
+  return *this;
+}
+
 ShardedIndexBuilder& ShardedIndexBuilder::inner_backend(std::string name) {
   inner_backend_ = std::move(name);
   return *this;
@@ -265,12 +523,28 @@ std::shared_ptr<ShardedIndex> ShardedIndexBuilder::build() const {
   if (!matrix_) {
     throw std::invalid_argument("ShardedIndexBuilder: no matrix set");
   }
-  for (const auto& [shard, name] : overrides_) {
+  if (replicas_ < 1) {
+    throw std::invalid_argument("ShardedIndexBuilder: replicas(" +
+                                std::to_string(replicas_) +
+                                ") must be at least 1");
+  }
+  for (std::size_t i = 0; i < overrides_.size(); ++i) {
+    const auto& [shard, name] = overrides_[i];
     if (shard < 0 || shard >= shards_) {
       throw std::invalid_argument("ShardedIndexBuilder: shard_backend(" +
                                   std::to_string(shard) +
                                   ") outside [0, " + std::to_string(shards_) +
                                   ")");
+    }
+    // A duplicate override is a config bug (e.g. a deployment script
+    // editing the wrong line) — silent last-wins would hide it.
+    for (std::size_t j = i + 1; j < overrides_.size(); ++j) {
+      if (overrides_[j].first == shard) {
+        throw std::invalid_argument(
+            "ShardedIndexBuilder: duplicate shard_backend override for shard " +
+            std::to_string(shard) + " ('" + name + "' and '" +
+            overrides_[j].second + "')");
+      }
     }
   }
   const ShardPlan plan = ShardPlanner(policy_).plan(*matrix_, shards_);
@@ -284,16 +558,25 @@ std::shared_ptr<ShardedIndex> ShardedIndexBuilder::build() const {
         backend = name;
       }
     }
+    // One slice shared by every replica of the shard; each replica is
+    // its own registry-built index over it (for CSR-backed backends
+    // the replicas share the slice's memory, for fpga-sim each encodes
+    // its own — deterministic, hence byte-identical — device image).
     const auto slice = std::make_shared<const sparse::Csr>(
         matrix_->slice_rows(plan[s].row_begin, plan[s].row_end));
-    built.push_back(
-        Shard{plan[s], index::make_index(backend, slice, inner_options_)});
+    std::vector<std::shared_ptr<const index::SimilarityIndex>> replicas;
+    replicas.reserve(static_cast<std::size_t>(replicas_));
+    for (int r = 0; r < replicas_; ++r) {
+      replicas.push_back(index::make_index(backend, slice, inner_options_));
+    }
+    built.push_back(Shard{plan[s], std::move(replicas)});
   }
   std::string label = label_;
   if (label.empty()) {
     label = overrides_.empty() ? "sharded-" + inner_backend_ : "sharded";
   }
-  return std::make_shared<ShardedIndex>(std::move(built), std::move(label));
+  return std::make_shared<ShardedIndex>(std::move(built), std::move(label),
+                                        routing_);
 }
 
 std::shared_ptr<ShardedIndex> ShardedIndexBuilder::from_deployment(

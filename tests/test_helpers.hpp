@@ -4,12 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -240,6 +242,46 @@ inline void expect_exact_topk(std::span<const core::TopKEntry> entries,
   std::sort(got_sorted.begin(), got_sorted.end(), std::greater<>());
   EXPECT_EQ(got_sorted, expected);
 }
+
+/// SimilarityIndex decorator whose query() always throws, forwarding
+/// all metadata to the wrapped index — the fault-injection probe for
+/// replica-failover tests (a "replica device" that is down but still
+/// describes itself correctly).
+class ThrowingIndex final : public index::SimilarityIndex {
+ public:
+  explicit ThrowingIndex(std::shared_ptr<const index::SimilarityIndex> inner,
+                         std::string message = "injected replica fault")
+      : inner_(std::move(inner)), message_(std::move(message)) {}
+
+  [[nodiscard]] index::QueryResult query(
+      std::span<const float> /*x*/, int /*top_k*/,
+      const index::QueryOptions& /*options*/ = {}) const override {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    throw std::runtime_error(message_);
+  }
+  [[nodiscard]] std::uint32_t rows() const noexcept override {
+    return inner_->rows();
+  }
+  [[nodiscard]] std::uint32_t cols() const noexcept override {
+    return inner_->cols();
+  }
+  [[nodiscard]] index::IndexDescription describe() const override {
+    return inner_->describe();
+  }
+  [[nodiscard]] int max_top_k() const noexcept override {
+    return inner_->max_top_k();
+  }
+
+  /// Calls absorbed (each one threw).
+  [[nodiscard]] std::uint64_t calls() const noexcept {
+    return calls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<const index::SimilarityIndex> inner_;
+  std::string message_;
+  mutable std::atomic<std::uint64_t> calls_{0};
+};
 
 /// Small deterministic random CSR for unit tests.
 inline sparse::Csr small_random_matrix(std::uint32_t rows, std::uint32_t cols,

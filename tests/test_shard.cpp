@@ -183,7 +183,7 @@ TEST(ShardedIndexTest, StatsAggregateAcrossShards) {
   int slowest_shard = -1;
   std::uint64_t candidates = 0;
   for (std::size_t s = 0; s < shards.size(); ++s) {
-    const auto inner = shards[s].inner->query(x, 10);
+    const auto inner = shards[s].primary().query(x, 10);
     rows_scanned += inner.stats.rows_scanned;
     if (inner.stats.modelled_seconds > slowest) {
       slowest = inner.stats.modelled_seconds;
@@ -201,6 +201,81 @@ TEST(ShardedIndexTest, StatsAggregateAcrossShards) {
   EXPECT_EQ(stats->gathered_candidates, candidates);
   EXPECT_EQ(index::fpga_stats(result), nullptr);
   EXPECT_EQ(index::gpu_stats(result), nullptr);
+}
+
+TEST(ShardedIndexTest, SlowestShardIsMeasuredForUnmodelledBackends) {
+  // Regression: cpu-heap/exact-sort shards report no modelled device
+  // time, which used to leave ShardStats::slowest_shard permanently at
+  // -1 — the dynamic-resharding load signal was dead for every pure
+  // CPU deployment.  The scatter now times each query_shard call and
+  // falls back to the measured wall time.
+  const auto matrix = shared_matrix(1200, 64, 6.0, 57);
+  const auto sharded = ShardedIndexBuilder()
+                           .matrix(matrix)
+                           .shards(4)
+                           .inner_backend("cpu-heap")
+                           .build();
+  util::Xoshiro256 rng(58);
+  for (const int threads : {1, 4}) {
+    index::QueryOptions options;
+    options.threads = threads;
+    const auto result =
+        sharded->query(sparse::generate_dense_vector(64, rng), 10, options);
+    const index::ShardStats* stats = index::shard_stats(result);
+    ASSERT_NE(stats, nullptr);
+    EXPECT_NE(stats->slowest_shard, -1) << threads << " threads";
+    EXPECT_GE(stats->slowest_shard, 0);
+    EXPECT_LT(stats->slowest_shard, 4);
+    EXPECT_GT(stats->slowest_seconds, 0.0);
+    EXPECT_EQ(result.stats.modelled_seconds, 0.0);  // measured, not modelled
+  }
+  // The measured wall times also feed the per-replica EWMA the
+  // least-loaded router consumes.
+  for (std::size_t s = 0; s < sharded->shard_count(); ++s) {
+    const auto replicas = sharded->replica_stats(s);
+    ASSERT_EQ(replicas.size(), 1u);
+    EXPECT_GT(replicas[0].queries, 0u);
+    EXPECT_GT(replicas[0].ewma_seconds, 0.0);
+    EXPECT_EQ(replicas[0].inflight, 0);
+    EXPECT_TRUE(replicas[0].healthy);
+  }
+  // The batch grid path feeds the same signal.
+  const auto batch =
+      sharded->query_batch({sparse::generate_dense_vector(64, rng)}, 10);
+  ASSERT_NE(index::shard_stats(batch[0]), nullptr);
+  EXPECT_NE(index::shard_stats(batch[0])->slowest_shard, -1);
+}
+
+TEST(ShardedIndexBuilderTest, DuplicateShardBackendOverrideThrows) {
+  // A duplicate override used to be silent last-wins; now it throws at
+  // build() time naming the shard, whether the names differ or not.
+  const auto matrix = shared_matrix(300, 64, 5.0, 59);
+  try {
+    (void)ShardedIndexBuilder()
+        .matrix(matrix)
+        .shards(4)
+        .shard_backend(2, "cpu-heap")
+        .shard_backend(2, "exact-sort")
+        .build();
+    FAIL() << "duplicate override did not throw";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("shard 2"), std::string::npos)
+        << error.what();
+  }
+  EXPECT_THROW((void)ShardedIndexBuilder()
+                   .matrix(matrix)
+                   .shards(4)
+                   .shard_backend(1, "cpu-heap")
+                   .shard_backend(1, "cpu-heap")
+                   .build(),
+               std::invalid_argument);
+  // A single override per shard still builds.
+  EXPECT_NO_THROW((void)ShardedIndexBuilder()
+                      .matrix(matrix)
+                      .shards(4)
+                      .shard_backend(1, "exact-sort")
+                      .shard_backend(2, "cpu-heap")
+                      .build());
 }
 
 TEST(ShardedIndexTest, MixedBackendsGatherCorrectly) {
