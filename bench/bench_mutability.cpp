@@ -1,0 +1,399 @@
+// Mutable-tier benchmark: what absorbing mutations costs the serving
+// path, and what compaction costs the mutating path.
+//
+// Three measurements over one mutable-sharded-cpu-heap index:
+//
+//   1. Delta-size vs latency curve — query latency (mean/p95) as the
+//      in-memory delta grows from empty to many thousands of rows: the
+//      brute-force delta scan rides on every query, so this curve is
+//      the price of deferring compaction.
+//   2. Sustained insert+query mix — four query threads run flat out
+//      while one mutator streams appends/deletes and a compactor
+//      thread folds the delta whenever the mutation threshold trips;
+//      reported throughput covers the full mix, swap included.
+//   3. Compaction pause percentiles — per-compaction snapshot and
+//      atomic-swap durations (the ONLY sections mutations/queries can
+//      observe as a pause; fold/build/save/load run off the serving
+//      path) over every compaction the mix triggered.
+//
+// The identity gate runs at every stage and the bench exits non-zero
+// on any violation: results with a live delta, after every compaction
+// swap, and after the sustained mix settle must be bit-identical to an
+// exact-sort index rebuilt cold from the logically-equivalent matrix
+// (live rows, ascending id order).
+//
+//   $ ./bench_mutability [--quick] [--full] [--queries=N] [--seed=N]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "index/mutable_index.hpp"
+#include "index/registry.hpp"
+#include "persist/compactor.hpp"
+#include "shard/mutable_sharded_index.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+constexpr int kShards = 4;
+constexpr int kTopK = 50;
+constexpr int kQueryThreads = 4;
+
+using topk::core::TopKEntry;
+
+/// One sparse row as parallel column/value arrays.
+struct Row {
+  std::vector<std::uint32_t> columns;
+  std::vector<float> values;
+};
+
+Row random_row(std::uint32_t cols, std::uint32_t nnz,
+               topk::util::Xoshiro256& rng) {
+  Row row;
+  std::vector<std::uint32_t> pool(cols);
+  for (std::uint32_t c = 0; c < cols; ++c) {
+    pool[c] = c;
+  }
+  for (std::uint32_t i = 0; i < nnz; ++i) {
+    std::swap(pool[i], pool[i + rng() % (cols - i)]);
+  }
+  std::vector<std::uint32_t> picked(pool.begin(), pool.begin() + nnz);
+  std::sort(picked.begin(), picked.end());
+  for (const std::uint32_t c : picked) {
+    row.columns.push_back(c);
+    row.values.push_back(static_cast<float>(rng.uniform(0.05, 1.0)));
+  }
+  return row;
+}
+
+/// Mirror of the logical matrix: every mutation applied to the index
+/// is applied here, and the oracle rebuild reads the live rows back in
+/// ascending id order.
+class LogicalModel {
+ public:
+  explicit LogicalModel(const topk::sparse::Csr& base) : cols_(base.cols()) {
+    rows_.reserve(base.rows());
+    for (std::uint32_t r = 0; r < base.rows(); ++r) {
+      Row row;
+      const auto cols = base.row_cols(r);
+      const auto vals = base.row_values(r);
+      row.columns.assign(cols.begin(), cols.end());
+      row.values.assign(vals.begin(), vals.end());
+      rows_.emplace_back(std::move(row));
+    }
+  }
+
+  void append(const Row& row) { rows_.emplace_back(row); }
+  void erase(std::uint32_t id) { rows_[id] = std::nullopt; }
+  [[nodiscard]] std::uint32_t total_rows() const {
+    return static_cast<std::uint32_t>(rows_.size());
+  }
+
+  /// The live-rows matrix and the oracle-row -> global-id remap.
+  [[nodiscard]] std::pair<topk::sparse::Csr, std::vector<std::uint32_t>>
+  oracle() const {
+    std::vector<std::uint32_t> live_ids;
+    for (std::uint32_t id = 0; id < rows_.size(); ++id) {
+      if (rows_[id].has_value()) {
+        live_ids.push_back(id);
+      }
+    }
+    topk::sparse::Coo coo(static_cast<std::uint32_t>(live_ids.size()), cols_);
+    for (std::uint32_t r = 0; r < live_ids.size(); ++r) {
+      const Row& row = *rows_[live_ids[r]];
+      for (std::size_t i = 0; i < row.columns.size(); ++i) {
+        coo.push_back(r, row.columns[i], row.values[i]);
+      }
+    }
+    return {topk::sparse::Csr::from_coo(std::move(coo)), std::move(live_ids)};
+  }
+
+ private:
+  std::uint32_t cols_;
+  std::vector<std::optional<Row>> rows_;
+};
+
+/// The identity gate: `index` vs an exact-sort rebuild of the model's
+/// live matrix, bit-for-bit under the monotone live-id remap.
+bool identical_to_rebuild(const topk::index::SimilarityIndex& index,
+                          const LogicalModel& model, int queries,
+                          std::uint64_t seed, const std::string& stage) {
+  auto [matrix, live_ids] = model.oracle();
+  const topk::index::ExactSortIndex rebuilt(
+      std::make_shared<const topk::sparse::Csr>(std::move(matrix)));
+  topk::util::Xoshiro256 rng(seed);
+  for (int q = 0; q < queries; ++q) {
+    const auto x = topk::sparse::generate_dense_vector(index.cols(), rng);
+    auto expected = rebuilt.query(x, kTopK).entries;
+    for (TopKEntry& entry : expected) {
+      entry.index = live_ids[entry.index];
+    }
+    if (index.query(x, kTopK).entries != expected) {
+      std::cerr << "FAIL: " << stage << " query " << q
+                << " differs from the exact-sort rebuild of the "
+                   "logically-equivalent matrix\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+double quantile_ms(std::vector<double> seconds, double q) {
+  if (seconds.empty()) {
+    return 0.0;
+  }
+  return topk::util::quantile(seconds, q) * 1e3;
+}
+
+std::string ms(double value) { return topk::util::format_double(value, 3); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const topk::bench::BenchArgs args = topk::bench::parse_args(argc, argv);
+
+  topk::sparse::GeneratorConfig generator;
+  generator.rows = args.quick ? 8'000 : (args.full ? 400'000 : 60'000);
+  generator.cols = 256;
+  generator.mean_nnz_per_row = 12.0;
+  generator.seed = args.seed;
+  const auto matrix = std::make_shared<const topk::sparse::Csr>(
+      topk::sparse::generate_matrix(generator));
+
+  const std::vector<std::uint32_t> delta_points =
+      args.quick ? std::vector<std::uint32_t>{256, 1'024, 4'096}
+                 : (args.full
+                        ? std::vector<std::uint32_t>{4'096, 16'384, 65'536}
+                        : std::vector<std::uint32_t>{1'024, 4'096, 16'384});
+  const int curve_queries = args.queries > 0 ? args.queries
+                                             : (args.quick ? 12 : 32);
+  const std::uint64_t mix_mutations =
+      args.quick ? 2'000 : (args.full ? 40'000 : 10'000);
+  const std::uint64_t compact_threshold = mix_mutations / 5;
+  const int gate_queries = args.quick ? 3 : 4;
+
+  std::cout << "Mutability bench: " << matrix->rows() << " base rows, "
+            << matrix->nnz() << " nnz, " << kShards
+            << " cpu-heap shards, top-" << kTopK << "\n\n";
+
+  bool gate_passed = true;
+
+  // ---- 1. delta-size vs latency curve --------------------------------
+  {
+    topk::index::IndexOptions options;
+    options.shards = kShards;
+    auto index = topk::index::make_index("mutable-sharded-cpu-heap", matrix,
+                                         options);
+    const auto mut = topk::index::as_mutable(index);
+    LogicalModel model(*matrix);
+    topk::util::Xoshiro256 rng(args.seed + 1);
+    topk::util::Xoshiro256 query_rng(args.seed + 2);
+    std::vector<std::vector<float>> queries;
+    for (int q = 0; q < curve_queries; ++q) {
+      queries.push_back(
+          topk::sparse::generate_dense_vector(generator.cols, query_rng));
+    }
+
+    topk::util::TablePrinter curve({"Delta rows", "Live rows", "Mean (ms)",
+                                    "p95 (ms)", "Identical"});
+    const auto measure = [&](const std::string& label) {
+      std::vector<double> latencies;
+      for (const auto& x : queries) {
+        topk::util::WallTimer timer;
+        (void)index->query(x, kTopK);
+        latencies.push_back(timer.seconds());
+      }
+      const bool identical = identical_to_rebuild(
+          *index, model, gate_queries, args.seed + 3, "delta curve " + label);
+      gate_passed = gate_passed && identical;
+      double sum = 0.0;
+      for (const double l : latencies) {
+        sum += l;
+      }
+      curve.add_row({label, std::to_string(mut->live_rows()),
+                     ms(sum / static_cast<double>(latencies.size()) * 1e3),
+                     ms(quantile_ms(latencies, 0.95)),
+                     identical ? "yes" : "NO"});
+    };
+
+    measure("0");
+    std::uint32_t appended = 0;
+    for (const std::uint32_t target : delta_points) {
+      while (appended < target) {
+        const Row row = random_row(generator.cols, 12, rng);
+        (void)mut->insert_row(row.columns, row.values);
+        model.append(row);
+        ++appended;
+      }
+      measure(std::to_string(target));
+    }
+
+    // Fold the accumulated delta and re-run the gate on the swapped
+    // generation: compacted results must not move by a bit.
+    const auto typed =
+        std::dynamic_pointer_cast<topk::shard::MutableShardedIndex>(index);
+    topk::persist::Compactor compactor(
+        typed, std::filesystem::temp_directory_path() /
+                   ("topk_bench_mutability_" + std::to_string(args.seed)));
+    const auto report = compactor.compact();
+    if (report.has_value()) {
+      measure("0 (gen " + std::to_string(report->generation) + ")");
+      std::filesystem::remove_all(compactor.root());
+    }
+    std::cout << "Delta-size vs latency (the cost of deferring compaction):\n";
+    curve.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // ---- 2 + 3. sustained mix with threshold-driven compaction ---------
+  {
+    topk::index::IndexOptions options;
+    options.shards = kShards;
+    options.compact_threshold = compact_threshold;
+    auto index = topk::index::make_index("mutable-sharded-cpu-heap", matrix,
+                                         options);
+    const auto mut = topk::index::as_mutable(index);
+    const auto typed =
+        std::dynamic_pointer_cast<topk::shard::MutableShardedIndex>(index);
+    topk::persist::Compactor compactor(
+        typed, std::filesystem::temp_directory_path() /
+                   ("topk_bench_mutability_mix_" + std::to_string(args.seed)));
+    LogicalModel model(*matrix);
+
+    std::atomic<bool> mutator_done{false};
+    std::atomic<std::uint64_t> queries_served{0};
+    std::vector<std::vector<double>> latencies(kQueryThreads);
+    std::vector<std::thread> readers;
+    for (int t = 0; t < kQueryThreads; ++t) {
+      readers.emplace_back([&, t] {
+        topk::util::Xoshiro256 rng(args.seed + 10 + static_cast<std::uint64_t>(t));
+        while (!mutator_done.load(std::memory_order_relaxed)) {
+          const auto x =
+              topk::sparse::generate_dense_vector(generator.cols, rng);
+          topk::util::WallTimer timer;
+          (void)index->query(x, kTopK);
+          latencies[static_cast<std::size_t>(t)].push_back(timer.seconds());
+          queries_served.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    // The compactor rides the mutation threshold: poll cheaply, fold
+    // whenever mutations_since_seal crosses it.
+    std::thread folder([&] {
+      while (!mutator_done.load(std::memory_order_relaxed)) {
+        (void)compactor.maybe_compact();
+        std::this_thread::yield();
+      }
+    });
+
+    // The single mutator: 80% appends, 20% deletes of base ids, every
+    // mutation mirrored into the model (it is the only mutation
+    // source, so append ids are sequential and the mirror is exact).
+    // Paced so the stream overlaps queries and compactions instead of
+    // finishing before either gets a turn.
+    topk::util::WallTimer mix_timer;
+    {
+      topk::util::Xoshiro256 rng(args.seed + 20);
+      for (std::uint64_t m = 0; m < mix_mutations; ++m) {
+        if (m % 100 == 99) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        if (rng() % 5 == 0) {
+          const auto id = static_cast<std::uint32_t>(rng() % matrix->rows());
+          (void)mut->delete_row(id);
+          model.erase(id);
+        } else {
+          const Row row = random_row(generator.cols, 12, rng);
+          (void)mut->insert_row(row.columns, row.values);
+          model.append(row);
+        }
+      }
+    }
+    mutator_done.store(true, std::memory_order_relaxed);
+    const double mix_seconds = mix_timer.seconds();
+    for (auto& reader : readers) {
+      reader.join();
+    }
+    folder.join();
+    // Fold whatever residue the threshold never reached, so the gate
+    // also covers a final post-swap state.
+    (void)compactor.compact();
+
+    std::vector<double> all_latencies;
+    for (const auto& thread_latencies : latencies) {
+      all_latencies.insert(all_latencies.end(), thread_latencies.begin(),
+                           thread_latencies.end());
+    }
+    const auto history = compactor.history();
+    std::vector<double> snapshot_pauses;
+    std::vector<double> swap_pauses;
+    for (const auto& report : history) {
+      snapshot_pauses.push_back(report.snapshot_seconds);
+      swap_pauses.push_back(report.swap_seconds);
+    }
+
+    std::cout << "Sustained mix: " << mix_mutations << " mutations (~80% "
+              << "append / 20% delete) against " << kQueryThreads
+              << " query threads, compaction threshold " << compact_threshold
+              << " mutations\n";
+    topk::util::TablePrinter mix({"Metric", "Value"});
+    mix.add_row({"Mutations/s", topk::util::format_double(
+                                    mix_mutations / mix_seconds, 0)});
+    mix.add_row({"Queries served", std::to_string(queries_served.load())});
+    mix.add_row({"Query p50 (ms)",
+                 ms(all_latencies.empty()
+                        ? 0.0
+                        : quantile_ms(all_latencies, 0.5))});
+    mix.add_row({"Query p95 (ms)", ms(quantile_ms(all_latencies, 0.95))});
+    mix.add_row({"Compactions", std::to_string(history.size())});
+    mix.add_row({"Final generation",
+                 std::to_string(mut->delta_stats().generation)});
+    mix.print(std::cout);
+
+    std::cout << "\nCompaction pauses (the only serving-path stalls; "
+                 "fold/build/save/load run concurrently):\n";
+    topk::util::TablePrinter pauses(
+        {"Pause", "p50 (ms)", "p95 (ms)", "max (ms)"});
+    const auto max_ms = [](const std::vector<double>& seconds) {
+      double max_value = 0.0;
+      for (const double s : seconds) {
+        max_value = std::max(max_value, s);
+      }
+      return max_value * 1e3;
+    };
+    pauses.add_row({"Delta snapshot", ms(quantile_ms(snapshot_pauses, 0.5)),
+                    ms(quantile_ms(snapshot_pauses, 0.95)),
+                    ms(max_ms(snapshot_pauses))});
+    pauses.add_row({"Atomic swap", ms(quantile_ms(swap_pauses, 0.5)),
+                    ms(quantile_ms(swap_pauses, 0.95)),
+                    ms(max_ms(swap_pauses))});
+    pauses.print(std::cout);
+
+    const bool identical = identical_to_rebuild(
+        *index, model, gate_queries, args.seed + 30, "sustained mix settle");
+    gate_passed = gate_passed && identical;
+    std::cout << "\nSettled state bit-identical to exact-sort rebuild: "
+              << (identical ? "yes" : "NO") << "\n";
+    std::filesystem::remove_all(compactor.root());
+  }
+
+  if (!gate_passed) {
+    std::cerr << "FAIL: mutable-tier results diverged from the cold exact "
+                 "rebuild\n";
+    return 1;
+  }
+  return 0;
+}

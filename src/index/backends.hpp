@@ -58,8 +58,19 @@ struct IndexOptions {
   /// matrix argument may then be null.  The deployment's recorded
   /// label must match the requested backend name; serving a
   /// deployment saved under a different inner backend is rejected
-  /// with std::runtime_error.
+  /// with std::runtime_error.  The "mutable-sharded-*" factories
+  /// accept deployments labelled with their sealed-base name
+  /// ("sharded-<inner>") and adopt the manifest's generation and
+  /// tombstone set.
   std::string deployment_dir;
+  /// For the "mutable-sharded-*" backends: live delta rows beyond
+  /// which insert_row throws (backpressure towards compaction); 0 =
+  /// unbounded.
+  std::uint64_t delta_capacity = 0;
+  /// For the "mutable-sharded-*" backends: mutations since the last
+  /// seal at which persist::Compactor::maybe_compact() fires; 0 =
+  /// compact only on explicit request.
+  std::uint64_t compact_threshold = 0;
 };
 
 /// The paper's accelerator behind the unified interface.

@@ -1,0 +1,168 @@
+// In-memory delta tier of a mutable index: the LSM memtable.
+//
+// A DeltaIndex absorbs insert_row/delete_row mutations under a
+// shared-mutex (concurrent queries take the lock shared, mutations
+// exclusive) and serves them by brute-force exact scan — double
+// accumulation in ascending-column order, the same arithmetic as
+// sparse::Csr::row_dot, so a delta row scores bit-identically to the
+// same row in a cold-rebuilt CSR matrix.  It stores at most one
+// version per global row id (an upsert replaces, a delete tombstones),
+// plus the inherited tombstone set: ids whose deletion a previous
+// compaction folded into the sealed base as empty rows, which must
+// stay masked forever (an empty live row legitimately scores 0.0; a
+// deleted one must never serve at all).
+//
+// scan() is the query-path entry: the top-k live delta rows (global
+// ids, repo-wide topk_entry_before order) plus the sorted set of base
+// ids the sealed tier must mask (tombstoned, inherited, or superseded
+// by a delta version) — exactly the two inputs
+// shard::ShardedIndex::query_with_delta merges through the k-way
+// gather.  snapshot() gives the compactor a consistent copy to fold
+// off the serving path; every version carries a sequence number so the
+// swap can split off the residual mutations that arrived while the
+// fold ran.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <shared_mutex>
+#include <span>
+#include <vector>
+
+#include "index/similarity_index.hpp"
+
+namespace topk::index {
+
+/// One row mutation: the latest version of a global row id.
+struct DeltaVersion {
+  /// Mutation sequence number within the current generation (1-based;
+  /// the compaction watermark splits folded from residual versions).
+  std::uint64_t seq = 0;
+  bool tombstone = false;
+  /// Sorted unique column indices and their values (empty for a
+  /// tombstone).
+  std::vector<std::uint32_t> columns;
+  std::vector<float> values;
+};
+
+/// Mutable in-memory row store over the id space [0, next_id), where
+/// ids below base_rows belong to the sealed base.  Thread-safe.
+class DeltaIndex final : public SimilarityIndex {
+ public:
+  /// Consistent copy of the whole delta — the compactor's fold input.
+  struct Snapshot {
+    std::uint32_t base_rows = 0;
+    std::uint32_t next_id = 0;
+    /// Watermark: every version in this snapshot has seq <= seq.
+    std::uint64_t seq = 0;
+    /// (id, version) ascending by id.
+    std::vector<std::pair<std::uint32_t, DeltaVersion>> versions;
+    /// Inherited tombstones (sorted): deletions already folded into
+    /// the base as empty rows.
+    std::vector<std::uint32_t> inherited;
+  };
+
+  /// Query-path snapshot: what the gather merges with the sealed base.
+  struct Scan {
+    /// Top-k live delta rows by exact score, global ids, sorted by
+    /// core::topk_entry_before.
+    std::vector<core::TopKEntry> entries;
+    /// Sorted base ids (< base_rows) the sealed tier must not serve:
+    /// tombstoned, inherited, or superseded by a delta version.
+    std::vector<std::uint32_t> masked;
+    /// Live delta rows scored by this scan.
+    std::uint64_t scanned = 0;
+  };
+
+  /// An empty delta over a sealed base of `base_rows` rows (gen-0
+  /// shape).  `capacity` bounds the live delta rows (inserts beyond it
+  /// throw — backpressure towards compaction); 0 means unbounded.
+  DeltaIndex(std::uint32_t base_rows, std::uint32_t cols,
+             std::uint64_t capacity);
+
+  /// Post-compaction shape: the id space already extends to `next_id`
+  /// >= base_rows, `inherited` (sorted) carries the folded deletions,
+  /// and `versions` the residual mutations that arrived while the fold
+  /// ran (their seq values are preserved; `next_seq` continues the
+  /// generation's mutation clock).  Throws std::invalid_argument on an
+  /// out-of-range id or unsorted inherited list.
+  DeltaIndex(std::uint32_t base_rows, std::uint32_t next_id,
+             std::uint32_t cols, std::uint64_t capacity,
+             std::vector<std::uint32_t> inherited,
+             std::map<std::uint32_t, DeltaVersion> versions,
+             std::uint64_t next_seq);
+
+  // ---- mutations (exclusive lock) ----
+
+  /// Appends at id = next_id and returns it.  Validation as in
+  /// MutableIndex::insert_row.
+  std::uint32_t append_row(std::span<const std::uint32_t> columns,
+                           std::span<const float> values);
+
+  /// Upserts at `row` <= next_id (== next_id appends); revives a
+  /// deleted id.
+  void upsert_row(std::uint32_t row, std::span<const std::uint32_t> columns,
+                  std::span<const float> values);
+
+  /// Tombstones a live row; false if already deleted.  Throws
+  /// std::invalid_argument for row >= next_id.
+  bool delete_row(std::uint32_t row);
+
+  // ---- query path (shared lock) ----
+
+  [[nodiscard]] Scan scan(std::span<const float> x, int top_k) const;
+
+  /// SimilarityIndex surface: brute-force exact top-k over the live
+  /// delta rows alone.  Entries carry GLOBAL row ids (the delta has no
+  /// private id space); rows() is the id high-water mark next_id.
+  [[nodiscard]] QueryResult query(std::span<const float> x, int top_k,
+                                  const QueryOptions& options = {}) const override;
+  [[nodiscard]] std::uint32_t rows() const noexcept override;
+  [[nodiscard]] std::uint32_t cols() const noexcept override;
+  [[nodiscard]] IndexDescription describe() const override;
+
+  // ---- counters (shared lock) ----
+
+  [[nodiscard]] std::uint32_t base_rows() const noexcept { return base_rows_; }
+  /// Live rows of the whole mutable index: next_id minus deleted ids.
+  [[nodiscard]] std::uint64_t live_rows() const;
+  /// Live row versions held here (what a compaction folds).
+  [[nodiscard]] std::uint64_t delta_rows() const;
+  /// Currently deleted ids (tombstone versions + unrevived inherited).
+  [[nodiscard]] std::uint64_t tombstones() const;
+  /// Base ids hidden because a newer version lives here.
+  [[nodiscard]] std::uint64_t superseded() const;
+  /// Mutations absorbed since this delta was installed.
+  [[nodiscard]] std::uint64_t mutations() const;
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+
+  /// Consistent copy for the compactor (shared lock; the pause this
+  /// copy imposes on concurrent mutations is the memtable-freeze cost
+  /// bench_mutability reports).
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  /// True when `row` serves no result (tombstoned or inherited and not
+  /// revived).  Caller holds the lock.
+  [[nodiscard]] bool is_deleted_locked(std::uint32_t row) const;
+  /// Validates and canonicalises one inserted row (sort by column,
+  /// reject duplicates/out-of-range), then stores it.  Caller holds
+  /// the lock exclusively.
+  void store_row_locked(std::uint32_t row,
+                        std::span<const std::uint32_t> columns,
+                        std::span<const float> values);
+
+  const std::uint32_t base_rows_;
+  const std::uint32_t cols_;
+  const std::uint64_t capacity_;
+
+  mutable std::shared_mutex mutex_;
+  std::uint32_t next_id_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t mutations_ = 0;
+  std::uint64_t deleted_ = 0;  ///< cached tombstones() value
+  std::map<std::uint32_t, DeltaVersion> versions_;
+  std::vector<std::uint32_t> inherited_;  ///< sorted
+};
+
+}  // namespace topk::index

@@ -1,0 +1,101 @@
+// Mutable extension of the SimilarityIndex surface.
+//
+// Every index in the stack is sealed at build time — the paper's
+// streaming Top-K SpMV design assumes a static matrix, and adding one
+// row means re-encoding the whole collection.  Mutability therefore
+// comes from the architecture around the sealed kernels (the LSM
+// idiom): a MutableIndex absorbs insert_row/delete_row into an
+// in-memory delta tier (index::DeltaIndex), serves queries by merging
+// the sealed base with a brute-force scan of the delta, and is
+// periodically compacted (persist::Compactor) — the delta is folded
+// into a fresh sealed generation and atomically swapped in behind the
+// serving path.
+//
+// Row-id contract: ids are append-only and stable for the index's
+// lifetime.  rows() is the id high-water mark; a deleted id is never
+// reused implicitly (live_rows() < rows() once anything was deleted),
+// but insert_row(row, ...) at a deleted id revives it.  Results never
+// contain a deleted id, before or after compaction — so results are
+// bit-identical to an exact index built from the logically-equivalent
+// matrix (the live rows in ascending id order) under the monotone
+// live-id remap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "index/similarity_index.hpp"
+
+namespace topk::index {
+
+/// Snapshot of a mutable index's delta tier, via delta_stats().
+struct DeltaStats {
+  /// Sealed-generation counter: 0 for the cold build, +1 per
+  /// compaction swap (the compactor's swap key, persisted in v2
+  /// deployment manifests).
+  std::uint64_t generation = 0;
+  /// Live row versions held in the delta (inserted or superseding
+  /// rows; what a compaction folds into the next base).
+  std::uint64_t delta_rows = 0;
+  /// Ids currently deleted: their base rows are masked at gather.
+  /// Tombstones persist across compactions (a folded deleted row is an
+  /// empty base row that must still never serve) until the id is
+  /// revived.
+  std::uint64_t tombstones = 0;
+  /// Base ids masked because a newer version lives in the delta.
+  std::uint64_t superseded = 0;
+  /// Mutations absorbed since the last compaction swap (0 right after
+  /// a swap; an empty-delta compaction is a no-op).
+  std::uint64_t mutations_since_seal = 0;
+  /// Builder knobs, echoed for observability: inserts throw once the
+  /// delta holds delta_capacity live rows, and the compactor's
+  /// maybe_compact() fires at compact_threshold.
+  std::uint64_t delta_capacity = 0;
+  std::uint64_t compact_threshold = 0;
+};
+
+/// Abstract mutable Top-K similarity index: the SimilarityIndex query
+/// surface plus row mutations.  Thread-safe for any mix of concurrent
+/// queries and mutations; each query reflects a consistent logical
+/// state (mutations linearise at the query's delta scan).
+class MutableIndex : public SimilarityIndex {
+ public:
+  /// Appends a new row (sorted-or-not (column, value) pairs; columns
+  /// must be unique and < cols()) and returns its id — the previous
+  /// rows().  Throws std::invalid_argument on a malformed row and
+  /// std::runtime_error once the delta is at delta_capacity.
+  virtual std::uint32_t insert_row(std::span<const std::uint32_t> columns,
+                                   std::span<const float> values) = 0;
+
+  /// Upserts at an existing id: the new version supersedes the base
+  /// row (or an earlier delta version) and revives the id if it was
+  /// deleted.  `row` == rows() appends.  Throws std::invalid_argument
+  /// for row > rows() (ids are append-only — no holes).
+  virtual void insert_row(std::uint32_t row,
+                          std::span<const std::uint32_t> columns,
+                          std::span<const float> values) = 0;
+
+  /// Tombstones a live row: it stops appearing in any result, before
+  /// and after compaction.  Returns false when the row is already
+  /// deleted (idempotent); throws std::invalid_argument for
+  /// row >= rows() (an id that never existed).
+  virtual bool delete_row(std::uint32_t row) = 0;
+
+  /// Rows a query can currently return: rows() minus the tombstoned
+  /// ids.
+  [[nodiscard]] virtual std::uint64_t live_rows() const = 0;
+
+  /// Snapshot of the delta tier's counters.
+  [[nodiscard]] virtual DeltaStats delta_stats() const = 0;
+};
+
+/// The mutation surface of a registry-built index, or null when the
+/// backend is sealed — how `sharded_service` and the benches reach
+/// insert_row/delete_row behind the string-keyed factory.
+[[nodiscard]] inline std::shared_ptr<MutableIndex> as_mutable(
+    const std::shared_ptr<SimilarityIndex>& index) noexcept {
+  return std::dynamic_pointer_cast<MutableIndex>(index);
+}
+
+}  // namespace topk::index

@@ -7,11 +7,51 @@
 #include <utility>
 
 #include "persist/deployment.hpp"
+#include "shard/mutable_sharded_index.hpp"
 #include "shard/sharded_index.hpp"
 
 namespace topk::index {
 
 namespace {
+
+/// Rebuilds the full host CSR of a warm-loaded sharded base by
+/// concatenating its per-shard slices — the matrix the Compactor folds
+/// against.  Returns null when any shard's backend holds no host CSR
+/// (fpga-sim: the quantised device image cannot reproduce the exact
+/// host values, so such a warm load serves but cannot compact).
+std::shared_ptr<const sparse::Csr> reconstruct_base_matrix(
+    const shard::ShardedIndex& base) {
+  std::vector<std::uint64_t> row_ptr{0};
+  std::vector<std::uint32_t> col_idx;
+  std::vector<float> values;
+  for (std::size_t s = 0; s < base.shard_count(); ++s) {
+    const SimilarityIndex* primary = &base.shard(s).primary();
+    const sparse::Csr* slice = nullptr;
+    if (const auto* heap = dynamic_cast<const CpuHeapIndex*>(primary)) {
+      slice = &heap->matrix();
+    } else if (const auto* sort =
+                   dynamic_cast<const ExactSortIndex*>(primary)) {
+      slice = &sort->matrix();
+    } else if (const auto* gpu =
+                   dynamic_cast<const GpuModelIndex*>(primary)) {
+      slice = &gpu->matrix();
+    }
+    if (slice == nullptr) {
+      return nullptr;
+    }
+    const std::uint64_t offset = row_ptr.back();
+    for (std::uint32_t r = 1; r <= slice->rows(); ++r) {
+      row_ptr.push_back(offset + slice->row_ptr()[r]);
+    }
+    col_idx.insert(col_idx.end(), slice->col_idx().begin(),
+                   slice->col_idx().end());
+    values.insert(values.end(), slice->values().begin(),
+                  slice->values().end());
+  }
+  return std::make_shared<const sparse::Csr>(
+      sparse::Csr::from_parts(base.rows(), base.cols(), std::move(row_ptr),
+                              std::move(col_idx), std::move(values)));
+}
 
 struct Registry {
   std::mutex mutex;
@@ -100,6 +140,80 @@ Registry& registry() {
                 .inner_options(options)
                 .label(label)
                 .build();
+          });
+    }
+    // Mutable (LSM-shaped) variants: the same sealed scatter-gather
+    // tier wrapped in shard::MutableShardedIndex, absorbing
+    // insert_row/delete_row into an in-memory delta that is folded
+    // back by persist::Compactor.  options.delta_capacity and
+    // options.compact_threshold are the tier's knobs.
+    for (const char* inner : {"fpga-sim", "cpu-heap", "exact-sort", "gpu-f16"}) {
+      r.factories.emplace(
+          std::string("mutable-sharded-") + inner,
+          [inner](std::shared_ptr<const sparse::Csr> matrix,
+                  const IndexOptions& options)
+              -> std::shared_ptr<SimilarityIndex> {
+            const std::string base_label = std::string("sharded-") + inner;
+            const std::string label = "mutable-" + base_label;
+            shard::MutableConfig config;
+            config.delta_capacity = options.delta_capacity;
+            config.compact_threshold = options.compact_threshold;
+            config.label = label;
+            shard::RebuildRecipe recipe;
+            recipe.replicas = std::max(1, options.replicas);
+            recipe.inner_backend = inner;
+            recipe.inner_options = options;
+            recipe.inner_options.deployment_dir.clear();
+            recipe.inner_options.replicas = 1;
+            recipe.label = base_label;
+            // Warm restart: adopt a deployment saved under the SEALED
+            // base's label — every generation the Compactor writes
+            // carries it, so a mutable index resumes from its own
+            // images (generation and inherited tombstones come from
+            // the v2 manifest; a v1 manifest resumes at generation 0).
+            if (!options.deployment_dir.empty()) {
+              const persist::DeploymentManifest manifest =
+                  persist::read_manifest(options.deployment_dir);
+              if (manifest.label != base_label) {
+                throw std::runtime_error(
+                    label + ": deployment at '" + options.deployment_dir +
+                    "' was saved as '" + manifest.label +
+                    "' — refusing to serve it as a different backend");
+              }
+              IndexOptions warm_options = options;
+              warm_options.replicas = recipe.replicas;
+              auto base = persist::load_deployment(options.deployment_dir,
+                                                   warm_options);
+              recipe.shards = static_cast<int>(base->shard_count());
+              auto host = reconstruct_base_matrix(*base);
+              return std::make_shared<shard::MutableShardedIndex>(
+                  std::move(base), std::move(host), std::move(recipe),
+                  std::move(config), manifest.generation,
+                  manifest.tombstones);
+            }
+            if (!matrix) {
+              throw std::invalid_argument(label + ": null matrix");
+            }
+            const int shards = static_cast<int>(std::min<std::uint64_t>(
+                static_cast<std::uint64_t>(std::max(1, options.shards)),
+                std::max<std::uint32_t>(1, matrix->rows())));
+            recipe.shards = shards;
+            recipe.policy = options.nnz_balanced_shards
+                                ? shard::ShardPolicy::kNnzBalanced
+                                : shard::ShardPolicy::kEvenRows;
+            auto base = shard::ShardedIndexBuilder()
+                            .matrix(matrix)
+                            .shards(shards)
+                            .policy(recipe.policy)
+                            .replicas(recipe.replicas)
+                            .routing(recipe.routing)
+                            .inner_backend(inner)
+                            .inner_options(recipe.inner_options)
+                            .label(base_label)
+                            .build();
+            return std::make_shared<shard::MutableShardedIndex>(
+                std::move(base), std::move(matrix), std::move(recipe),
+                std::move(config));
           });
     }
     return true;
@@ -222,6 +336,16 @@ IndexBuilder& IndexBuilder::replicas(int count) {
 
 IndexBuilder& IndexBuilder::deployment_dir(std::string dir) {
   options_.deployment_dir = std::move(dir);
+  return *this;
+}
+
+IndexBuilder& IndexBuilder::delta_capacity(std::uint64_t rows) {
+  options_.delta_capacity = rows;
+  return *this;
+}
+
+IndexBuilder& IndexBuilder::compact_threshold(std::uint64_t mutations) {
+  options_.compact_threshold = mutations;
   return *this;
 }
 

@@ -12,9 +12,13 @@
 //
 // plus a "sharded-<name>" scatter-gather variant of each
 // (shard::ShardedIndex over options.shards row-range shards; see
-// src/shard/).  New backends (an ANN structure, a remote stub)
-// register with register_backend() and immediately show up in every
-// registry-driven bench loop.
+// src/shard/) and a "mutable-sharded-<name>" LSM variant
+// (shard::MutableShardedIndex — the sealed tier plus an in-memory
+// delta absorbing insert_row/delete_row; see
+// shard/mutable_sharded_index.hpp and persist/compactor.hpp).  New
+// backends (an ANN structure, a remote stub) register with
+// register_backend() and immediately show up in every registry-driven
+// bench loop.
 #pragma once
 
 #include <functional>
@@ -85,6 +89,13 @@ class IndexBuilder {
   /// Warm-load a "sharded-*" backend from a persisted deployment
   /// directory (see persist/deployment.hpp); no matrix required.
   IndexBuilder& deployment_dir(std::string dir);
+  /// Delta-row bound of the "mutable-sharded-*" backends (0 =
+  /// unbounded); inserts throw once the delta holds this many live
+  /// rows.
+  IndexBuilder& delta_capacity(std::uint64_t rows);
+  /// Mutation count at which persist::Compactor::maybe_compact()
+  /// fires for the "mutable-sharded-*" backends (0 = manual only).
+  IndexBuilder& compact_threshold(std::uint64_t mutations);
 
   /// Throws std::invalid_argument if no matrix was set or the backend
   /// is unknown.

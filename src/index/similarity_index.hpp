@@ -84,11 +84,29 @@ struct ReplicaStats {
   std::string last_error;  ///< what() of the most recent failure
 };
 
+/// Counters attached by shard::MutableShardedIndex: the sealed tier's
+/// scatter-gather stats plus what the delta tier contributed to this
+/// query.
+struct MutableTierStats {
+  ShardStats shard;  ///< the sealed base's gather, as in ShardStats
+  /// Sealed generation that served the query (0 = cold build, +1 per
+  /// compaction swap).
+  std::uint64_t generation = 0;
+  /// Live delta rows scored by the brute-force delta scan.
+  std::uint64_t delta_scanned = 0;
+  /// Delta entries that entered the k-way merge as candidates.
+  std::uint64_t delta_candidates = 0;
+  /// Base ids hidden from the merge (tombstoned, inherited from a past
+  /// compaction, or superseded by a delta version).
+  std::uint64_t masked_rows = 0;
+};
+
 /// Per-query counters.  The common fields are meaningful for every
 /// backend; device-specific counters ride along as a typed extension
 /// (ExecutionStats for the FPGA simulator, GpuModelStats for the GPU
-/// model, ShardStats for the sharded tier) instead of being flattened
-/// into one union of field names.
+/// model, ShardStats for the sharded tier, MutableTierStats for the
+/// mutable tier) instead of being flattened into one union of field
+/// names.
 struct QueryStats {
   /// Candidate rows the backend examined (all backends scan the full
   /// collection; an ANN backend would report fewer).
@@ -96,7 +114,8 @@ struct QueryStats {
   /// Modelled on-device time for modelled backends (FPGA, GPU);
   /// zero for backends that only exist as measured host code.
   double modelled_seconds = 0.0;
-  std::variant<std::monostate, core::ExecutionStats, GpuModelStats, ShardStats>
+  std::variant<std::monostate, core::ExecutionStats, GpuModelStats, ShardStats,
+               MutableTierStats>
       backend;
 };
 
@@ -119,10 +138,22 @@ struct QueryResult {
   return std::get_if<GpuModelStats>(&result.stats.backend);
 }
 
+/// The mutable-tier extension payload, if this result came from
+/// shard::MutableShardedIndex.
+[[nodiscard]] inline const MutableTierStats* mutable_stats(
+    const QueryResult& result) noexcept {
+  return std::get_if<MutableTierStats>(&result.stats.backend);
+}
+
 /// The scatter-gather extension payload, if this result came from
-/// shard::ShardedIndex.
+/// shard::ShardedIndex — or the sealed tier's gather stats when it
+/// came from the mutable tier, so routing/failover dashboards read one
+/// accessor for both.
 [[nodiscard]] inline const ShardStats* shard_stats(
     const QueryResult& result) noexcept {
+  if (const auto* mutable_tier = mutable_stats(result)) {
+    return &mutable_tier->shard;
+  }
   return std::get_if<ShardStats>(&result.stats.backend);
 }
 

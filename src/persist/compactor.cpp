@@ -1,0 +1,109 @@
+#include "persist/compactor.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "persist/deployment.hpp"
+#include "util/timer.hpp"
+
+namespace topk::persist {
+
+Compactor::Compactor(std::shared_ptr<shard::MutableShardedIndex> index,
+                     std::filesystem::path root)
+    : index_(std::move(index)), root_(std::move(root)) {
+  if (!index_) {
+    throw std::invalid_argument("Compactor: null index");
+  }
+  if (root_.empty()) {
+    throw std::invalid_argument("Compactor: empty deployment root");
+  }
+}
+
+std::optional<CompactionReport> Compactor::compact() {
+  util::WallTimer total;
+  auto ticket = index_->begin_compaction();
+  if (!ticket) {
+    return std::nullopt;
+  }
+  CompactionReport report;
+  report.generation = ticket->generation + 1;
+  report.folded_rows = ticket->snapshot.next_id;
+  report.folded_mutations =
+      static_cast<std::uint64_t>(ticket->snapshot.versions.size());
+  report.snapshot_seconds = ticket->snapshot_seconds;
+  report.dir = root_ / ("gen-" + std::to_string(report.generation));
+  try {
+    util::WallTimer stage;
+    shard::MutableShardedIndex::FoldedMatrix folded =
+        shard::MutableShardedIndex::fold(*ticket);
+    report.tombstones = static_cast<std::uint64_t>(folded.retired.size());
+    report.fold_seconds = stage.seconds();
+
+    // Cold-rebuild the sealed tier from the original recipe.  The
+    // cold build exists only to be persisted: what serves is the
+    // digest-verified warm load below, so the swapped-in bytes are
+    // exactly the bytes that were verified on disk.
+    stage = util::WallTimer();
+    const shard::RebuildRecipe& recipe = ticket->recipe;
+    const auto folded_matrix =
+        std::make_shared<const sparse::Csr>(std::move(folded.matrix));
+    const auto cold = shard::ShardedIndexBuilder()
+                          .matrix(folded_matrix)
+                          .shards(recipe.shards)
+                          .policy(recipe.policy)
+                          .replicas(1)  // one image per shard suffices
+                          .routing(recipe.routing)
+                          .inner_backend(recipe.inner_backend)
+                          .inner_options(recipe.inner_options)
+                          .label(recipe.label)
+                          .build();
+    report.build_seconds = stage.seconds();
+
+    stage = util::WallTimer();
+    DeploymentMeta meta;
+    meta.generation = report.generation;
+    meta.tombstones = folded.retired;
+    save_deployment(*cold, report.dir, meta);
+    report.save_seconds = stage.seconds();
+
+    stage = util::WallTimer();
+    index::IndexOptions warm_options = recipe.inner_options;
+    warm_options.replicas = recipe.replicas;
+    warm_options.deployment_dir.clear();
+    const auto warm = load_deployment(report.dir, warm_options);
+    report.load_seconds = stage.seconds();
+
+    report.swap_seconds = index_->finish_compaction(
+        *ticket, warm, folded_matrix, std::move(folded.retired));
+  } catch (...) {
+    // Fold/build/save/load/swap failed: release the guard so the next
+    // compaction can run — the current generation never stopped
+    // serving.
+    index_->abort_compaction();
+    throw;
+  }
+  report.residual_mutations = index_->delta_stats().mutations_since_seal;
+  report.total_seconds = total.seconds();
+  {
+    std::lock_guard<std::mutex> lock(history_mutex_);
+    history_.push_back(report);
+  }
+  return report;
+}
+
+std::optional<CompactionReport> Compactor::maybe_compact() {
+  const index::DeltaStats stats = index_->delta_stats();
+  if (stats.compact_threshold == 0 ||
+      stats.mutations_since_seal < stats.compact_threshold) {
+    return std::nullopt;
+  }
+  return compact();
+}
+
+std::vector<CompactionReport> Compactor::history() const {
+  std::lock_guard<std::mutex> lock(history_mutex_);
+  return history_;
+}
+
+}  // namespace topk::persist

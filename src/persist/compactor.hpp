@@ -1,0 +1,105 @@
+// Compaction driver of the mutable tier: folds a
+// shard::MutableShardedIndex's base + delta into a fresh sealed
+// generation OFF the serving path, persists it as a generation-stamped
+// deployment image, digest-verifies it by warm-loading it, and
+// atomically swaps it in.
+//
+// The pipeline per compaction (the LSM merge, with the repo's
+// deployment images as the SSTable analogue):
+//
+//   begin_compaction()  claim the single-compactor guard, snapshot
+//                       the delta (queries/mutations keep flowing)
+//   fold                base + delta -> the logically-equivalent
+//                       matrix; deleted ids become empty rows and are
+//                       recorded as the next generation's inherited
+//                       tombstones
+//   build               cold-rebuild the sealed tier from the original
+//                       recipe (same shard policy / inner backend /
+//                       replicas / routing as generation 0)
+//   save                persist::save_deployment into
+//                       <root>/gen-<g+1>, manifest v2 stamped with the
+//                       generation and the tombstone set
+//   load                persist::load_deployment — every image is
+//                       SHA-256-verified, and the warm-loaded index
+//                       (not the cold build) is what serves, so the
+//                       bytes that were verified are the bytes in
+//                       production
+//   swap                MutableShardedIndex::finish_compaction —
+//                       residual mutations (arrived during the fold)
+//                       move into the fresh delta; the old generation
+//                       retires once in-flight queries drain their
+//                       shared_ptr copies
+//
+// Serving traffic is never blocked for the duration: the only
+// exclusive sections are the guard claim and the pointer swap, both
+// reported per compaction in CompactionReport (bench_mutability's
+// pause percentiles).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "shard/mutable_sharded_index.hpp"
+
+namespace topk::persist {
+
+/// What one compaction did and what it cost.
+struct CompactionReport {
+  std::uint64_t generation = 0;        ///< the generation swapped IN
+  std::uint32_t folded_rows = 0;       ///< id space of the new base
+  std::uint64_t folded_mutations = 0;  ///< mutations sealed by this fold
+  /// Mutations that arrived during the fold and moved into the fresh
+  /// delta (the next compaction's input).
+  std::uint64_t residual_mutations = 0;
+  std::uint64_t tombstones = 0;  ///< inherited ids masked by the new base
+  double snapshot_seconds = 0.0;  ///< delta snapshot copy
+  double fold_seconds = 0.0;      ///< matrix fold
+  double build_seconds = 0.0;     ///< cold re-encode of the sealed tier
+  double save_seconds = 0.0;      ///< deployment image write + digests
+  double load_seconds = 0.0;      ///< digest-verified warm load
+  double swap_seconds = 0.0;      ///< the exclusive swap section
+  double total_seconds = 0.0;
+  std::filesystem::path dir;  ///< the gen-<g> deployment directory
+};
+
+/// Drives compactions of one mutable index into generation-stamped
+/// deployment directories under `root` (<root>/gen-1, <root>/gen-2,
+/// ...).  Thread-safe; at most one compaction runs at a time (a second
+/// concurrent call throws std::logic_error from begin_compaction).
+class Compactor {
+ public:
+  /// Throws std::invalid_argument for a null index or an empty root.
+  Compactor(std::shared_ptr<shard::MutableShardedIndex> index,
+            std::filesystem::path root);
+
+  /// Runs one full compaction.  Returns std::nullopt when the delta
+  /// has absorbed no mutation since the last seal (the empty-delta
+  /// no-op — nothing is written, nothing swaps).  On any failure after
+  /// the guard is claimed, the guard is released, the current
+  /// generation keeps serving, and the error is rethrown.
+  std::optional<CompactionReport> compact();
+
+  /// compact() iff the index's compact_threshold is set and the delta
+  /// has absorbed at least that many mutations since the last seal.
+  std::optional<CompactionReport> maybe_compact();
+
+  /// Reports of every compaction this driver has completed, oldest
+  /// first.
+  [[nodiscard]] std::vector<CompactionReport> history() const;
+
+  [[nodiscard]] const std::filesystem::path& root() const noexcept {
+    return root_;
+  }
+
+ private:
+  std::shared_ptr<shard::MutableShardedIndex> index_;
+  std::filesystem::path root_;
+  mutable std::mutex history_mutex_;
+  std::vector<CompactionReport> history_;
+};
+
+}  // namespace topk::persist

@@ -133,6 +133,7 @@ void write_manifest(const std::filesystem::path& path,
   }
   os << kManifestMagic << ' ' << manifest.version << '\n';
   os << "label " << manifest.label << '\n';
+  os << "generation " << manifest.generation << '\n';
   os << "rows " << manifest.rows << '\n';
   os << "cols " << manifest.cols << '\n';
   const core::DesignConfig& design = manifest.design;
@@ -140,6 +141,11 @@ void write_manifest(const std::filesystem::path& path,
      << design.value_bits << ' ' << design.cores << ' ' << design.k << ' '
      << design.rows_per_packet << ' ' << (design.enforce_r_in_encoder ? 1 : 0)
      << ' ' << design.packet_bits << '\n';
+  os << "tombstones " << manifest.tombstones.size();
+  for (const std::uint32_t id : manifest.tombstones) {
+    os << ' ' << id;
+  }
+  os << '\n';
   os << "shards " << manifest.shards.size() << '\n';
   for (std::size_t s = 0; s < manifest.shards.size(); ++s) {
     const ShardImage& image = manifest.shards[s];
@@ -195,6 +201,15 @@ DeploymentManifest read_manifest(const std::filesystem::path& dir) {
   if (!(is >> manifest.label)) {
     fail("missing label");
   }
+  // Version 1 predates the mutable tier: no generation line, no
+  // tombstones — it parses as generation 0 with an empty set, which is
+  // exactly what a never-compacted sealed deployment is.
+  if (manifest.version >= 2) {
+    expect_key("generation");
+    if (!(is >> manifest.generation)) {
+      fail("missing generation");
+    }
+  }
   expect_key("rows");
   if (!(is >> manifest.rows) || manifest.rows == 0) {
     fail("missing or zero rows");
@@ -218,6 +233,29 @@ DeploymentManifest read_manifest(const std::filesystem::path& dir) {
     core::validate(design);
   } catch (const std::invalid_argument& error) {
     fail(std::string("invalid design: ") + error.what());
+  }
+
+  if (manifest.version >= 2) {
+    std::size_t tombstone_count = 0;
+    expect_key("tombstones");
+    if (!(is >> tombstone_count) || tombstone_count > manifest.rows) {
+      fail("missing or implausible tombstone count");
+    }
+    manifest.tombstones.reserve(tombstone_count);
+    for (std::size_t t = 0; t < tombstone_count; ++t) {
+      std::uint32_t id = 0;
+      if (!(is >> id)) {
+        fail("truncated tombstone list");
+      }
+      if (id >= manifest.rows) {
+        fail("tombstone id " + std::to_string(id) +
+             " outside the row space");
+      }
+      if (!manifest.tombstones.empty() && manifest.tombstones.back() >= id) {
+        fail("tombstone ids are not strictly increasing");
+      }
+      manifest.tombstones.push_back(id);
+    }
   }
 
   std::size_t shard_count = 0;
@@ -266,10 +304,30 @@ DeploymentManifest read_manifest(const std::filesystem::path& dir) {
 
 void save_deployment(const shard::ShardedIndex& index,
                      const std::filesystem::path& dir) {
+  save_deployment(index, dir, DeploymentMeta{});
+}
+
+void save_deployment(const shard::ShardedIndex& index,
+                     const std::filesystem::path& dir,
+                     const DeploymentMeta& meta) {
   DeploymentManifest manifest;
   manifest.label = index.describe().backend;
+  manifest.generation = meta.generation;
   manifest.rows = index.rows();
   manifest.cols = index.cols();
+  for (std::size_t t = 0; t < meta.tombstones.size(); ++t) {
+    if (meta.tombstones[t] >= manifest.rows) {
+      throw std::invalid_argument(
+          "save_deployment: tombstone id " +
+          std::to_string(meta.tombstones[t]) + " outside the row space [0, " +
+          std::to_string(manifest.rows) + ")");
+    }
+    if (t > 0 && meta.tombstones[t - 1] >= meta.tombstones[t]) {
+      throw std::invalid_argument(
+          "save_deployment: tombstone ids must be strictly increasing");
+    }
+  }
+  manifest.tombstones = meta.tombstones;
 
   // Validate every shard before touching the directory: a free-form
   // label, a backend name that would break the tokenised manifest, or

@@ -10,15 +10,20 @@
 // CSR-backed backends — plus a versioned, digest-carrying text
 // manifest:
 //
-//   topk-deployment 1
+//   topk-deployment 2
 //   label sharded-fpga-sim
+//   generation 3                  (mutable tier's compaction counter)
 //   rows 60000
 //   cols 1024
 //   design fixed 20 8 8 8 0 512   (kind V cores k r enforce_r packet_bits)
+//   tombstones 2 17 4242          (count, then the sorted deleted ids)
 //   shards 4
 //   shard 0 0 15731 fpga-sim fpga shard-0.fpga.img 212992 <sha256 hex>
 //   ...
 //   end
+//
+// Version-1 manifests (no generation/tombstones lines) still load,
+// with generation = 0 and an empty tombstone set.
 //
 // load_deployment() verifies every image's SHA-256 digest and shape
 // against the manifest before any bytes reach an index, reconstructs
@@ -47,8 +52,11 @@ namespace topk::persist {
 
 /// Manifest schema version written by save_deployment; newer versions
 /// on disk are rejected (forward compatibility is explicit, never
-/// silent misparsing).
-inline constexpr int kManifestVersion = 1;
+/// silent misparsing).  Version 2 added the monotonically increasing
+/// `generation` field (the compaction swap key) and the inherited
+/// `tombstones` record; version-1 manifests still load, with
+/// generation = 0 and no tombstones.
+inline constexpr int kManifestVersion = 2;
 
 /// Manifest filename inside a deployment directory.
 inline constexpr const char* kManifestFilename = "deployment.manifest";
@@ -67,13 +75,29 @@ struct ShardImage {
 struct DeploymentManifest {
   int version = kManifestVersion;
   std::string label;  ///< the saved index's describe().backend
+  /// Sealed-generation counter of the mutable tier (0 = a cold build
+  /// or any version-1 manifest; +1 per compaction).  Compaction swaps
+  /// key on it: persist::Compactor writes generation g+1 next to the
+  /// serving generation g and retires g only after the swap.
+  std::uint64_t generation = 0;
   std::uint32_t rows = 0;
   std::uint32_t cols = 0;
   /// Geometry and k-policy of the fpga-sim shards (value kind/width,
   /// cores per shard, per-core k, rows-per-packet budget, packet
   /// width).  Defaulted when the deployment holds no fpga-sim shard.
   core::DesignConfig design;
+  /// Sorted row ids deleted as of this generation and folded away as
+  /// empty rows — a mutable warm load must keep masking them forever
+  /// (empty for version-1 manifests and plain sealed deployments).
+  std::vector<std::uint32_t> tombstones;
   std::vector<ShardImage> shards;
+};
+
+/// Mutable-tier metadata stamped into a saved deployment.  The default
+/// (generation 0, no tombstones) is a plain sealed deployment.
+struct DeploymentMeta {
+  std::uint64_t generation = 0;
+  std::vector<std::uint32_t> tombstones;  ///< sorted, unique, < rows
 };
 
 /// Writes `index` as a deployment directory (created if needed): one
@@ -81,7 +105,13 @@ struct DeploymentManifest {
 /// fpga-sim (BS-CSR core streams) and the CSR-backed built-ins
 /// (cpu-heap, exact-sort, gpu-f16).  Throws std::invalid_argument for
 /// an inner backend without a persistable image (e.g. a third-party
-/// registry backend) and std::runtime_error on I/O failure.
+/// registry backend) or malformed meta (unsorted/duplicate/out-of-range
+/// tombstones), and std::runtime_error on I/O failure.
+void save_deployment(const shard::ShardedIndex& index,
+                     const std::filesystem::path& dir,
+                     const DeploymentMeta& meta);
+
+/// Plain sealed deployment: generation 0, no tombstones.
 void save_deployment(const shard::ShardedIndex& index,
                      const std::filesystem::path& dir);
 

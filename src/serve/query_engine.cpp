@@ -48,6 +48,13 @@ QueryEngine::QueryEngine(std::shared_ptr<const index::SimilarityIndex> index,
   shared_pool().ensure_workers(std::max(workers_ - 1, 1));
 }
 
+QueryEngine::QueryEngine(std::shared_ptr<index::MutableIndex> index,
+                         EngineConfig config)
+    : QueryEngine(std::static_pointer_cast<const index::SimilarityIndex>(index),
+                  config) {
+  mutable_ = std::move(index);
+}
+
 QueryEngine::~QueryEngine() { drain(); }
 
 index::QueryResult QueryEngine::query(std::span<const float> x,

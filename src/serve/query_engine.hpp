@@ -31,6 +31,7 @@
 #include <span>
 #include <vector>
 
+#include "index/mutable_index.hpp"
 #include "index/similarity_index.hpp"
 #include "util/stats.hpp"
 
@@ -70,6 +71,13 @@ class QueryEngine {
   /// std::invalid_argument for a null index, negative workers, zero
   /// max_pending, or a zero latency_window.
   explicit QueryEngine(std::shared_ptr<const index::SimilarityIndex> index,
+                       EngineConfig config = {});
+
+  /// Serving a mutable backend: queries flow through the identical
+  /// path, and the engine additionally retains the mutation handle so
+  /// callers reach insert_row/delete_row/delta_stats through
+  /// mutable_index() while the engine serves.
+  explicit QueryEngine(std::shared_ptr<index::MutableIndex> index,
                        EngineConfig config = {});
 
   /// Blocks until all pending async requests have finished.
@@ -122,6 +130,16 @@ class QueryEngine {
   [[nodiscard]] const index::SimilarityIndex& index() const noexcept {
     return *index_;
   }
+
+  /// The mutation handle of the served backend, when it is mutable
+  /// (constructed from a MutableIndex, or the index dynamically is
+  /// one); null for sealed backends.  Mutations are safe while the
+  /// engine serves — the mutable tier linearises them against
+  /// concurrent queries.
+  [[nodiscard]] std::shared_ptr<index::MutableIndex> mutable_index()
+      const noexcept {
+    return mutable_;
+  }
   [[nodiscard]] int workers() const noexcept { return workers_; }
   [[nodiscard]] std::size_t latency_window() const noexcept {
     return latency_window_size_;
@@ -131,6 +149,7 @@ class QueryEngine {
   void record_latency(double millis) const;
 
   std::shared_ptr<const index::SimilarityIndex> index_;
+  std::shared_ptr<index::MutableIndex> mutable_;
   int workers_;
   std::size_t max_pending_;
   std::size_t latency_window_size_;

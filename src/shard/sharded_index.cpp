@@ -220,9 +220,28 @@ ShardedIndex::ShardCall ShardedIndex::query_shard(std::size_t s,
 
   const std::size_t start = pick_replica(s);
   std::exception_ptr last_error;
-  const auto record_failure = [](ReplicaState& state, const char* message) {
+  // Lock-free EWMA update; a lost race just re-blends with the
+  // concurrent writer's value.
+  const auto feed_ewma = [](ReplicaState& state, double seconds) {
+    double previous = state.ewma_seconds.load(std::memory_order_relaxed);
+    double next = 0.0;
+    do {
+      next = previous == 0.0
+                 ? seconds
+                 : kEwmaAlpha * seconds + (1.0 - kEwmaAlpha) * previous;
+    } while (!state.ewma_seconds.compare_exchange_weak(
+        previous, next, std::memory_order_relaxed));
+  };
+  // A failed call is wall-timed like a successful one and feeds the
+  // EWMA before the replica is marked unhealthy: without it the EWMA
+  // freezes at the pre-failure latency, and once the replica recovers
+  // the least-loaded policy keeps ranking it by stale history (slow
+  // failures — timeouts — would even look attractive).
+  const auto record_failure = [&](ReplicaState& state, double seconds,
+                                  const char* message) {
     state.inflight.fetch_sub(1, std::memory_order_relaxed);
     state.failures.fetch_add(1, std::memory_order_relaxed);
+    feed_ewma(state, seconds);
     state.healthy.store(false, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(state.error_mutex);
     state.last_error = message;
@@ -239,24 +258,15 @@ ShardedIndex::ShardCall ShardedIndex::query_shard(std::size_t s,
       state.inflight.fetch_sub(1, std::memory_order_relaxed);
       state.queries.fetch_add(1, std::memory_order_relaxed);
       state.healthy.store(true, std::memory_order_relaxed);
-      // Lock-free EWMA update; a lost race just re-blends with the
-      // concurrent writer's value.
-      double previous = state.ewma_seconds.load(std::memory_order_relaxed);
-      double next = 0.0;
-      do {
-        next = previous == 0.0
-                   ? seconds
-                   : kEwmaAlpha * seconds + (1.0 - kEwmaAlpha) * previous;
-      } while (!state.ewma_seconds.compare_exchange_weak(
-          previous, next, std::memory_order_relaxed));
+      feed_ewma(state, seconds);
       call.measured_seconds = seconds;
       call.failovers = attempt;
       return call;
     } catch (const std::exception& error) {
-      record_failure(state, error.what());
+      record_failure(state, timer.seconds(), error.what());
       last_error = std::current_exception();
     } catch (...) {
-      record_failure(state, "unknown error");
+      record_failure(state, timer.seconds(), "unknown error");
       last_error = std::current_exception();
     }
   }
@@ -266,7 +276,8 @@ ShardedIndex::ShardCall ShardedIndex::query_shard(std::size_t s,
 }
 
 index::QueryResult ShardedIndex::gather(std::span<const ShardCall> per_shard,
-                                        int top_k) const {
+                                        int top_k,
+                                        const DeltaOverlay* overlay) const {
   index::QueryResult out;
   index::ShardStats gathered;
   gathered.shards = static_cast<int>(shards_.size());
@@ -293,18 +304,34 @@ index::QueryResult ShardedIndex::gather(std::span<const ShardCall> per_shard,
     gathered.gathered_candidates +=
         static_cast<std::uint64_t>(per_shard[s].result.entries.size());
   }
+  if (overlay != nullptr) {
+    gathered.gathered_candidates +=
+        static_cast<std::uint64_t>(overlay->entries.size());
+  }
 
   // Deterministic k-way heap merge on the repo-wide Top-K order.  Each
   // shard's list is already sorted by (value desc, row asc) and the
   // local -> global remap adds a per-shard constant, so advancing the
   // per-shard heads in canonical order yields the globally sorted cut.
+  // The delta overlay joins as one extra pre-sorted source (already in
+  // global ids); masked global ids are skipped as the shard heads
+  // advance, before they can enter the heap.
   struct Head {
     std::size_t shard;
     std::size_t pos;
   };
+  const std::size_t delta_source = per_shard.size();
+  const auto source_entries = [&](std::size_t source) {
+    return source == delta_source
+               ? overlay->entries
+               : std::span<const core::TopKEntry>(
+                     per_shard[source].result.entries);
+  };
   const auto global_entry = [&](const Head& head) {
-    core::TopKEntry entry = per_shard[head.shard].result.entries[head.pos];
-    entry.index += shards_[head.shard].range.row_begin;
+    core::TopKEntry entry = source_entries(head.shard)[head.pos];
+    if (head.shard != delta_source) {
+      entry.index += shards_[head.shard].range.row_begin;
+    }
     return entry;
   };
   const auto heap_after = [&](const Head& a, const Head& b) {
@@ -312,10 +339,25 @@ index::QueryResult ShardedIndex::gather(std::span<const ShardCall> per_shard,
   };
   std::priority_queue<Head, std::vector<Head>, decltype(heap_after)> heads(
       heap_after);
-  for (std::size_t s = 0; s < per_shard.size(); ++s) {
-    if (!per_shard[s].result.entries.empty()) {
-      heads.push(Head{s, 0});
+  const auto push_head = [&](Head head) {
+    const std::size_t size = source_entries(head.shard).size();
+    if (overlay != nullptr && head.shard != delta_source) {
+      while (head.pos < size &&
+             std::binary_search(overlay->masked.begin(),
+                                overlay->masked.end(),
+                                global_entry(head).index)) {
+        ++head.pos;
+      }
     }
+    if (head.pos < size) {
+      heads.push(head);
+    }
+  };
+  for (std::size_t s = 0; s < per_shard.size(); ++s) {
+    push_head(Head{s, 0});
+  }
+  if (overlay != nullptr) {
+    push_head(Head{delta_source, 0});
   }
   const auto wanted = static_cast<std::uint64_t>(top_k);
   out.entries.reserve(static_cast<std::size_t>(
@@ -324,12 +366,19 @@ index::QueryResult ShardedIndex::gather(std::span<const ShardCall> per_shard,
     Head head = heads.top();
     heads.pop();
     out.entries.push_back(global_entry(head));
-    if (++head.pos < per_shard[head.shard].result.entries.size()) {
-      heads.push(head);
-    }
+    ++head.pos;
+    push_head(head);
   }
   out.stats.backend = gathered;
   return out;
+}
+
+int ShardedIndex::inflated_top_k(int top_k, std::size_t masked) {
+  const std::uint64_t wanted =
+      static_cast<std::uint64_t>(top_k) + static_cast<std::uint64_t>(masked);
+  return static_cast<int>(std::min<std::uint64_t>(
+      wanted,
+      static_cast<std::uint64_t>(std::numeric_limits<int>::max())));
 }
 
 index::QueryResult ShardedIndex::query(std::span<const float> x, int top_k,
@@ -382,6 +431,72 @@ std::vector<index::QueryResult> ShardedIndex::query_batch(
   }
   for (std::size_t q = 0; q < queries.size(); ++q) {
     results[q] = gather({partial.data() + q * width, width}, top_k);
+  }
+  return results;
+}
+
+index::QueryResult ShardedIndex::query_with_delta(
+    std::span<const float> x, int top_k, const DeltaOverlay& overlay,
+    const index::QueryOptions& options) const {
+  validate_query(x, top_k);
+  // Each shard is over-asked by the mask size: at most masked.size()
+  // of its top entries can be skipped at the merge, so >= top_k live
+  // candidates survive per shard and the global cut is exact.
+  const int shard_k = inflated_top_k(top_k, overlay.masked.size());
+  const int threads =
+      index::resolve_fanout_threads(options.threads, shards_.size());
+  std::vector<ShardCall> per_shard(shards_.size());
+  if (threads <= 1) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      per_shard[s] = query_shard(s, x, shard_k);
+    }
+  } else {
+    serve::ThreadPool& pool = serve::shared_pool();
+    pool.ensure_workers(threads - 1);
+    pool.parallel_for(shards_.size(), threads, [&](std::size_t s) {
+      per_shard[s] = query_shard(s, x, shard_k);
+    });
+  }
+  return gather(per_shard, top_k, &overlay);
+}
+
+std::vector<index::QueryResult> ShardedIndex::query_batch_with_delta(
+    const std::vector<std::vector<float>>& queries, int top_k,
+    std::span<const DeltaOverlay> overlays,
+    const index::QueryOptions& options) const {
+  validate_batch(queries, top_k);
+  if (overlays.size() != queries.size()) {
+    throw std::invalid_argument(label_ + ": " + std::to_string(queries.size()) +
+                                " queries but " +
+                                std::to_string(overlays.size()) +
+                                " delta overlays");
+  }
+  std::vector<index::QueryResult> results(queries.size());
+  if (queries.empty()) {
+    return results;
+  }
+  const std::size_t width = shards_.size();
+  const std::size_t grid = queries.size() * width;
+  const int threads = index::resolve_fanout_threads(options.threads, grid);
+  std::vector<ShardCall> partial(grid);
+  const auto run_cell = [&](std::size_t cell) {
+    const std::size_t q = cell / width;
+    partial[cell] = query_shard(
+        cell % width, queries[q],
+        inflated_top_k(top_k, overlays[q].masked.size()));
+  };
+  if (threads <= 1) {
+    for (std::size_t cell = 0; cell < grid; ++cell) {
+      run_cell(cell);
+    }
+  } else {
+    serve::ThreadPool& pool = serve::shared_pool();
+    pool.ensure_workers(threads - 1);
+    pool.parallel_for(grid, threads, run_cell);
+  }
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    results[q] =
+        gather({partial.data() + q * width, width}, top_k, &overlays[q]);
   }
   return results;
 }

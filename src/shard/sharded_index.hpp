@@ -121,6 +121,39 @@ class ShardedIndex final : public index::SimilarityIndex {
       const std::vector<std::vector<float>>& queries, int top_k,
       const index::QueryOptions& options = {}) const override;
 
+  /// What the mutable tier's delta scan contributes to one query: the
+  /// candidates to merge alongside the sealed shards and the base rows
+  /// to hide from them (see index::DeltaIndex::scan).
+  struct DeltaOverlay {
+    /// Top-k live delta rows (GLOBAL ids, sorted by
+    /// core::topk_entry_before) — one extra source in the k-way merge,
+    /// needing no local-to-global remap.
+    std::span<const core::TopKEntry> entries;
+    /// Sorted global base ids (< rows()) the merge must skip:
+    /// tombstoned, inherited, or superseded rows.
+    std::span<const std::uint32_t> masked;
+  };
+
+  /// query() with a delta overlay merged through the same
+  /// deterministic gather.  Every shard is asked for
+  /// top_k + masked.size() candidates (at most masked.size() of any
+  /// shard's top entries can be masked away, so the merge always has
+  /// >= top_k live base candidates in reach), masked ids are skipped
+  /// as the per-shard heads advance, and the overlay entries compete
+  /// as one more sorted source — so the result is bit-identical to a
+  /// cold rebuild of the logically-equivalent matrix queried through
+  /// the same shard plan.
+  [[nodiscard]] index::QueryResult query_with_delta(
+      std::span<const float> x, int top_k, const DeltaOverlay& overlay,
+      const index::QueryOptions& options = {}) const;
+
+  /// Batch variant of query_with_delta: one overlay per query, the
+  /// (query, shard) grid scattered like query_batch.
+  [[nodiscard]] std::vector<index::QueryResult> query_batch_with_delta(
+      const std::vector<std::vector<float>>& queries, int top_k,
+      std::span<const DeltaOverlay> overlays,
+      const index::QueryOptions& options = {}) const;
+
   [[nodiscard]] std::uint32_t rows() const noexcept override;
   [[nodiscard]] std::uint32_t cols() const noexcept override;
   [[nodiscard]] index::IndexDescription describe() const override;
@@ -192,9 +225,16 @@ class ShardedIndex final : public index::SimilarityIndex {
   /// Deterministic k-way heap merge of per-shard results (local ids)
   /// into one global result, aggregating stats; slowest_shard falls
   /// back to the measured wall time when a shard reports no modelled
-  /// time, so the signal is live for every backend.
+  /// time, so the signal is live for every backend.  With an overlay,
+  /// masked global ids are skipped as the shard heads advance and the
+  /// overlay entries join the merge as one extra pre-sorted source.
   [[nodiscard]] index::QueryResult gather(
-      std::span<const ShardCall> per_shard, int top_k) const;
+      std::span<const ShardCall> per_shard, int top_k,
+      const DeltaOverlay* overlay = nullptr) const;
+
+  /// Per-shard candidate request for a query with `masked` hidden base
+  /// rows: top_k + masked, saturating on int.
+  [[nodiscard]] static int inflated_top_k(int top_k, std::size_t masked);
 
   std::vector<Shard> shards_;
   std::string label_;

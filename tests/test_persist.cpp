@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <iterator>
@@ -243,6 +244,105 @@ TEST_F(PersistTest, ManifestRecordsEveryField) {
     EXPECT_EQ(image.bytes, std::filesystem::file_size(path));
     EXPECT_EQ(image.digest, sha256_file(path));
   }
+}
+
+// ------------------------------------------------- manifest v1 <-> v2
+
+TEST_F(PersistTest, ManifestV2RoundTripsGenerationAndTombstones) {
+  const auto matrix = shared_matrix(120, 64, 6.0, 90);
+  const auto cold = test::build_test_sharded(matrix, 2, "cpu-heap");
+  DeploymentMeta meta;
+  meta.generation = 3;
+  meta.tombstones = {2, 9, 41};
+  save_deployment(*cold, dir(), meta);
+
+  const DeploymentManifest manifest = read_manifest(dir());
+  EXPECT_EQ(manifest.version, kManifestVersion);
+  EXPECT_EQ(manifest.generation, 3u);
+  EXPECT_EQ(manifest.tombstones, meta.tombstones);
+  // The stamped deployment still passes the digest gate and serves.
+  const auto warm = load_deployment(dir());
+  expect_bit_identical(*cold, *warm, 10, 91);
+
+  // Tombstones outside the row space or out of order never reach disk.
+  DeploymentMeta bad = meta;
+  bad.tombstones = {2, 200};
+  EXPECT_THROW(save_deployment(*cold, dir() / "bad", bad),
+               std::invalid_argument);
+  bad.tombstones = {9, 9};
+  EXPECT_THROW(save_deployment(*cold, dir() / "bad", bad),
+               std::invalid_argument);
+  EXPECT_FALSE(std::filesystem::exists(dir() / "bad" / kManifestFilename));
+}
+
+TEST_F(PersistTest, ManifestV1StillParsesAsGenerationZero) {
+  // A deployment saved before the mutable tier existed has no
+  // generation and no tombstone line; it must load as generation 0
+  // with an empty set — exactly a never-compacted sealed deployment.
+  const auto matrix = shared_matrix(150, 64, 6.0, 92);
+  const auto cold = test::build_test_sharded(matrix, 2, "exact-sort");
+  save_deployment(*cold, dir());
+
+  auto lines = manifest_lines(dir());
+  lines.front() = "topk-deployment 1";
+  lines.erase(std::remove_if(lines.begin(), lines.end(),
+                             [](const std::string& line) {
+                               const auto tokens = tokens_of(line);
+                               return !tokens.empty() &&
+                                      (tokens.front() == "generation" ||
+                                       tokens.front() == "tombstones");
+                             }),
+              lines.end());
+  write_manifest_lines(dir(), lines);
+
+  const DeploymentManifest manifest = read_manifest(dir());
+  EXPECT_EQ(manifest.version, 1);
+  EXPECT_EQ(manifest.generation, 0u);
+  EXPECT_TRUE(manifest.tombstones.empty());
+  const auto warm = load_deployment(dir());
+  expect_bit_identical(*cold, *warm, 10, 93);
+}
+
+TEST_F(PersistTest, MalformedV2TombstoneListsAreRejected) {
+  const auto matrix = shared_matrix(100, 64, 6.0, 94);
+  const auto cold = test::build_test_sharded(matrix, 1, "cpu-heap");
+  DeploymentMeta meta;
+  meta.tombstones = {5, 6};
+  save_deployment(*cold, dir(), meta);
+
+  const auto original = manifest_lines(dir());
+  const auto with_tombstone_line = [&](const std::string& replacement) {
+    auto lines = original;
+    for (auto& line : lines) {
+      const auto tokens = tokens_of(line);
+      if (!tokens.empty() && tokens.front() == "tombstones") {
+        line = replacement;
+      }
+    }
+    write_manifest_lines(dir(), lines);
+  };
+
+  with_tombstone_line("tombstones 2 5 999");
+  expect_load_error(dir(), "outside the row space");
+  with_tombstone_line("tombstones 3 5 6");
+  expect_load_error(dir(), "truncated tombstone list");
+  with_tombstone_line("tombstones 2 6 5");
+  expect_load_error(dir(), "strictly increasing");
+  with_tombstone_line("tombstones 101 0");
+  expect_load_error(dir(), "implausible tombstone count");
+
+  // A v2 manifest with the generation line missing entirely fails the
+  // field check rather than misparsing the rows line as a generation.
+  auto lines = original;
+  lines.erase(std::remove_if(lines.begin(), lines.end(),
+                             [](const std::string& line) {
+                               const auto tokens = tokens_of(line);
+                               return !tokens.empty() &&
+                                      tokens.front() == "generation";
+                             }),
+              lines.end());
+  write_manifest_lines(dir(), lines);
+  expect_load_error(dir(), "generation");
 }
 
 TEST_F(PersistTest, SavingAnUnpersistableBackendThrows) {

@@ -149,6 +149,38 @@ TEST(ReplicationTest, FailoverServesBitIdenticalAndRecordsFailures) {
   }
 }
 
+TEST(ReplicationTest, FailedReplicaCallsFeedTheLatencyEwma) {
+  // Regression: a failed call must be wall-timed and blended into the
+  // replica's latency EWMA BEFORE it is marked unhealthy.  Otherwise a
+  // replica that dies mid-traffic keeps its stale pre-failure EWMA, and
+  // once a recovery probe flips it back healthy, least-loaded routing
+  // ranks it by latency it never demonstrated.
+  const auto matrix = shared_matrix(300, 32, 4.0, 87);
+  const auto healthy = ShardedIndexBuilder()
+                           .matrix(matrix)
+                           .shards(1)
+                           .inner_backend("cpu-heap")
+                           .replicas(2)
+                           .routing(RoutingPolicy::kRoundRobin)
+                           .build();
+  auto shards = std::vector<Shard>{healthy->shard(0)};
+  shards[0].replicas[0] =
+      std::make_shared<test::ThrowingIndex>(shards[0].replicas[0]);
+  const ShardedIndex faulty(std::move(shards), "sharded-faulty",
+                            RoutingPolicy::kRoundRobin);
+
+  const std::vector<float> x(32, 0.1f);
+  (void)faulty.query(x, 5);  // replica 0 fails, replica 1 serves
+  const auto replicas = faulty.replica_stats(0);
+  ASSERT_EQ(replicas.size(), 2u);
+  EXPECT_EQ(replicas[0].failures, 1u);
+  EXPECT_EQ(replicas[0].queries, 0u);  // failed calls are not served queries
+  EXPECT_FALSE(replicas[0].healthy);
+  EXPECT_GT(replicas[0].ewma_seconds, 0.0)
+      << "the failed call's duration never reached the EWMA";
+  EXPECT_EQ(replicas[0].inflight, 0);
+}
+
 TEST(ReplicationTest, AllReplicasFailedRethrowsLastError) {
   const auto matrix = shared_matrix(200, 32, 4.0, 75);
   const auto healthy = ShardedIndexBuilder()

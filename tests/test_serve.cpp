@@ -229,7 +229,11 @@ TEST_F(QueryEngineTest, RejectsBadConfig) {
   EXPECT_THROW(QueryEngine(fpga_, {.max_pending = 0}), std::invalid_argument);
   EXPECT_THROW(QueryEngine(fpga_, {.latency_window = 0}),
                std::invalid_argument);
-  EXPECT_THROW(QueryEngine(nullptr, {}), std::invalid_argument);
+  EXPECT_THROW(
+      QueryEngine(std::shared_ptr<const index::SimilarityIndex>(), {}),
+      std::invalid_argument);
+  EXPECT_THROW(QueryEngine(std::shared_ptr<index::MutableIndex>(), {}),
+               std::invalid_argument);
 }
 
 TEST_F(QueryEngineTest, LatencySummaryCountsEveryServedQuery) {
