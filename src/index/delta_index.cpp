@@ -1,7 +1,6 @@
 #include "index/delta_index.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <utility>
@@ -111,7 +110,7 @@ void DeltaIndex::store_row_locked(std::uint32_t row,
   const auto it = versions_.find(row);
   const bool replaces_delta_row =
       it != versions_.end() && !it->second.tombstone;
-  if (!replaces_delta_row && capacity_ > 0 && delta_rows() >= capacity_) {
+  if (!replaces_delta_row && capacity_ > 0 && delta_rows_locked() >= capacity_) {
     throw std::runtime_error(
         "DeltaIndex: delta at capacity (" + std::to_string(capacity_) +
         " rows) — compact before inserting more");
@@ -130,7 +129,7 @@ void DeltaIndex::store_row_locked(std::uint32_t row,
 
 std::uint32_t DeltaIndex::append_row(std::span<const std::uint32_t> columns,
                                      std::span<const float> values) {
-  std::unique_lock lock(mutex_);
+  util::WriterLock lock(mutex_);
   const std::uint32_t id = next_id_;
   store_row_locked(id, columns, values);
   return id;
@@ -139,7 +138,7 @@ std::uint32_t DeltaIndex::append_row(std::span<const std::uint32_t> columns,
 void DeltaIndex::upsert_row(std::uint32_t row,
                             std::span<const std::uint32_t> columns,
                             std::span<const float> values) {
-  std::unique_lock lock(mutex_);
+  util::WriterLock lock(mutex_);
   if (row > next_id_) {
     throw std::invalid_argument("DeltaIndex: upsert at row " +
                                 std::to_string(row) + " beyond the id space [0, " +
@@ -149,7 +148,7 @@ void DeltaIndex::upsert_row(std::uint32_t row,
 }
 
 bool DeltaIndex::delete_row(std::uint32_t row) {
-  std::unique_lock lock(mutex_);
+  util::WriterLock lock(mutex_);
   if (row >= next_id_) {
     throw std::invalid_argument("DeltaIndex: delete of nonexistent row " +
                                 std::to_string(row) + " (rows: " +
@@ -168,7 +167,7 @@ bool DeltaIndex::delete_row(std::uint32_t row) {
 }
 
 DeltaIndex::Scan DeltaIndex::scan(std::span<const float> x, int top_k) const {
-  std::shared_lock lock(mutex_);
+  util::ReaderLock lock(mutex_);
   Scan out;
   // Mask = inherited ∪ {version ids < base_rows}: both lists are
   // sorted (std::map iterates ascending), so a linear merge dedupes.
@@ -221,14 +220,14 @@ QueryResult DeltaIndex::query(std::span<const float> x, int top_k,
 }
 
 std::uint32_t DeltaIndex::rows() const noexcept {
-  std::shared_lock lock(mutex_);
+  util::ReaderLock lock(mutex_);
   return next_id_;
 }
 
 std::uint32_t DeltaIndex::cols() const noexcept { return cols_; }
 
 IndexDescription DeltaIndex::describe() const {
-  std::shared_lock lock(mutex_);
+  util::ReaderLock lock(mutex_);
   IndexDescription description;
   description.backend = "delta";
   description.detail = "in-memory delta tier: " +
@@ -246,15 +245,21 @@ IndexDescription DeltaIndex::describe() const {
 }
 
 std::uint64_t DeltaIndex::live_rows() const {
-  std::shared_lock lock(mutex_);
+  util::ReaderLock lock(mutex_);
   return static_cast<std::uint64_t>(next_id_) - deleted_;
 }
 
 std::uint64_t DeltaIndex::delta_rows() const {
-  // Callers hold no lock (public) or the exclusive lock
-  // (store_row_locked's capacity check) — shared_mutex is not
-  // recursive, so count without locking and let the public callers
-  // take the lock.
+  // The lockless predecessor of this method raced stats readers
+  // (delta_stats()/describe() walking versions_) against concurrent
+  // mutations rebalancing the map — the annotation migration flagged
+  // it, and tests/test_mutable.cpp's ConcurrentDeltaStats TSan stress
+  // is the regression.
+  util::ReaderLock lock(mutex_);
+  return delta_rows_locked();
+}
+
+std::uint64_t DeltaIndex::delta_rows_locked() const {
   std::uint64_t live_versions = 0;
   for (const auto& [id, version] : versions_) {
     if (!version.tombstone) {
@@ -265,12 +270,12 @@ std::uint64_t DeltaIndex::delta_rows() const {
 }
 
 std::uint64_t DeltaIndex::tombstones() const {
-  std::shared_lock lock(mutex_);
+  util::ReaderLock lock(mutex_);
   return deleted_;
 }
 
 std::uint64_t DeltaIndex::superseded() const {
-  std::shared_lock lock(mutex_);
+  util::ReaderLock lock(mutex_);
   std::uint64_t count = 0;
   for (const auto& [id, version] : versions_) {
     if (id < base_rows_ && !version.tombstone) {
@@ -281,12 +286,12 @@ std::uint64_t DeltaIndex::superseded() const {
 }
 
 std::uint64_t DeltaIndex::mutations() const {
-  std::shared_lock lock(mutex_);
+  util::ReaderLock lock(mutex_);
   return mutations_;
 }
 
 DeltaIndex::Snapshot DeltaIndex::snapshot() const {
-  std::shared_lock lock(mutex_);
+  util::ReaderLock lock(mutex_);
   Snapshot out;
   out.base_rows = base_rows_;
   out.next_id = next_id_;

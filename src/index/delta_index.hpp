@@ -25,11 +25,11 @@
 
 #include <cstdint>
 #include <map>
-#include <shared_mutex>
 #include <span>
 #include <vector>
 
 #include "index/similarity_index.hpp"
+#include "util/sync.hpp"
 
 namespace topk::index {
 
@@ -143,26 +143,32 @@ class DeltaIndex final : public SimilarityIndex {
 
  private:
   /// True when `row` serves no result (tombstoned or inherited and not
-  /// revived).  Caller holds the lock.
-  [[nodiscard]] bool is_deleted_locked(std::uint32_t row) const;
+  /// revived).
+  [[nodiscard]] bool is_deleted_locked(std::uint32_t row) const
+      TOPK_REQUIRES_SHARED(mutex_);
   /// Validates and canonicalises one inserted row (sort by column,
-  /// reject duplicates/out-of-range), then stores it.  Caller holds
-  /// the lock exclusively.
+  /// reject duplicates/out-of-range), then stores it.
   void store_row_locked(std::uint32_t row,
                         std::span<const std::uint32_t> columns,
-                        std::span<const float> values);
+                        std::span<const float> values) TOPK_REQUIRES(mutex_);
+  /// Lock-held core of delta_rows(), shared with store_row_locked's
+  /// capacity check (shared_mutex is not recursive, so the public
+  /// method locks and this one assumes).
+  [[nodiscard]] std::uint64_t delta_rows_locked() const
+      TOPK_REQUIRES_SHARED(mutex_);
 
   const std::uint32_t base_rows_;
   const std::uint32_t cols_;
   const std::uint64_t capacity_;
 
-  mutable std::shared_mutex mutex_;
-  std::uint32_t next_id_;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t mutations_ = 0;
-  std::uint64_t deleted_ = 0;  ///< cached tombstones() value
-  std::map<std::uint32_t, DeltaVersion> versions_;
-  std::vector<std::uint32_t> inherited_;  ///< sorted
+  mutable util::SharedMutex mutex_;
+  std::uint32_t next_id_ TOPK_GUARDED_BY(mutex_);
+  std::uint64_t next_seq_ TOPK_GUARDED_BY(mutex_) = 0;
+  std::uint64_t mutations_ TOPK_GUARDED_BY(mutex_) = 0;
+  /// cached tombstones() value
+  std::uint64_t deleted_ TOPK_GUARDED_BY(mutex_) = 0;
+  std::map<std::uint32_t, DeltaVersion> versions_ TOPK_GUARDED_BY(mutex_);
+  std::vector<std::uint32_t> inherited_ TOPK_GUARDED_BY(mutex_);  ///< sorted
 };
 
 }  // namespace topk::index

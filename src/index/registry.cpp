@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 #include <utility>
 
 #include "persist/deployment.hpp"
 #include "shard/mutable_sharded_index.hpp"
 #include "shard/sharded_index.hpp"
+#include "util/sync.hpp"
 
 namespace topk::index {
 
@@ -54,8 +54,9 @@ std::shared_ptr<const sparse::Csr> reconstruct_base_matrix(
 }
 
 struct Registry {
-  std::mutex mutex;
-  std::map<std::string, IndexFactory, std::less<>> factories;
+  util::Mutex mutex;
+  std::map<std::string, IndexFactory, std::less<>> factories
+      TOPK_GUARDED_BY(mutex);
 };
 
 /// Function-local static seeded with the built-ins: no static-init
@@ -64,6 +65,10 @@ Registry& registry() {
   static Registry instance;
   static const bool seeded = [] {
     Registry& r = instance;
+    // The magic-static guard already serialises seeding against every
+    // other registry() caller; the lock is for the analysis (and free —
+    // uncontended by construction).
+    util::MutexLock lock(r.mutex);
     r.factories.emplace(
         "fpga-sim",
         [](std::shared_ptr<const sparse::Csr> matrix,
@@ -222,8 +227,8 @@ Registry& registry() {
   return instance;
 }
 
-/// Caller must hold the registry lock.
-std::string known_backends_message(const Registry& r) {
+std::string known_backends_message(const Registry& r)
+    TOPK_REQUIRES(r.mutex) {
   std::string message;
   for (const auto& [name, factory] : r.factories) {
     if (!message.empty()) {
@@ -244,7 +249,7 @@ void register_backend(const std::string& name, IndexFactory factory) {
     throw std::invalid_argument("register_backend: null factory");
   }
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  util::MutexLock lock(r.mutex);
   if (!r.factories.emplace(name, std::move(factory)).second) {
     throw std::invalid_argument("register_backend: '" + name +
                                 "' already registered");
@@ -253,7 +258,7 @@ void register_backend(const std::string& name, IndexFactory factory) {
 
 std::vector<std::string> registered_backends() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  util::MutexLock lock(r.mutex);
   std::vector<std::string> names;
   names.reserve(r.factories.size());
   for (const auto& [name, factory] : r.factories) {
@@ -264,7 +269,7 @@ std::vector<std::string> registered_backends() {
 
 bool has_backend(std::string_view name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  util::MutexLock lock(r.mutex);
   return r.factories.find(name) != r.factories.end();
 }
 
@@ -274,7 +279,7 @@ std::shared_ptr<SimilarityIndex> make_index(
   IndexFactory factory;
   {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    util::MutexLock lock(r.mutex);
     const auto it = r.factories.find(name);
     if (it == r.factories.end()) {
       throw std::invalid_argument("make_index: unknown backend '" +

@@ -86,7 +86,7 @@ std::optional<CompactionReport> Compactor::compact() {
   report.residual_mutations = index_->delta_stats().mutations_since_seal;
   report.total_seconds = total.seconds();
   {
-    std::lock_guard<std::mutex> lock(history_mutex_);
+    util::MutexLock lock(history_mutex_);
     history_.push_back(report);
   }
   return report;
@@ -102,7 +102,7 @@ std::optional<CompactionReport> Compactor::maybe_compact() {
 }
 
 std::vector<CompactionReport> Compactor::history() const {
-  std::lock_guard<std::mutex> lock(history_mutex_);
+  util::MutexLock lock(history_mutex_);
   return history_;
 }
 

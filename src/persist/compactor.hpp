@@ -39,11 +39,11 @@
 #include <cstdint>
 #include <filesystem>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "shard/mutable_sharded_index.hpp"
+#include "util/sync.hpp"
 
 namespace topk::persist {
 
@@ -98,8 +98,8 @@ class Compactor {
  private:
   std::shared_ptr<shard::MutableShardedIndex> index_;
   std::filesystem::path root_;
-  mutable std::mutex history_mutex_;
-  std::vector<CompactionReport> history_;
+  mutable util::Mutex history_mutex_;
+  std::vector<CompactionReport> history_ TOPK_GUARDED_BY(history_mutex_);
 };
 
 }  // namespace topk::persist

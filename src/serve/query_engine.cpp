@@ -93,8 +93,10 @@ std::future<index::QueryResult> QueryEngine::submit(std::vector<float> x,
     // Bounded admission: block while max_pending requests are in
     // flight.  This is the serving tier's backpressure valve — callers
     // slow down instead of the queue growing without bound.
-    std::unique_lock<std::mutex> lock(pending_mutex_);
-    pending_cv_.wait(lock, [this] { return pending_ < max_pending_; });
+    util::MutexLock lock(pending_mutex_);
+    while (pending_ >= max_pending_) {
+      pending_cv_.wait(pending_mutex_);
+    }
     ++pending_;
   }
 
@@ -120,7 +122,7 @@ std::future<index::QueryResult> QueryEngine::submit(std::vector<float> x,
           // Notify under the lock: once a drain()ing destructor sees
           // pending_ == 0 it may free the engine, so no member may be
           // touched after this block releases the mutex.
-          std::lock_guard<std::mutex> lock(pending_mutex_);
+          util::MutexLock lock(pending_mutex_);
           --pending_;
           pending_cv_.notify_all();
         }
@@ -129,17 +131,19 @@ std::future<index::QueryResult> QueryEngine::submit(std::vector<float> x,
 }
 
 std::size_t QueryEngine::pending() const {
-  std::lock_guard<std::mutex> lock(pending_mutex_);
+  util::MutexLock lock(pending_mutex_);
   return pending_;
 }
 
 void QueryEngine::drain() {
-  std::unique_lock<std::mutex> lock(pending_mutex_);
-  pending_cv_.wait(lock, [this] { return pending_ == 0; });
+  util::MutexLock lock(pending_mutex_);
+  while (pending_ != 0) {
+    pending_cv_.wait(pending_mutex_);
+  }
 }
 
 void QueryEngine::record_latency(double millis) const {
-  std::lock_guard<std::mutex> lock(latency_mutex_);
+  util::MutexLock lock(latency_mutex_);
   lifetime_latency_.add(millis);
   if (latency_window_.size() < latency_window_size_) {
     latency_window_.push_back(millis);
@@ -150,7 +154,7 @@ void QueryEngine::record_latency(double millis) const {
 }
 
 void QueryEngine::reset_latency() {
-  std::lock_guard<std::mutex> lock(latency_mutex_);
+  util::MutexLock lock(latency_mutex_);
   lifetime_latency_ = util::RunningStats();
   latency_window_.clear();
   latency_window_next_ = 0;
@@ -160,7 +164,7 @@ LatencySummary QueryEngine::latency_summary() const {
   LatencySummary summary;
   std::vector<double> window;
   {
-    std::lock_guard<std::mutex> lock(latency_mutex_);
+    util::MutexLock lock(latency_mutex_);
     summary.count = lifetime_latency_.count();
     summary.mean_ms = lifetime_latency_.mean();
     summary.max_ms = lifetime_latency_.max();

@@ -23,17 +23,16 @@
 // so the index outlives every request by construction.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "index/mutable_index.hpp"
 #include "index/similarity_index.hpp"
 #include "util/stats.hpp"
+#include "util/sync.hpp"
 
 namespace topk::serve {
 
@@ -154,14 +153,14 @@ class QueryEngine {
   std::size_t max_pending_;
   std::size_t latency_window_size_;
 
-  mutable std::mutex pending_mutex_;
-  std::condition_variable pending_cv_;
-  std::size_t pending_ = 0;
+  mutable util::Mutex pending_mutex_;
+  util::CondVar pending_cv_;
+  std::size_t pending_ TOPK_GUARDED_BY(pending_mutex_) = 0;
 
-  mutable std::mutex latency_mutex_;
-  mutable util::RunningStats lifetime_latency_;
-  mutable std::vector<double> latency_window_;
-  mutable std::size_t latency_window_next_ = 0;
+  mutable util::Mutex latency_mutex_;
+  mutable util::RunningStats lifetime_latency_ TOPK_GUARDED_BY(latency_mutex_);
+  mutable std::vector<double> latency_window_ TOPK_GUARDED_BY(latency_mutex_);
+  mutable std::size_t latency_window_next_ TOPK_GUARDED_BY(latency_mutex_) = 0;
 };
 
 }  // namespace topk::serve

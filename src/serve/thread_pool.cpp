@@ -1,10 +1,12 @@
 #include "serve/thread_pool.hpp"
 
-#include <atomic>
 #include <algorithm>
+#include <atomic>
 #include <exception>
 #include <memory>
 #include <stdexcept>
+
+#include "util/sync.hpp"
 
 namespace topk::serve {
 
@@ -14,14 +16,19 @@ namespace {
 /// queue hold a shared_ptr, so the job outlives the caller's stack
 /// frame even if a helper wakes up after the loop already finished.
 struct ParallelJob {
+  /// relaxed: the ticket counter only hands out distinct indices; the
+  /// work itself synchronises through `completed` below.
   std::atomic<std::size_t> next{0};
+  /// acq_rel increments / acquire reads: the final increment's release
+  /// publishes every fn(i) write to the caller that observes
+  /// completed == n (with or without the condvar round trip).
   std::atomic<std::size_t> completed{0};
   std::size_t n = 0;
   const std::function<void(std::size_t)>* fn = nullptr;
 
-  std::mutex mutex;
-  std::condition_variable done;
-  std::exception_ptr first_exception;
+  util::Mutex mutex;
+  util::CondVar done;
+  std::exception_ptr first_exception TOPK_GUARDED_BY(mutex);
 
   /// Claims items until the counter runs out.  Exceptions do not cancel
   /// remaining items (every index runs exactly once regardless); only
@@ -35,13 +42,13 @@ struct ParallelJob {
       try {
         (*fn)(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex);
+        util::MutexLock lock(mutex);
         if (!first_exception) {
           first_exception = std::current_exception();
         }
       }
       if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
-        std::lock_guard<std::mutex> lock(mutex);
+        util::MutexLock lock(mutex);
         done.notify_all();
       }
     }
@@ -59,23 +66,26 @@ ThreadPool::ThreadPool(int workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_available_.notify_all();
+  // Joining reads threads_ without the lock: safe because workers are
+  // only ever added, never removed, and stopping_ stops additions (the
+  // analysis is silent in destructors — no concurrent access remains).
   for (std::thread& thread : threads_) {
     thread.join();
   }
 }
 
 int ThreadPool::workers() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return static_cast<int>(threads_.size());
 }
 
 void ThreadPool::ensure_workers(int workers) {
   const int target = std::min(workers, kMaxWorkers);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   while (static_cast<int>(threads_.size()) < target) {
     threads_.emplace_back([this] { worker_loop(); });
   }
@@ -85,8 +95,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      util::MutexLock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) {
+        work_available_.wait(mutex_);
+      }
       if (tasks_.empty()) {
         return;  // stopping_ and drained
       }
@@ -99,7 +111,7 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::post(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (!stopping_ && !threads_.empty()) {
       tasks_.push_back(std::move(task));
       work_available_.notify_one();
@@ -130,7 +142,7 @@ void ThreadPool::parallel_for(std::size_t n, int concurrency,
 
   int helpers = helper_budget;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     helpers = std::min(helpers, static_cast<int>(threads_.size()));
     if (!stopping_) {
       for (int h = 0; h < helpers; ++h) {
@@ -146,10 +158,10 @@ void ThreadPool::parallel_for(std::size_t n, int concurrency,
 
   job->run();  // caller participates: progress is guaranteed
 
-  std::unique_lock<std::mutex> lock(job->mutex);
-  job->done.wait(lock, [&] {
-    return job->completed.load(std::memory_order_acquire) == job->n;
-  });
+  util::MutexLock lock(job->mutex);
+  while (job->completed.load(std::memory_order_acquire) != job->n) {
+    job->done.wait(job->mutex);
+  }
   if (job->first_exception) {
     std::rethrow_exception(job->first_exception);
   }

@@ -15,13 +15,13 @@
 // themselves (the async serving path does) without risk.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace topk::serve {
 
@@ -67,11 +67,14 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::deque<std::function<void()>> tasks_;
-  std::vector<std::thread> threads_;
-  bool stopping_ = false;
+  mutable util::Mutex mutex_;
+  util::CondVar work_available_;
+  std::deque<std::function<void()>> tasks_ TOPK_GUARDED_BY(mutex_);
+  /// Guarded for growth (ensure_workers); the destructor joins with the
+  /// lock released, which is safe because workers are never removed
+  /// while the pool lives.
+  std::vector<std::thread> threads_ TOPK_GUARDED_BY(mutex_);
+  bool stopping_ TOPK_GUARDED_BY(mutex_) = false;
 };
 
 /// Process-wide pool shared by TopKAccelerator::query / query_batch and

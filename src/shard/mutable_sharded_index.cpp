@@ -1,7 +1,6 @@
 #include "shard/mutable_sharded_index.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -52,7 +51,7 @@ MutableShardedIndex::MutableShardedIndex(
 
 std::shared_ptr<const MutableShardedIndex::State>
 MutableShardedIndex::current_state() const {
-  std::shared_lock lock(mutex_);
+  util::ReaderLock lock(mutex_);
   return state_;
 }
 
@@ -65,19 +64,19 @@ MutableShardedIndex::current_state() const {
 
 std::uint32_t MutableShardedIndex::insert_row(
     std::span<const std::uint32_t> columns, std::span<const float> values) {
-  std::shared_lock lock(mutex_);
+  util::ReaderLock lock(mutex_);
   return state_->delta->append_row(columns, values);
 }
 
 void MutableShardedIndex::insert_row(std::uint32_t row,
                                      std::span<const std::uint32_t> columns,
                                      std::span<const float> values) {
-  std::shared_lock lock(mutex_);
+  util::ReaderLock lock(mutex_);
   state_->delta->upsert_row(row, columns, values);
 }
 
 bool MutableShardedIndex::delete_row(std::uint32_t row) {
-  std::shared_lock lock(mutex_);
+  util::ReaderLock lock(mutex_);
   return state_->delta->delete_row(row);
 }
 
@@ -204,7 +203,7 @@ MutableShardedIndex::begin_compaction() {
   {
     // The exclusive section only claims the guard; the O(delta)
     // snapshot copy runs below with queries and mutations flowing.
-    std::unique_lock lock(mutex_);
+    util::WriterLock lock(mutex_);
     if (compacting_) {
       throw std::logic_error(config_.label +
                              ": a compaction is already in flight");
@@ -301,7 +300,7 @@ double MutableShardedIndex::finish_compaction(
         std::to_string(ticket.snapshot.next_id) + ")");
   }
   util::WallTimer timer;
-  std::unique_lock lock(mutex_);
+  util::WriterLock lock(mutex_);
   if (!compacting_ || state_->generation != ticket.generation) {
     throw std::logic_error(config_.label +
                            ": finish_compaction without a matching "
@@ -331,7 +330,7 @@ double MutableShardedIndex::finish_compaction(
 }
 
 void MutableShardedIndex::abort_compaction() noexcept {
-  std::unique_lock lock(mutex_);
+  util::WriterLock lock(mutex_);
   compacting_ = false;
 }
 

@@ -25,7 +25,6 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -35,6 +34,7 @@
 #include "shard/shard_planner.hpp"
 #include "shard/sharded_index.hpp"
 #include "sparse/csr.hpp"
+#include "util/sync.hpp"
 
 namespace topk::shard {
 
@@ -194,11 +194,11 @@ class MutableShardedIndex final : public index::MutableIndex {
   RebuildRecipe recipe_;
   MutableConfig config_;
 
-  mutable std::shared_mutex mutex_;
-  std::shared_ptr<const State> state_;
+  mutable util::SharedMutex mutex_;
+  std::shared_ptr<const State> state_ TOPK_GUARDED_BY(mutex_);
   /// Single-compactor guard (begin_compaction claims, finish/abort
-  /// release); guarded by mutex_.
-  bool compacting_ = false;
+  /// release).
+  bool compacting_ TOPK_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace topk::shard

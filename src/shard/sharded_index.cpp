@@ -122,13 +122,16 @@ std::vector<index::ReplicaStats> ShardedIndex::replica_stats(
   out.reserve(states.size());
   for (const auto& state : states) {
     index::ReplicaStats stats;
+    // relaxed: an advisory snapshot — each counter is independently
+    // coherent (atomic), and no cross-field consistency is promised to
+    // readers, so there is nothing for a fence to order.
     stats.queries = state->queries.load(std::memory_order_relaxed);
     stats.failures = state->failures.load(std::memory_order_relaxed);
     stats.inflight = state->inflight.load(std::memory_order_relaxed);
     stats.ewma_seconds = state->ewma_seconds.load(std::memory_order_relaxed);
     stats.healthy = state->healthy.load(std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(state->error_mutex);
+      util::MutexLock lock(state->error_mutex);
       stats.last_error = state->last_error;
     }
     out.push_back(std::move(stats));
@@ -151,6 +154,8 @@ std::size_t ShardedIndex::pick_replica(std::size_t s) const {
   // Health bits may flip between the passes below; a stale pick is
   // harmless (failover corrects it), so the scans fall back to
   // replica 0 rather than synchronise.
+  // relaxed health reads throughout: the bit is a routing hint — a
+  // stale value mis-routes one cell and failover absorbs it.
   std::size_t healthy_count = 0;
   for (std::size_t r = 0; r < count; ++r) {
     healthy_count += states[r]->healthy.load(std::memory_order_relaxed) ? 1 : 0;
@@ -166,7 +171,8 @@ std::size_t ShardedIndex::pick_replica(std::size_t s) const {
     return std::size_t{0};  // a health bit flipped mid-scan
   };
   // One ticket per pick for both policies: the round-robin cursor and
-  // the probe clock.
+  // the probe clock.  relaxed: only atomicity (distinct tickets) is
+  // needed — ticket order across threads is immaterial to fairness.
   const std::uint64_t ticket =
       round_robin_[s].fetch_add(1, std::memory_order_relaxed);
   if (healthy_count > 0 && unhealthy_count > 0 &&
@@ -193,6 +199,8 @@ std::size_t ShardedIndex::pick_replica(std::size_t s) const {
     if (states[r]->healthy.load(std::memory_order_relaxed) != want_healthy) {
       continue;
     }
+    // relaxed: load hints — a pick made on values one call stale costs
+    // at most one sub-optimal route, never correctness.
     const int inflight = states[r]->inflight.load(std::memory_order_relaxed);
     const double ewma =
         states[r]->ewma_seconds.load(std::memory_order_relaxed);
@@ -221,7 +229,9 @@ ShardedIndex::ShardCall ShardedIndex::query_shard(std::size_t s,
   const std::size_t start = pick_replica(s);
   std::exception_ptr last_error;
   // Lock-free EWMA update; a lost race just re-blends with the
-  // concurrent writer's value.
+  // concurrent writer's value.  relaxed CAS: the EWMA is a scalar load
+  // hint — the CAS loop already gives per-update atomicity, and no
+  // other location's visibility hangs on this write.
   const auto feed_ewma = [](ReplicaState& state, double seconds) {
     double previous = state.ewma_seconds.load(std::memory_order_relaxed);
     double next = 0.0;
@@ -237,13 +247,16 @@ ShardedIndex::ShardCall ShardedIndex::query_shard(std::size_t s,
   // freezes at the pre-failure latency, and once the replica recovers
   // the least-loaded policy keeps ranking it by stale history (slow
   // failures — timeouts — would even look attractive).
+  // relaxed counter updates below (inflight/queries/failures/healthy):
+  // each is an independent monotonic or last-writer-wins hint; nothing
+  // reads them expecting to observe other memory ordered against them.
   const auto record_failure = [&](ReplicaState& state, double seconds,
                                   const char* message) {
     state.inflight.fetch_sub(1, std::memory_order_relaxed);
     state.failures.fetch_add(1, std::memory_order_relaxed);
     feed_ewma(state, seconds);
     state.healthy.store(false, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(state.error_mutex);
+    util::MutexLock lock(state.error_mutex);
     state.last_error = message;
   };
   for (std::size_t attempt = 0; attempt < count; ++attempt) {

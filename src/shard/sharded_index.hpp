@@ -34,7 +34,6 @@
 #include <cstdint>
 #include <filesystem>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -43,6 +42,7 @@
 #include "index/similarity_index.hpp"
 #include "shard/shard_planner.hpp"
 #include "sparse/csr.hpp"
+#include "util/sync.hpp"
 
 namespace topk::shard {
 
@@ -188,14 +188,22 @@ class ShardedIndex final : public index::SimilarityIndex {
   /// Live counters of one replica, shared by the routing policies and
   /// the stats snapshot.  Mutable runtime state of a const index —
   /// every field is atomic (last_error under its own mutex).
+  ///
+  /// Memory ordering: every operation on these atomics is relaxed, on
+  /// purpose.  They are monotonic load/health *hints* feeding routing
+  /// decisions and advisory stats snapshots — no other memory is
+  /// published through them (the query results themselves synchronise
+  /// through the thread pool's join), a stale read only makes a pick
+  /// marginally less balanced, and failover corrects any mis-route.
+  /// Each site carries its own one-line rationale.
   struct ReplicaState {
     std::atomic<std::uint64_t> queries{0};
     std::atomic<std::uint64_t> failures{0};
     std::atomic<int> inflight{0};
     std::atomic<double> ewma_seconds{0.0};
     std::atomic<bool> healthy{true};
-    mutable std::mutex error_mutex;
-    std::string last_error;
+    mutable util::Mutex error_mutex;
+    std::string last_error TOPK_GUARDED_BY(error_mutex);
   };
 
   /// One (query, shard) cell's outcome: the replica's result plus the

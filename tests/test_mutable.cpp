@@ -755,5 +755,80 @@ TEST(MutableRegistryTest, QueryStatsExposeTheMutableTier) {
   EXPECT_GE(result.stats.rows_scanned, 100u);
 }
 
+// ------------------------------------------------ stats-vs-mutation races
+
+TEST(MutableShardedTest, ConcurrentDeltaStats) {
+  // Regression for the unlocked DeltaIndex::delta_rows(): stats
+  // readers (delta_stats()/describe() walking the version map) raced
+  // concurrent mutations rebalancing it.  Under TSan this test is the
+  // proof; under plain builds it still checks the settled counters.
+  const auto matrix = shared_matrix(200, 32, 4.0, 211);
+  auto handles = build_mutable(matrix, "cpu-heap", 2, 1);
+
+  constexpr int kAppendThreads = 2;
+  constexpr int kAppendsPerThread = 150;
+  constexpr std::uint32_t kDeletes = 60;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> snapshots{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const index::DeltaStats stats = handles.mut->delta_stats();
+        // Bounds that hold at every instant of the run, whatever
+        // interleaving the snapshot lands on.
+        EXPECT_LE(stats.tombstones, kDeletes);
+        EXPECT_LE(stats.delta_rows,
+                  static_cast<std::uint64_t>(kAppendThreads) *
+                      kAppendsPerThread);
+        EXPECT_LE(stats.delta_rows + stats.tombstones,
+                  stats.mutations_since_seal);
+        const index::IndexDescription description = handles.index->describe();
+        EXPECT_GE(description.rows, matrix->rows());
+        EXPECT_LE(handles.mut->live_rows(),
+                  static_cast<std::uint64_t>(matrix->rows()) +
+                      static_cast<std::uint64_t>(kAppendThreads) *
+                          kAppendsPerThread);
+        snapshots.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> mutators;
+  for (int t = 0; t < kAppendThreads; ++t) {
+    mutators.emplace_back([&, t] {
+      for (int i = 0; i < kAppendsPerThread; ++i) {
+        (void)append_single(*handles.mut,
+                            static_cast<std::uint32_t>((t * 7 + i) % 32),
+                            0.25f);
+      }
+    });
+  }
+  mutators.emplace_back([&] {
+    for (std::uint32_t id = 0; id < kDeletes; ++id) {
+      EXPECT_TRUE(handles.mut->delete_row(id));
+    }
+  });
+  for (auto& thread : mutators) {
+    thread.join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& thread : readers) {
+    thread.join();
+  }
+  EXPECT_GT(snapshots.load(std::memory_order_relaxed), 0u);
+
+  const index::DeltaStats settled = handles.mut->delta_stats();
+  EXPECT_EQ(settled.delta_rows,
+            static_cast<std::uint64_t>(kAppendThreads) * kAppendsPerThread);
+  EXPECT_EQ(settled.tombstones, kDeletes);
+  EXPECT_EQ(settled.mutations_since_seal,
+            static_cast<std::uint64_t>(kAppendThreads) * kAppendsPerThread +
+                kDeletes);
+  EXPECT_EQ(handles.mut->live_rows(),
+            static_cast<std::uint64_t>(matrix->rows()) - kDeletes +
+                static_cast<std::uint64_t>(kAppendThreads) *
+                    kAppendsPerThread);
+}
+
 }  // namespace
 }  // namespace topk::shard

@@ -6,10 +6,12 @@
 // warm loads from persisted deployments.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "index/backends.hpp"
@@ -460,6 +462,87 @@ TEST_F(ReplicatedDeploymentTest, FpgaImagesReplayPerReplica) {
   const ShardedIndex faulty(with_throwing_replica(*warm, 0),
                             "sharded-faulty");
   EXPECT_EQ(faulty.query(x, 10).entries, cold->query(x, 10).entries);
+}
+
+// ------------------------------------------------- stats under failover load
+
+TEST(ReplicationTest, StatsSnapshotsStayCoherentUnderFailoverLoad) {
+  // The TSan leg's probe of the ReplicaState surface: reader threads
+  // hammer replica_stats() and per-query ShardStats while query
+  // threads drive both failing (replica 0 throws) and succeeding
+  // calls, exercising every counter — queries, failures, inflight,
+  // ewma, health flips and the mutex-guarded last_error string —
+  // concurrently with the snapshots.
+  const auto matrix = shared_matrix(400, 32, 5.0, 91);
+  const auto healthy = ShardedIndexBuilder()
+                           .matrix(matrix)
+                           .shards(3)
+                           .inner_backend("cpu-heap")
+                           .replicas(2)
+                           .build();
+  const ShardedIndex faulty(with_throwing_replica(*healthy, 0),
+                            "sharded-faulty", RoutingPolicy::kRoundRobin);
+  const index::CpuHeapIndex flat(matrix);
+
+  constexpr int kQueryThreads = 3;
+  constexpr int kQueriesPerThread = 120;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> snapshots{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (std::size_t s = 0; s < faulty.shard_count(); ++s) {
+          const auto replicas = faulty.replica_stats(s);
+          ASSERT_EQ(replicas.size(), 2u);
+          for (const index::ReplicaStats& replica : replicas) {
+            // Invariants that hold at any instant mid-run.  (failures
+            // and last_error are updated in separate steps, so their
+            // implication is NOT an instant invariant — the string is
+            // only touched, which is what TSan needs to see.)
+            EXPECT_GE(replica.inflight, 0);
+            EXPECT_GE(replica.ewma_seconds, 0.0);
+            EXPECT_LE(replica.last_error.size(), std::size_t{256});
+          }
+        }
+        snapshots.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> queriers;
+  for (int t = 0; t < kQueryThreads; ++t) {
+    queriers.emplace_back([&, t] {
+      util::Xoshiro256 rng(92 + static_cast<std::uint64_t>(t));
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        const auto x = sparse::generate_dense_vector(32, rng);
+        // Every query fails over (or routes around) replica 0 and must
+        // still return the unreplicated answer bit-for-bit.
+        EXPECT_EQ(faulty.query(x, 10).entries, flat.query(x, 10).entries);
+      }
+    });
+  }
+  for (auto& thread : queriers) {
+    thread.join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& thread : readers) {
+    thread.join();
+  }
+  EXPECT_GT(snapshots.load(std::memory_order_relaxed), 0u);
+
+  // Settled state: in-flight drained, replica 1 served every cell,
+  // replica 0 recorded only failures.
+  std::uint64_t served = 0;
+  for (std::size_t s = 0; s < faulty.shard_count(); ++s) {
+    const auto replicas = faulty.replica_stats(s);
+    EXPECT_EQ(replicas[0].inflight, 0) << "shard " << s;
+    EXPECT_EQ(replicas[1].inflight, 0) << "shard " << s;
+    EXPECT_EQ(replicas[0].queries, 0u) << "shard " << s;
+    EXPECT_EQ(replicas[1].failures, 0u) << "shard " << s;
+    served += replicas[1].queries;
+  }
+  EXPECT_EQ(served, static_cast<std::uint64_t>(kQueryThreads) *
+                        kQueriesPerThread * faulty.shard_count());
 }
 
 }  // namespace

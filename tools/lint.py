@@ -1,0 +1,305 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter: fast, dependency-free checks of conventions
+the compilers cannot express.
+
+Each rule is a named warning in the css-tools style: enable with
+-W<name>, disable with -Wno-<name>, -Wall (the default) turns on the
+whole set.  Any emitted warning is fatal (exit 1) — there is no
+"warning but pass" mode, because every rule below guards an invariant
+with a concrete failure story, not a style preference.
+
+    tools/lint.py                    # lint the tree with every rule
+    tools/lint.py -Wno-include-order # all but one rule
+    tools/lint.py -Wraw-mutex        # exactly one rule
+    tools/lint.py --list-warnings    # the rule table (mirrored in README)
+    tools/lint.py --check-readme     # also verify README documents the rules
+
+Runs from any directory (paths resolve relative to the repo root, the
+parent of tools/) and as a ctest (`ctest -R repo_lint`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+README = REPO_ROOT / "README.md"
+
+# name -> one-line description.  --list-warnings prints this table and
+# --check-readme requires README.md to reproduce it verbatim, so the
+# docs cannot drift from the code.
+WARNINGS = {
+    "raw-mutex": (
+        "bare std::mutex/lock in src/ instead of the annotated "
+        "util/sync.hpp wrappers"
+    ),
+    "tie-break": (
+        "hand-rolled TopKEntry ordering instead of "
+        "core::topk_entry_before/TopKEntryOrder"
+    ),
+    "pragma-once": "header missing #pragma once",
+    "include-order": (
+        "includes not in own-header-first, sorted-system, "
+        "sorted-project order"
+    ),
+}
+
+# Raw synchronisation primitives that must not appear in src/ outside
+# util/sync.hpp: the annotated wrappers exist so Clang's thread-safety
+# analysis sees every lock, and one bare std::mutex is a hole in the
+# proof.
+RAW_SYNC = re.compile(
+    r"\bstd::(mutex|shared_mutex|timed_mutex|recursive_mutex|"
+    r"condition_variable(_any)?|lock_guard|unique_lock|shared_lock|"
+    r"scoped_lock)\b"
+)
+
+# A two-sided comparison of TopKEntry values (x.value < y.value) is a
+# hand-rolled ordering; outside core/topk_spmv it silently drops the
+# index tie-break that keeps equal-score results deterministic across
+# shard counts and thread counts.
+TIE_BREAK = re.compile(r"\.value\s*[<>]=?\s*[A-Za-z_]\w*(?:\.|->)value\b")
+
+INCLUDE = re.compile(r'^\s*#\s*include\s+([<"])([^">]+)[">]')
+
+
+def strip_comments(text: str) -> str:
+    """Remove // and /* */ comments, preserving line structure so the
+    reported line numbers stay true."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            end = n if j < 0 else j + 2
+            out.append("\n" * text.count("\n", i, end))
+            i = end
+        elif text[i] in "\"'":
+            quote = text[i]
+            out.append(quote)
+            i += 1
+            while i < n and text[i] != quote:
+                out.append(" " if text[i] != "\n" else "\n")
+                i += 2 if text[i] == "\\" else 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def source_files(subdirs):
+    for subdir in subdirs:
+        root = REPO_ROOT / subdir
+        if root.is_dir():
+            yield from sorted(root.rglob("*.hpp"))
+            yield from sorted(root.rglob("*.cpp"))
+
+
+class Linter:
+    def __init__(self, enabled):
+        self.enabled = enabled
+        self.failures = 0
+
+    def warn(self, name, path, line, message):
+        if name not in self.enabled:
+            return
+        rel = path.relative_to(REPO_ROOT)
+        print(f"{rel}:{line}: [-W{name}] {message}")
+        self.failures += 1
+
+    # ---- rules ----
+
+    def check_raw_mutex(self, path, text):
+        if path == REPO_ROOT / "src" / "util" / "sync.hpp":
+            return
+        if "src" not in path.relative_to(REPO_ROOT).parts:
+            return
+        raw_lines = text.splitlines()
+        for lineno, line in enumerate(strip_comments(text).splitlines(), 1):
+            match = RAW_SYNC.search(line)
+            if match:
+                self.warn(
+                    "raw-mutex", path, lineno,
+                    f"{match.group(0)} bypasses util/sync.hpp — the "
+                    "thread-safety analysis cannot see this lock",
+                )
+            # A waiver turns the analysis off; sync.hpp's contract is
+            # that every use justifies itself in an adjacent comment.
+            if "TOPK_NO_THREAD_SAFETY_ANALYSIS" in line:
+                context = raw_lines[max(0, lineno - 4):lineno]
+                if not any("//" in c or "/*" in c for c in context):
+                    self.warn(
+                        "raw-mutex", path, lineno,
+                        "naked TOPK_NO_THREAD_SAFETY_ANALYSIS — every "
+                        "waiver needs a comment justifying why the "
+                        "analysis cannot see the invariant",
+                    )
+
+    def check_tie_break(self, path, text):
+        if path.parent == REPO_ROOT / "src" / "core" and \
+                path.stem == "topk_spmv":
+            return  # the one place the ordering is defined
+        for lineno, line in enumerate(strip_comments(text).splitlines(), 1):
+            if TIE_BREAK.search(line):
+                self.warn(
+                    "tie-break", path, lineno,
+                    "hand-rolled entry ordering — use "
+                    "core::topk_entry_before or core::TopKEntryOrder so "
+                    "equal scores keep the deterministic index tie-break",
+                )
+
+    def check_pragma_once(self, path, text):
+        if path.suffix != ".hpp":
+            return
+        if "#pragma once" not in text:
+            self.warn("pragma-once", path, 1, "header missing #pragma once")
+
+    def check_include_order(self, path, text):
+        includes = []  # (lineno, kind, target); kind: '<' or '"'
+        depth = 0  # skip conditionally-compiled includes
+        for lineno, line in enumerate(text.splitlines(), 1):
+            stripped = line.strip()
+            if re.match(r"#\s*if", stripped):
+                depth += 1
+            elif re.match(r"#\s*endif", stripped):
+                depth = max(0, depth - 1)
+            elif depth == 0:
+                match = INCLUDE.match(line)
+                if match:
+                    includes.append((lineno, match.group(1), match.group(2)))
+        if not includes:
+            return
+        # The own header (foo.cpp -> "<dir>/foo.hpp") comes first and is
+        # exempt from the sort: it sits alone so a missing transitive
+        # include in it cannot hide behind an earlier one.  Test files
+        # open with the header under test in the same spirit.
+        in_tests = "tests" in path.relative_to(REPO_ROOT).parts
+        rest = includes
+        if includes[0][1] == '"' and (
+                in_tests or
+                (path.suffix == ".cpp" and
+                 Path(includes[0][2]).stem == path.stem)):
+            rest = includes[1:]
+        # Framework headers (gtest/gmock/benchmark) form their own block
+        # ahead of the std block — the repo's test/bench convention.
+        framework = re.compile(r"^(gtest|gmock|benchmark)/")
+        saw_quote = False
+        saw_plain_angle = False
+        prev = {"<": None, '"': None}
+        for lineno, kind, target in rest:
+            if kind == '"':
+                saw_quote = True
+            elif saw_quote:
+                self.warn(
+                    "include-order", path, lineno,
+                    f"<{target}> after a project include — system headers "
+                    "form one block before project headers",
+                )
+                continue
+            elif framework.match(target):
+                if saw_plain_angle:
+                    self.warn(
+                        "include-order", path, lineno,
+                        f"<{target}> after the std block — framework "
+                        "headers come first",
+                    )
+                continue
+            else:
+                saw_plain_angle = True
+            if prev[kind] is not None and target < prev[kind]:
+                self.warn(
+                    "include-order", path, lineno,
+                    f"{target!r} breaks the sorted order within its block "
+                    f"(follows {prev[kind]!r})",
+                )
+            prev[kind] = target
+
+
+def readme_table_lines():
+    """The warning table as it must appear in README.md."""
+    lines = []
+    for name, description in WARNINGS.items():
+        lines.append(f"| `-W{name}` | {description} |")
+    return lines
+
+
+def check_readme():
+    if not README.is_file():
+        print("README.md: missing — cannot verify the lint warning table")
+        return 1
+    text = README.read_text(encoding="utf-8")
+    failures = 0
+    for line in readme_table_lines():
+        if line not in text:
+            print(f"README.md: lint table out of sync — missing row: {line}")
+            failures += 1
+    return failures
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        add_help=True,
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--list-warnings", action="store_true",
+                        help="print the warning table and exit")
+    parser.add_argument("--check-readme", action="store_true",
+                        help="also verify README.md documents every warning")
+    parser.add_argument("flags", nargs="*", metavar="-W...",
+                        help="-Wall, -W<name>, -Wno-<name>")
+    args, unknown = parser.parse_known_args(argv)
+    flags = args.flags + unknown
+
+    if args.list_warnings:
+        for name, description in WARNINGS.items():
+            print(f"-W{name:<14} {description}")
+        return 0
+
+    enabled = set(WARNINGS) if not any(
+        f.startswith("-W") and not f.startswith("-Wno-") and f != "-Wall"
+        for f in flags) else set()
+    for flag in flags:
+        if flag == "-Wall":
+            enabled = set(WARNINGS)
+        elif flag.startswith("-Wno-"):
+            name = flag[len("-Wno-"):]
+            if name not in WARNINGS:
+                parser.error(f"unknown warning: {flag}")
+            enabled.discard(name)
+        elif flag.startswith("-W"):
+            name = flag[len("-W"):]
+            if name not in WARNINGS:
+                parser.error(f"unknown warning: {flag}")
+            enabled.add(name)
+        else:
+            parser.error(f"unrecognised argument: {flag}")
+
+    linter = Linter(enabled)
+    for path in source_files(["src", "tests", "bench", "examples"]):
+        text = path.read_text(encoding="utf-8")
+        linter.check_raw_mutex(path, text)
+        linter.check_tie_break(path, text)
+        linter.check_pragma_once(path, text)
+        linter.check_include_order(path, text)
+
+    failures = linter.failures
+    if args.check_readme:
+        failures += check_readme()
+    if failures:
+        print(f"lint: {failures} failure(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
