@@ -9,18 +9,25 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <limits>
+#include <sstream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/design.hpp"
 #include "embed/sparsify.hpp"
 #include "index/registry.hpp"
 #include "sparse/generator.hpp"
+#include "telemetry/exposition.hpp"
 
 namespace topk::bench {
 
@@ -34,6 +41,10 @@ struct BenchArgs {
   /// Comma-separated backend filter, e.g.
   /// "fpga-sim,sharded-fpga-sim" ("" = all registered backends).
   std::string backend;
+  /// Machine-readable result sink ("" = tables only).  Benches append
+  /// one JsonRecord per table row and call write_json_results() before
+  /// exiting; CI archives the files as artifacts.
+  std::string json_path;
 
   /// The backends this run covers: the comma-separated --backend list
   /// (order preserved, duplicates dropped), or every registered
@@ -106,9 +117,13 @@ inline BenchArgs parse_args(int argc, char** argv) {
       args.threads = static_cast<int>(int_value("--threads="));
     } else if (arg.rfind("--backend=", 0) == 0) {
       args.backend = std::string(arg.substr(std::string_view("--backend=").size()));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.json_path = std::string(arg.substr(std::string_view("--json=").size()));
+    } else if (arg == "--json" && i + 1 < argc) {
+      args.json_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: bench [--full] [--quick] [--queries=N] [--seed=N] "
-                   "[--threads=N] [--backend=NAME[,NAME...]]\n";
+                   "[--threads=N] [--backend=NAME[,NAME...]] [--json=FILE]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
@@ -116,6 +131,97 @@ inline BenchArgs parse_args(int argc, char** argv) {
     }
   }
   return args;
+}
+
+/// One flat result record for the --json report: insertion-ordered
+/// key/value pairs with values pre-rendered as JSON fragments, so a
+/// bench can mirror each table row without a JSON library.
+class JsonRecord {
+ public:
+  JsonRecord& add(const std::string& key, const std::string& value) {
+    return raw(key, "\"" + telemetry::json_escape(value) + "\"");
+  }
+  JsonRecord& add(const std::string& key, const char* value) {
+    return add(key, std::string(value));
+  }
+  JsonRecord& add(const std::string& key, bool value) {
+    return raw(key, value ? "true" : "false");
+  }
+  JsonRecord& add(const std::string& key, double value) {
+    if (!std::isfinite(value)) {
+      return raw(key, "null");
+    }
+    std::ostringstream out;
+    out.precision(std::numeric_limits<double>::max_digits10);
+    out << value;
+    return raw(key, out.str());
+  }
+  JsonRecord& add(const std::string& key, std::uint64_t value) {
+    return raw(key, std::to_string(value));
+  }
+  JsonRecord& add(const std::string& key, int value) {
+    return raw(key, std::to_string(value));
+  }
+
+  [[nodiscard]] std::string render() const {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [key, fragment] : fields_) {
+      if (!first) {
+        out += ",";
+      }
+      first = false;
+      out += "\"" + telemetry::json_escape(key) + "\":" + fragment;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  JsonRecord& raw(const std::string& key, std::string fragment) {
+    fields_.emplace_back(key, std::move(fragment));
+    return *this;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Writes the --json report: run configuration plus one record per
+/// result row.  No-op when --json was not given; exits non-zero when
+/// the file cannot be written (CI treats a missing artifact as a
+/// silent pass otherwise).
+inline void write_json_results(const BenchArgs& args, const std::string& bench,
+                               const std::vector<JsonRecord>& results) {
+  if (args.json_path.empty()) {
+    return;
+  }
+  const std::filesystem::path path(args.json_path);
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write --json report: " << args.json_path << "\n";
+    std::exit(2);
+  }
+  out << "{\"bench\":\"" << telemetry::json_escape(bench) << "\","
+      << "\"quick\":" << (args.quick ? "true" : "false") << ","
+      << "\"full\":" << (args.full ? "true" : "false") << ","
+      << "\"seed\":" << args.seed << ",\"results\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) {
+      out << ",";
+    }
+    out << results[i].render();
+  }
+  out << "]}\n";
+  if (!out.good()) {
+    std::cerr << "short write on --json report: " << args.json_path << "\n";
+    std::exit(2);
+  }
+  std::cerr << "wrote " << args.json_path << " (" << results.size()
+            << " records)\n";
 }
 
 /// The four FPGA designs evaluated throughout the paper (Table II).

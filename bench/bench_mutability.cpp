@@ -190,6 +190,7 @@ int main(int argc, char** argv) {
             << " cpu-heap shards, top-" << kTopK << "\n\n";
 
   bool gate_passed = true;
+  std::vector<topk::bench::JsonRecord> records;
 
   // ---- 1. delta-size vs latency curve --------------------------------
   {
@@ -223,10 +224,19 @@ int main(int argc, char** argv) {
       for (const double l : latencies) {
         sum += l;
       }
+      const double mean_ms =
+          sum / static_cast<double>(latencies.size()) * 1e3;
       curve.add_row({label, std::to_string(mut->live_rows()),
-                     ms(sum / static_cast<double>(latencies.size()) * 1e3),
-                     ms(quantile_ms(latencies, 0.95)),
+                     ms(mean_ms), ms(quantile_ms(latencies, 0.95)),
                      identical ? "yes" : "NO"});
+      records.emplace_back(
+          topk::bench::JsonRecord()
+              .add("section", "delta_curve")
+              .add("delta", label)
+              .add("live_rows", static_cast<std::uint64_t>(mut->live_rows()))
+              .add("mean_ms", mean_ms)
+              .add("p95_ms", quantile_ms(latencies, 0.95))
+              .add("identical", identical));
     };
 
     measure("0");
@@ -387,9 +397,28 @@ int main(int argc, char** argv) {
     gate_passed = gate_passed && identical;
     std::cout << "\nSettled state bit-identical to exact-sort rebuild: "
               << (identical ? "yes" : "NO") << "\n";
+    records.emplace_back(
+        topk::bench::JsonRecord()
+            .add("section", "mix")
+            .add("mutations", mix_mutations)
+            .add("mutations_per_second", mix_mutations / mix_seconds)
+            .add("queries_served", queries_served.load())
+            .add("query_p50_ms", quantile_ms(all_latencies, 0.5))
+            .add("query_p95_ms", quantile_ms(all_latencies, 0.95))
+            .add("compactions", static_cast<std::uint64_t>(history.size()))
+            .add("final_generation", mut->delta_stats().generation)
+            .add("identical", identical));
+    records.emplace_back(
+        topk::bench::JsonRecord()
+            .add("section", "pauses")
+            .add("snapshot_p50_ms", quantile_ms(snapshot_pauses, 0.5))
+            .add("snapshot_p95_ms", quantile_ms(snapshot_pauses, 0.95))
+            .add("swap_p50_ms", quantile_ms(swap_pauses, 0.5))
+            .add("swap_p95_ms", quantile_ms(swap_pauses, 0.95)));
     std::filesystem::remove_all(compactor.root());
   }
 
+  topk::bench::write_json_results(args, "mutability", records);
   if (!gate_passed) {
     std::cerr << "FAIL: mutable-tier results diverged from the cold exact "
                  "rebuild\n";

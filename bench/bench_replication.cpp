@@ -176,6 +176,7 @@ int main(int argc, char** argv) {
   bool all_identical = true;
   double qps_at_1 = 0.0;
   double speedup_at_2 = 0.0;
+  std::vector<topk::bench::JsonRecord> records;
 
   for (const int replicas : {1, 2, 4}) {
     const auto devices = make_device_index(*base, replicas, dwell_seconds);
@@ -225,6 +226,13 @@ int main(int argc, char** argv) {
                    topk::util::format_double(qps, 1),
                    topk::util::format_double(speedup, 2) + "x",
                    identical ? "yes" : "NO"});
+    records.emplace_back(topk::bench::JsonRecord()
+                             .add("replicas", replicas)
+                             .add("devices", kShards * replicas)
+                             .add("wall_seconds", wall_seconds)
+                             .add("queries_per_second", qps)
+                             .add("speedup", speedup)
+                             .add("identical", identical));
   }
   table.print(std::cout);
 
@@ -238,6 +246,11 @@ int main(int argc, char** argv) {
             << ")\n";
   std::cout << "All results bit-identical to flat cpu-heap: "
             << (all_identical ? "yes" : "NO") << "\n";
+  records.emplace_back(topk::bench::JsonRecord()
+                           .add("summary", "gate")
+                           .add("speedup_at_2", speedup_at_2)
+                           .add("all_identical", all_identical));
+  topk::bench::write_json_results(args, "replication", records);
   if (!all_identical) {
     return 1;
   }

@@ -109,6 +109,7 @@ int main(int argc, char** argv) {
                                   "Scatter speedup", "Exact match"});
   bool all_identical = true;
   double cpu_heap_speedup_at_4 = 0.0;
+  std::vector<topk::bench::JsonRecord> records;
 
   for (const std::string& inner : inner_backends) {
     const auto unsharded = topk::index::make_index(inner, matrix);
@@ -119,6 +120,11 @@ int main(int argc, char** argv) {
     table.add_row({inner, "-", "-",
                    topk::util::format_double(baseline_seconds * 1e3, 2), "-",
                    "1.00x", "-"});
+    records.emplace_back(topk::bench::JsonRecord()
+                             .add("backend", inner)
+                             .add("shards", 0)
+                             .add("wall_seconds", baseline_seconds)
+                             .add("scatter_speedup", 1.0));
 
     for (const int shards : {1, 2, 4, 8}) {
       topk::util::WallTimer build_timer;
@@ -160,6 +166,15 @@ int main(int argc, char** argv) {
                      topk::util::format_double(wall_seconds * 1e3, 2),
                      topk::util::format_double(critical_seconds * 1e3, 2),
                      topk::util::format_double(speedup, 2) + "x", match});
+      records.emplace_back(topk::bench::JsonRecord()
+                               .add("backend", inner)
+                               .add("shards", shards)
+                               .add("build_seconds", build_seconds)
+                               .add("wall_seconds", wall_seconds)
+                               .add("critical_path_seconds", critical_seconds)
+                               .add("scatter_speedup", speedup)
+                               .add("exact", exact)
+                               .add("identical", !exact || entries == reference));
     }
   }
   table.print(std::cout);
@@ -217,5 +232,11 @@ int main(int argc, char** argv) {
   }
   std::cout << "Exact inner backends bit-identical to unsharded: "
             << (all_identical ? "yes" : "NO") << "\n";
+  records.emplace_back(
+      topk::bench::JsonRecord()
+          .add("summary", "gate")
+          .add("cpu_heap_speedup_at_4", cpu_heap_speedup_at_4)
+          .add("all_identical", all_identical));
+  topk::bench::write_json_results(args, "sharding", records);
   return all_identical ? 0 : 1;
 }

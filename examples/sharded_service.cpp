@@ -33,6 +33,14 @@
 // warm-loaded index reproduced the cold process's results bit for bit
 // — the cross-process reuse proof CI runs (with --replicas 2, the
 // replicated warm load must reproduce the unreplicated cold results).
+// Observability: --metrics-dump FILE writes the Prometheus text
+// exposition to FILE, the JSON snapshot to FILE.json, and the Chrome
+// trace-event JSON (chrome://tracing) to FILE.trace.json at exit;
+// --stats-every SEC prints a one-line human digest to stderr on that
+// period while the demo runs.  Machine-readable output goes to the
+// chosen sink, diagnostics to stderr — stdout stays the demo's report.
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <future>
@@ -40,6 +48,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -52,6 +61,9 @@
 #include "shard/mutable_sharded_index.hpp"
 #include "shard/sharded_index.hpp"
 #include "sparse/generator.hpp"
+#include "telemetry/exposition.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -62,6 +74,112 @@ constexpr int kAsync = 8;
 constexpr int kTopK = 40;
 constexpr std::uint32_t kCols = 1024;
 constexpr const char* kResultsDigestFile = "results.sha256";
+
+/// Sum of one family's series values in a registry snapshot (0 when
+/// the family has not been registered yet).
+double metric_value(
+    const std::vector<topk::telemetry::FamilySnapshot>& families,
+    const std::string& name) {
+  for (const auto& family : families) {
+    if (family.name != name) {
+      continue;
+    }
+    double total = 0.0;
+    for (const auto& series : family.series) {
+      total += series.value;
+    }
+    return total;
+  }
+  return 0.0;
+}
+
+/// Scoped telemetry session: enables the trace recorder when a dump
+/// file was requested, runs the --stats-every stderr ticker, and
+/// writes the exposition files when it goes out of scope — so every
+/// exit path of the demo dumps the same way.
+class TelemetrySession {
+ public:
+  TelemetrySession(std::filesystem::path dump, double stats_every_seconds)
+      : dump_(std::move(dump)) {
+    if (!dump_.empty()) {
+      topk::telemetry::tracer().enable();
+    }
+    if (stats_every_seconds > 0.0) {
+      ticker_ = std::thread([this, stats_every_seconds] {
+        run_ticker(stats_every_seconds);
+      });
+    }
+  }
+
+  TelemetrySession(const TelemetrySession&) = delete;
+  TelemetrySession& operator=(const TelemetrySession&) = delete;
+
+  ~TelemetrySession() {
+    stop_.store(true, std::memory_order_relaxed);
+    if (ticker_.joinable()) {
+      ticker_.join();
+    }
+    if (dump_.empty()) {
+      return;
+    }
+    const auto parent = dump_.parent_path();
+    if (!parent.empty()) {
+      std::filesystem::create_directories(parent);
+    }
+    const auto families = topk::telemetry::registry().snapshot();
+    {
+      std::ofstream out(dump_);
+      topk::telemetry::write_prometheus(out, families);
+    }
+    {
+      std::ofstream out(dump_.string() + ".json");
+      topk::telemetry::write_json(out, families);
+    }
+    {
+      std::ofstream out(dump_.string() + ".trace.json");
+      topk::telemetry::tracer().write_chrome_trace(out);
+    }
+    std::cerr << "telemetry: wrote " << dump_.string() << " (Prometheus), "
+              << dump_.string() << ".json (snapshot), " << dump_.string()
+              << ".trace.json (" << topk::telemetry::tracer().snapshot().size()
+              << " spans, " << topk::telemetry::tracer().dropped()
+              << " dropped)\n";
+  }
+
+ private:
+  void run_ticker(double period_seconds) {
+    // Sleep in short slices so shutdown never waits a whole period.
+    const auto slice = std::chrono::milliseconds(50);
+    auto next = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(period_seconds));
+    while (!stop_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(slice);
+      if (std::chrono::steady_clock::now() < next) {
+        continue;
+      }
+      next += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(period_seconds));
+      const auto families = topk::telemetry::registry().snapshot();
+      std::cerr << "[stats t=" << topk::util::format_double(
+                       topk::telemetry::now_seconds(), 1)
+                << "s] queries="
+                << metric_value(families, "topk_engine_queries_total")
+                << " cells=" << metric_value(families, "topk_shard_cells_total")
+                << " failovers="
+                << metric_value(families, "topk_shard_failovers_total")
+                << " queue="
+                << metric_value(families, "topk_engine_queue_depth")
+                << " delta_rows=" << metric_value(families, "topk_delta_rows")
+                << " compactions="
+                << metric_value(families, "topk_compactions_total") << "\n";
+    }
+  }
+
+  std::filesystem::path dump_;
+  std::atomic<bool> stop_{false};
+  std::thread ticker_;
+};
 
 /// SHA-256 over every result's (row id, score) pairs in serve order —
 /// one number that two processes can compare to prove bit-identical
@@ -262,6 +380,22 @@ int run_mutate_demo(int replicas) {
   std::cout << "Pre-compaction serving vs cold exact rebuild: bit-identical "
                "(digest " << before.substr(0, 12) << "...)\n";
 
+  // Async traffic through the same engine: the admission queue is what
+  // mints per-request trace ids, so these are the requests whose
+  // queue-wait spans show up in the --metrics-dump trace.
+  std::vector<std::future<topk::index::QueryResult>> futures;
+  for (int q = 0; q < kAsync; ++q) {
+    futures.push_back(
+        engine.submit(queries[static_cast<std::size_t>(q) % queries.size()],
+                      kTopK));
+  }
+  for (auto& future : futures) {
+    if (future.get().entries.size() != static_cast<std::size_t>(kTopK)) {
+      std::cerr << "async result smaller than top-k\n";
+      return 1;
+    }
+  }
+
   const auto deploy_root = std::filesystem::temp_directory_path() /
                            "topk_sharded_service_mutate";
   std::filesystem::remove_all(deploy_root);
@@ -305,6 +439,9 @@ int main(int argc, char** argv) {
   enum class Mode { kCold, kSave, kLoad, kMutate };
   Mode mode = Mode::kCold;
   std::filesystem::path deploy_dir;
+  std::filesystem::path metrics_dump;
+  double stats_every = 0.0;
+  std::uint32_t cold_rows = 60'000;
   int replicas = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -313,6 +450,28 @@ int main(int argc, char** argv) {
       deploy_dir = argv[++i];
     } else if (arg == "--mutate") {
       mode = Mode::kMutate;
+    } else if (arg == "--metrics-dump" && i + 1 < argc) {
+      metrics_dump = argv[++i];
+    } else if (arg == "--stats-every" && i + 1 < argc) {
+      try {
+        stats_every = std::stod(argv[++i]);
+      } catch (const std::exception&) {
+        stats_every = 0.0;
+      }
+      if (stats_every <= 0.0) {
+        std::cerr << "--stats-every needs a positive period in seconds\n";
+        return 2;
+      }
+    } else if (arg == "--rows" && i + 1 < argc) {
+      try {
+        cold_rows = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+      } catch (const std::exception&) {
+        cold_rows = 0;
+      }
+      if (cold_rows < 4) {
+        std::cerr << "--rows needs at least one row per shard\n";
+        return 2;
+      }
     } else if (arg == "--replicas" && i + 1 < argc) {
       try {
         replicas = std::stoi(argv[++i]);
@@ -324,11 +483,15 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else {
-      std::cerr << "usage: sharded_service [--replicas N] "
+      std::cerr << "usage: sharded_service [--replicas N] [--rows N] "
+                   "[--metrics-dump FILE] [--stats-every SEC] "
                    "[--save DIR | --load DIR | --mutate]\n";
       return 2;
     }
   }
+  // Declared before the demo state so it destructs last: the dump sees
+  // every metric the demo recorded, on every exit path below.
+  TelemetrySession telemetry(metrics_dump, stats_every);
   if (mode == Mode::kMutate) {
     return run_mutate_demo(replicas);
   }
@@ -354,7 +517,7 @@ int main(int argc, char** argv) {
               << " ms (no encoder, " << replicas << " replica(s)/shard)\n";
   } else {
     topk::sparse::GeneratorConfig generator;
-    generator.rows = 60'000;
+    generator.rows = cold_rows;
     generator.cols = kCols;
     generator.mean_nnz_per_row = 20.0;
     generator.seed = 21;

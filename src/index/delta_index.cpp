@@ -5,7 +5,49 @@
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/metrics.hpp"
+
 namespace topk::index {
+
+namespace {
+
+// Process-wide aggregates over every delta tier; the per-instance view
+// stays delta_rows()/tombstones()/mutations() on the index itself.
+telemetry::Counter& scans_metric() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "topk_delta_scans_total", {}, "Delta-tier scans served to queries.");
+  return c;
+}
+
+telemetry::Counter& masked_rows_metric() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "topk_delta_masked_rows_total", {},
+      "Base rows hidden from sealed shards across delta scans.");
+  return c;
+}
+
+telemetry::Counter& mutations_metric() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "topk_delta_mutations_total", {},
+      "Mutations accepted by a delta tier (appends, upserts, deletes).");
+  return c;
+}
+
+telemetry::Gauge& delta_rows_metric() {
+  static telemetry::Gauge& g = telemetry::registry().gauge(
+      "topk_delta_rows", {},
+      "Live delta rows of the most recently mutated delta tier.");
+  return g;
+}
+
+telemetry::Gauge& tombstones_metric() {
+  static telemetry::Gauge& g = telemetry::registry().gauge(
+      "topk_delta_tombstones", {},
+      "Deleted rows of the most recently mutated delta tier.");
+  return g;
+}
+
+}  // namespace
 
 DeltaIndex::DeltaIndex(std::uint32_t base_rows, std::uint32_t cols,
                        std::uint64_t capacity)
@@ -132,6 +174,8 @@ std::uint32_t DeltaIndex::append_row(std::span<const std::uint32_t> columns,
   util::WriterLock lock(mutex_);
   const std::uint32_t id = next_id_;
   store_row_locked(id, columns, values);
+  mutations_metric().inc();
+  delta_rows_metric().set(static_cast<double>(delta_rows_locked()));
   return id;
 }
 
@@ -145,6 +189,8 @@ void DeltaIndex::upsert_row(std::uint32_t row,
                                 std::to_string(next_id_) + "]");
   }
   store_row_locked(row, columns, values);
+  mutations_metric().inc();
+  delta_rows_metric().set(static_cast<double>(delta_rows_locked()));
 }
 
 bool DeltaIndex::delete_row(std::uint32_t row) {
@@ -163,6 +209,8 @@ bool DeltaIndex::delete_row(std::uint32_t row) {
   ++mutations_;
   ++deleted_;
   versions_.insert_or_assign(row, std::move(tombstone));
+  mutations_metric().inc();
+  tombstones_metric().set(static_cast<double>(deleted_));
   return true;
 }
 
@@ -200,6 +248,8 @@ DeltaIndex::Scan DeltaIndex::scan(std::span<const float> x, int top_k) const {
     push_masked(*inherited_it++);
   }
   out.scanned = scored.size();
+  scans_metric().inc();
+  masked_rows_metric().add(static_cast<std::uint64_t>(out.masked.size()));
   const auto cut = std::min<std::size_t>(
       scored.size(), static_cast<std::size_t>(std::max(top_k, 0)));
   std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(cut),

@@ -81,7 +81,12 @@ struct ReplicaStats {
   /// False while the replica's most recent call failed; a success
   /// flips it back (transient faults recover).
   bool healthy = true;
-  std::string last_error;  ///< what() of the most recent failure
+  /// what() of the most recent failure, truncated by the shard tier to
+  /// a fixed cap so a failing replica can't grow memory unbounded.
+  std::string last_error;
+  /// Steady-clock seconds since process start (telemetry::now_seconds)
+  /// of the most recent failure; -1 when the replica has never failed.
+  double last_error_seconds = -1.0;
 };
 
 /// Counters attached by shard::MutableShardedIndex: the sealed tier's

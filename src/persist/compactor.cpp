@@ -5,9 +5,54 @@
 #include <utility>
 
 #include "persist/deployment.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/timer.hpp"
 
 namespace topk::persist {
+
+namespace {
+
+telemetry::Counter& compactions_metric() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "topk_compactions_total", {}, "Completed compaction cycles.");
+  return c;
+}
+
+telemetry::Gauge& generation_metric() {
+  static telemetry::Gauge& g = telemetry::registry().gauge(
+      "topk_compaction_generation", {},
+      "Sealed generation produced by the most recent compaction.");
+  return g;
+}
+
+/// One labelled histogram cell per compaction phase — the exposition
+/// aggregates them as topk_compaction_phase_seconds{phase="..."}.
+telemetry::Histogram& phase_metric(const char* phase) {
+  return telemetry::registry().histogram(
+      "topk_compaction_phase_seconds",
+      telemetry::Histogram::latency_buckets(), {{"phase", phase}},
+      "Wall time of one compaction phase in seconds.");
+}
+
+/// Spans arrive with their duration already measured by the phase
+/// timers, so they are recorded retroactively: start = now - duration.
+void record_phase(const char* phase, double seconds) {
+  phase_metric(phase).observe(seconds);
+  if (!telemetry::tracer().enabled()) {
+    return;
+  }
+  telemetry::TraceSpan span;
+  span.name = phase;
+  span.category = "compact";
+  span.trace_id = telemetry::current_trace_id();
+  span.thread_id = telemetry::current_thread_ordinal();
+  span.start_seconds = telemetry::now_seconds() - seconds;
+  span.duration_seconds = seconds;
+  telemetry::tracer().record(std::move(span));
+}
+
+}  // namespace
 
 Compactor::Compactor(std::shared_ptr<shard::MutableShardedIndex> index,
                      std::filesystem::path root)
@@ -22,6 +67,12 @@ Compactor::Compactor(std::shared_ptr<shard::MutableShardedIndex> index,
 
 std::optional<CompactionReport> Compactor::compact() {
   util::WallTimer total;
+  // A compaction is its own trace: one id groups the snapshot / fold /
+  // build / save / load / swap spans next to the queries it overlapped.
+  const bool traced = telemetry::tracer().enabled();
+  telemetry::TraceContextScope scope(
+      traced ? telemetry::tracer().mint_trace_id()
+             : telemetry::current_trace_id());
   auto ticket = index_->begin_compaction();
   if (!ticket) {
     return std::nullopt;
@@ -33,12 +84,14 @@ std::optional<CompactionReport> Compactor::compact() {
       static_cast<std::uint64_t>(ticket->snapshot.versions.size());
   report.snapshot_seconds = ticket->snapshot_seconds;
   report.dir = root_ / ("gen-" + std::to_string(report.generation));
+  record_phase("snapshot", report.snapshot_seconds);
   try {
     util::WallTimer stage;
     shard::MutableShardedIndex::FoldedMatrix folded =
         shard::MutableShardedIndex::fold(*ticket);
     report.tombstones = static_cast<std::uint64_t>(folded.retired.size());
     report.fold_seconds = stage.seconds();
+    record_phase("fold", report.fold_seconds);
 
     // Cold-rebuild the sealed tier from the original recipe.  The
     // cold build exists only to be persisted: what serves is the
@@ -59,6 +112,7 @@ std::optional<CompactionReport> Compactor::compact() {
                           .label(recipe.label)
                           .build();
     report.build_seconds = stage.seconds();
+    record_phase("build", report.build_seconds);
 
     stage = util::WallTimer();
     DeploymentMeta meta;
@@ -66,6 +120,7 @@ std::optional<CompactionReport> Compactor::compact() {
     meta.tombstones = folded.retired;
     save_deployment(*cold, report.dir, meta);
     report.save_seconds = stage.seconds();
+    record_phase("save", report.save_seconds);
 
     stage = util::WallTimer();
     index::IndexOptions warm_options = recipe.inner_options;
@@ -73,9 +128,11 @@ std::optional<CompactionReport> Compactor::compact() {
     warm_options.deployment_dir.clear();
     const auto warm = load_deployment(report.dir, warm_options);
     report.load_seconds = stage.seconds();
+    record_phase("load", report.load_seconds);
 
     report.swap_seconds = index_->finish_compaction(
         *ticket, warm, folded_matrix, std::move(folded.retired));
+    record_phase("swap", report.swap_seconds);
   } catch (...) {
     // Fold/build/save/load/swap failed: release the guard so the next
     // compaction can run — the current generation never stopped
@@ -85,6 +142,8 @@ std::optional<CompactionReport> Compactor::compact() {
   }
   report.residual_mutations = index_->delta_stats().mutations_since_seal;
   report.total_seconds = total.seconds();
+  compactions_metric().inc();
+  generation_metric().set(static_cast<double>(report.generation));
   {
     util::MutexLock lock(history_mutex_);
     history_.push_back(report);

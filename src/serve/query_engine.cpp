@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "serve/thread_pool.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
@@ -24,6 +26,50 @@ int resolve_workers(int requested) {
   return requested;
 }
 
+// Registry handles resolve once per process (function-local statics);
+// the hot path below is one relaxed atomic op per event.
+telemetry::Counter& queries_metric() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "topk_engine_queries_total", {},
+      "Queries served through the engine (sync, batch, and async).");
+  return c;
+}
+
+telemetry::Histogram& latency_metric() {
+  static telemetry::Histogram& h = telemetry::registry().histogram(
+      "topk_engine_query_seconds", telemetry::Histogram::latency_buckets(), {},
+      "Engine-observed per-query wall time in seconds.");
+  return h;
+}
+
+telemetry::Gauge& queue_depth_metric() {
+  static telemetry::Gauge& g = telemetry::registry().gauge(
+      "topk_engine_queue_depth", {},
+      "Async requests admitted but not yet finished.");
+  return g;
+}
+
+telemetry::Gauge& queue_peak_metric() {
+  static telemetry::Gauge& g = telemetry::registry().gauge(
+      "topk_engine_queue_depth_peak", {},
+      "High-water mark of the async request queue.");
+  return g;
+}
+
+telemetry::Counter& backpressure_metric() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "topk_engine_backpressure_waits_total", {},
+      "submit() calls that blocked on a full queue before admission.");
+  return c;
+}
+
+telemetry::Counter& rejections_metric() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "topk_engine_rejections_total", {},
+      "try_submit() calls turned away on a full queue.");
+  return c;
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(std::shared_ptr<const index::SimilarityIndex> index,
@@ -31,7 +77,8 @@ QueryEngine::QueryEngine(std::shared_ptr<const index::SimilarityIndex> index,
     : index_(std::move(index)),
       workers_(resolve_workers(config.workers)),
       max_pending_(config.max_pending),
-      latency_window_size_(config.latency_window) {
+      latency_window_size_(config.latency_window),
+      latency_window_(config.latency_window == 0 ? 1 : config.latency_window) {
   if (!index_) {
     throw std::invalid_argument("QueryEngine: null index");
   }
@@ -59,6 +106,13 @@ QueryEngine::~QueryEngine() { drain(); }
 
 index::QueryResult QueryEngine::query(std::span<const float> x,
                                       int top_k) const {
+  // Sync queries are their own trace root: mint an id so the scatter /
+  // cell / gather spans the backend records below all correlate.
+  const bool traced = telemetry::tracer().enabled();
+  telemetry::TraceContextScope scope(
+      traced ? telemetry::tracer().mint_trace_id()
+             : telemetry::current_trace_id());
+  telemetry::SpanTimer span("query", "engine");
   util::WallTimer timer;
   index::QueryOptions options;
   options.threads = workers_;
@@ -79,12 +133,70 @@ std::vector<index::QueryResult> QueryEngine::query_batch(
   }
   ThreadPool& pool = shared_pool();
   pool.ensure_workers(workers_ - 1);
-  pool.parallel_for(queries.size(), workers_, [&](std::size_t i) {
+  const bool traced = telemetry::tracer().enabled();
+  pool.parallel_for(queries.size(), workers_, [&, traced](std::size_t i) {
+    // Each batched query is its own trace root, same as a sync query.
+    telemetry::TraceContextScope scope(
+        traced ? telemetry::tracer().mint_trace_id() : 0);
+    telemetry::SpanTimer span("query", "engine");
+    if (span.active()) {
+      span.add_arg(telemetry::arg("batch_index",
+                                  static_cast<std::uint64_t>(i)));
+    }
     util::WallTimer timer;
     results[i] = index_->query(queries[i], top_k);
     record_latency(timer.millis());
   });
   return results;
+}
+
+std::future<index::QueryResult> QueryEngine::launch_async(
+    std::vector<float> x, int top_k, std::uint64_t trace_id,
+    double enqueued_seconds) {
+  auto promise = std::make_shared<std::promise<index::QueryResult>>();
+  std::future<index::QueryResult> future = promise->get_future();
+  shared_pool().post([this, promise, x = std::move(x), top_k, trace_id,
+                      enqueued_seconds]() mutable {
+    // Re-establish the submitter's trace context on the pool thread,
+    // then account the time the request sat in the queue as its first
+    // span (start pinned to admission time, not task start).
+    telemetry::TraceContextScope scope(trace_id);
+    if (trace_id != 0 && telemetry::tracer().enabled()) {
+      telemetry::TraceSpan wait;
+      wait.name = "queue-wait";
+      wait.category = "engine";
+      wait.trace_id = trace_id;
+      wait.thread_id = telemetry::current_thread_ordinal();
+      wait.start_seconds = enqueued_seconds;
+      wait.duration_seconds = telemetry::now_seconds() - enqueued_seconds;
+      telemetry::tracer().record(std::move(wait));
+    }
+    try {
+      telemetry::SpanTimer span("query", "engine");
+      util::WallTimer timer;
+      // Same intra-query fan-out as query(): at low load the
+      // helpers start immediately (latency), at high load they
+      // queue behind other submitted requests and the claiming
+      // thread runs the backend itself (throughput).
+      index::QueryOptions options;
+      options.threads = workers_;
+      index::QueryResult result = index_->query(x, top_k, options);
+      record_latency(timer.millis());
+      promise->set_value(std::move(result));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+    {
+      // Notify under the lock: once a drain()ing destructor sees
+      // pending_ == 0 it may free the engine, so no member may be
+      // touched after this block releases the mutex.
+      util::MutexLock lock(pending_mutex_);
+      --pending_;
+      queue_depth_metric().set(static_cast<double>(pending_));
+      pending_cv_.notify_all();
+    }
+  });
+  return future;
 }
 
 std::future<index::QueryResult> QueryEngine::submit(std::vector<float> x,
@@ -94,40 +206,48 @@ std::future<index::QueryResult> QueryEngine::submit(std::vector<float> x,
     // flight.  This is the serving tier's backpressure valve — callers
     // slow down instead of the queue growing without bound.
     util::MutexLock lock(pending_mutex_);
+    if (pending_ >= max_pending_) {
+      ++backpressure_waits_;
+      backpressure_metric().inc();
+    }
     while (pending_ >= max_pending_) {
       pending_cv_.wait(pending_mutex_);
     }
     ++pending_;
+    peak_pending_ = std::max(peak_pending_, pending_);
+    queue_depth_metric().set(static_cast<double>(pending_));
+    queue_peak_metric().track_max(static_cast<double>(peak_pending_));
   }
+  // The trace is rooted at admission: the queue-wait span starts here,
+  // before the task reaches a pool thread.
+  const bool traced = telemetry::tracer().enabled();
+  const std::uint64_t trace_id =
+      traced ? telemetry::tracer().mint_trace_id() : 0;
+  const double enqueued = traced ? telemetry::now_seconds() : 0.0;
+  return launch_async(std::move(x), top_k, trace_id, enqueued);
+}
 
-  auto promise = std::make_shared<std::promise<index::QueryResult>>();
-  std::future<index::QueryResult> future = promise->get_future();
-  shared_pool().post(
-      [this, promise, x = std::move(x), top_k]() mutable {
-        try {
-          util::WallTimer timer;
-          // Same intra-query fan-out as query(): at low load the
-          // helpers start immediately (latency), at high load they
-          // queue behind other submitted requests and the claiming
-          // thread runs the backend itself (throughput).
-          index::QueryOptions options;
-          options.threads = workers_;
-          index::QueryResult result = index_->query(x, top_k, options);
-          record_latency(timer.millis());
-          promise->set_value(std::move(result));
-        } catch (...) {
-          promise->set_exception(std::current_exception());
-        }
-        {
-          // Notify under the lock: once a drain()ing destructor sees
-          // pending_ == 0 it may free the engine, so no member may be
-          // touched after this block releases the mutex.
-          util::MutexLock lock(pending_mutex_);
-          --pending_;
-          pending_cv_.notify_all();
-        }
-      });
-  return future;
+std::optional<std::future<index::QueryResult>> QueryEngine::try_submit(
+    std::vector<float> x, int top_k) {
+  {
+    util::MutexLock lock(pending_mutex_);
+    if (pending_ >= max_pending_) {
+      // Load shedding: count the turn-away and give the caller the
+      // decision instead of stalling them.
+      ++rejections_;
+      rejections_metric().inc();
+      return std::nullopt;
+    }
+    ++pending_;
+    peak_pending_ = std::max(peak_pending_, pending_);
+    queue_depth_metric().set(static_cast<double>(pending_));
+    queue_peak_metric().track_max(static_cast<double>(peak_pending_));
+  }
+  const bool traced = telemetry::tracer().enabled();
+  const std::uint64_t trace_id =
+      traced ? telemetry::tracer().mint_trace_id() : 0;
+  const double enqueued = traced ? telemetry::now_seconds() : 0.0;
+  return launch_async(std::move(x), top_k, trace_id, enqueued);
 }
 
 std::size_t QueryEngine::pending() const {
@@ -143,21 +263,19 @@ void QueryEngine::drain() {
 }
 
 void QueryEngine::record_latency(double millis) const {
+  // Registry first (lock-free), then the engine-local digest under its
+  // mutex — the same sample feeds both, so the views cannot diverge.
+  queries_metric().inc();
+  latency_metric().observe(millis / 1e3);
   util::MutexLock lock(latency_mutex_);
   lifetime_latency_.add(millis);
-  if (latency_window_.size() < latency_window_size_) {
-    latency_window_.push_back(millis);
-  } else {
-    latency_window_[latency_window_next_] = millis;
-    latency_window_next_ = (latency_window_next_ + 1) % latency_window_size_;
-  }
+  latency_window_.add(millis);
 }
 
 void QueryEngine::reset_latency() {
   util::MutexLock lock(latency_mutex_);
   lifetime_latency_ = util::RunningStats();
   latency_window_.clear();
-  latency_window_next_ = 0;
 }
 
 LatencySummary QueryEngine::latency_summary() const {
@@ -168,7 +286,7 @@ LatencySummary QueryEngine::latency_summary() const {
     summary.count = lifetime_latency_.count();
     summary.mean_ms = lifetime_latency_.mean();
     summary.max_ms = lifetime_latency_.max();
-    window = latency_window_;
+    window = latency_window_.samples();
   }
   if (window.empty()) {
     return summary;
@@ -177,6 +295,17 @@ LatencySummary QueryEngine::latency_summary() const {
   summary.p95_ms = util::quantile(window, 0.95);
   summary.p99_ms = util::quantile(window, 0.99);
   return summary;
+}
+
+EngineStats QueryEngine::stats() const {
+  EngineStats stats;
+  stats.latency = latency_summary();
+  util::MutexLock lock(pending_mutex_);
+  stats.pending = pending_;
+  stats.peak_pending = peak_pending_;
+  stats.backpressure_waits = backpressure_waits_;
+  stats.rejections = rejections_;
+  return stats;
 }
 
 }  // namespace topk::serve

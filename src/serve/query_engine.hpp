@@ -24,13 +24,16 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <future>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "index/mutable_index.hpp"
 #include "index/similarity_index.hpp"
+#include "util/percentile.hpp"
 #include "util/stats.hpp"
 #include "util/sync.hpp"
 
@@ -62,6 +65,24 @@ struct LatencySummary {
   double p95_ms = 0.0;
   double p99_ms = 0.0;
   double max_ms = 0.0;
+};
+
+/// Admission-control view of the engine, alongside the latency digest.
+/// All counts cover the engine's lifetime (they are not reset by
+/// reset_latency() — admission history is about capacity, not about
+/// measurement epochs).
+struct EngineStats {
+  LatencySummary latency;
+  /// Async requests admitted but not yet finished.
+  std::size_t pending = 0;
+  /// High-water mark of `pending` — how close the queue came to the
+  /// max_pending admission bound.
+  std::size_t peak_pending = 0;
+  /// submit() calls that had to block on a full queue before being
+  /// admitted.
+  std::uint64_t backpressure_waits = 0;
+  /// try_submit() calls turned away on a full queue.
+  std::uint64_t rejections = 0;
 };
 
 class QueryEngine {
@@ -110,6 +131,13 @@ class QueryEngine {
   [[nodiscard]] std::future<index::QueryResult> submit(std::vector<float> x,
                                                        int top_k);
 
+  /// Non-blocking admission: like submit(), but a full queue returns
+  /// std::nullopt immediately (counted in EngineStats::rejections)
+  /// instead of blocking — the load-shedding flavour of backpressure
+  /// for callers that would rather drop than stall.
+  [[nodiscard]] std::optional<std::future<index::QueryResult>> try_submit(
+      std::vector<float> x, int top_k);
+
   /// Requests admitted via submit() whose futures are not yet ready.
   [[nodiscard]] std::size_t pending() const;
 
@@ -119,6 +147,10 @@ class QueryEngine {
   /// Digest over every query served in the current epoch (sync and
   /// async).
   [[nodiscard]] LatencySummary latency_summary() const;
+
+  /// Latency digest plus the admission-control counters (queue depth,
+  /// peak depth, backpressure waits, rejections).
+  [[nodiscard]] EngineStats stats() const;
 
   /// Starts a fresh measurement epoch: clears the lifetime stats and
   /// the percentile window.  Queries already in flight land in the new
@@ -146,6 +178,12 @@ class QueryEngine {
 
  private:
   void record_latency(double millis) const;
+  /// Executes one admitted async request on a pool thread and settles
+  /// its promise; `trace_id`/`enqueued_seconds` carry the span context
+  /// minted at admission (0 when tracing was off).
+  std::future<index::QueryResult> launch_async(std::vector<float> x, int top_k,
+                                               std::uint64_t trace_id,
+                                               double enqueued_seconds);
 
   std::shared_ptr<const index::SimilarityIndex> index_;
   std::shared_ptr<index::MutableIndex> mutable_;
@@ -156,11 +194,16 @@ class QueryEngine {
   mutable util::Mutex pending_mutex_;
   util::CondVar pending_cv_;
   std::size_t pending_ TOPK_GUARDED_BY(pending_mutex_) = 0;
+  // Plain guarded members (not atomics): every touch already happens
+  // under pending_mutex_ on the admission path, so atomics would buy
+  // nothing — and the registry mirrors them for scrapes.
+  std::size_t peak_pending_ TOPK_GUARDED_BY(pending_mutex_) = 0;
+  std::uint64_t backpressure_waits_ TOPK_GUARDED_BY(pending_mutex_) = 0;
+  std::uint64_t rejections_ TOPK_GUARDED_BY(pending_mutex_) = 0;
 
   mutable util::Mutex latency_mutex_;
   mutable util::RunningStats lifetime_latency_ TOPK_GUARDED_BY(latency_mutex_);
-  mutable std::vector<double> latency_window_ TOPK_GUARDED_BY(latency_mutex_);
-  mutable std::size_t latency_window_next_ TOPK_GUARDED_BY(latency_mutex_) = 0;
+  mutable util::PercentileWindow latency_window_ TOPK_GUARDED_BY(latency_mutex_);
 };
 
 }  // namespace topk::serve

@@ -6,11 +6,31 @@
 #include <memory>
 #include <stdexcept>
 
+#include "telemetry/metrics.hpp"
 #include "util/sync.hpp"
 
 namespace topk::serve {
 
 namespace {
+
+telemetry::Gauge& workers_metric() {
+  static telemetry::Gauge& g = telemetry::registry().gauge(
+      "topk_pool_workers", {}, "Threads owned by the shared pool.");
+  return g;
+}
+
+telemetry::Gauge& busy_metric() {
+  static telemetry::Gauge& g = telemetry::registry().gauge(
+      "topk_pool_busy_workers", {},
+      "Pool threads currently executing a task (utilization numerator).");
+  return g;
+}
+
+telemetry::Counter& tasks_metric() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "topk_pool_tasks_total", {}, "Tasks executed by pool threads.");
+  return c;
+}
 
 /// Shared state of one parallel_for call.  Helpers posted to the task
 /// queue hold a shared_ptr, so the job outlives the caller's stack
@@ -89,6 +109,7 @@ void ThreadPool::ensure_workers(int workers) {
   while (static_cast<int>(threads_.size()) < target) {
     threads_.emplace_back([this] { worker_loop(); });
   }
+  workers_metric().set(static_cast<double>(threads_.size()));
 }
 
 void ThreadPool::worker_loop() {
@@ -105,7 +126,12 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
+    // Utilization bookkeeping brackets the task: two relaxed gauge
+    // updates and one counter add per task, no locking.
+    busy_metric().add(1.0);
+    tasks_metric().inc();
     task();
+    busy_metric().add(-1.0);
   }
 }
 

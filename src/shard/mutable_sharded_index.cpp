@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/trace.hpp"
 #include "util/timer.hpp"
 
 namespace topk::shard {
@@ -125,7 +126,17 @@ index::QueryResult MutableShardedIndex::query(
   // swaps mid-flight, and the scan + overlay come from the same
   // delta, so the query sees one consistent logical matrix.
   const auto state = current_state();
-  const index::DeltaIndex::Scan scan = state->delta->scan(x, top_k);
+  index::DeltaIndex::Scan scan;
+  {
+    telemetry::SpanTimer span("delta-scan", "mutable");
+    scan = state->delta->scan(x, top_k);
+    if (span.active()) {
+      span.add_arg(telemetry::arg("scanned",
+                                  static_cast<std::uint64_t>(scan.scanned)));
+      span.add_arg(telemetry::arg(
+          "masked", static_cast<std::uint64_t>(scan.masked.size())));
+    }
+  }
   const ShardedIndex::DeltaOverlay overlay{scan.entries, scan.masked};
   return annotate(state->base->query_with_delta(x, top_k, overlay, options),
                   *state, scan);
@@ -140,10 +151,17 @@ std::vector<index::QueryResult> MutableShardedIndex::query_batch(
   scans.reserve(queries.size());
   std::vector<ShardedIndex::DeltaOverlay> overlays;
   overlays.reserve(queries.size());
-  for (const auto& x : queries) {
-    scans.push_back(state->delta->scan(x, top_k));
-    overlays.push_back(
-        ShardedIndex::DeltaOverlay{scans.back().entries, scans.back().masked});
+  {
+    telemetry::SpanTimer span("delta-scan", "mutable");
+    for (const auto& x : queries) {
+      scans.push_back(state->delta->scan(x, top_k));
+      overlays.push_back(ShardedIndex::DeltaOverlay{scans.back().entries,
+                                                    scans.back().masked});
+    }
+    if (span.active()) {
+      span.add_arg(telemetry::arg("queries",
+                                  static_cast<std::uint64_t>(queries.size())));
+    }
   }
   std::vector<index::QueryResult> results =
       state->base->query_batch_with_delta(queries, top_k, overlays, options);

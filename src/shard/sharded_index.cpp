@@ -11,6 +11,7 @@
 #include "index/registry.hpp"
 #include "persist/deployment.hpp"
 #include "serve/thread_pool.hpp"
+#include "telemetry/trace.hpp"
 #include "util/timer.hpp"
 
 namespace topk::shard {
@@ -28,6 +29,52 @@ constexpr double kEwmaAlpha = 0.2;
 /// drain its traffic forever.  The cost of a probe that still fails is
 /// one absorbed failover.
 constexpr std::uint64_t kProbeInterval = 16;
+
+// Process-wide aggregates over every ShardedIndex instance; the
+// per-replica telemetry::Counter cells in ReplicaState stay the
+// fine-grained view (replica_stats()).
+telemetry::Counter& cells_metric() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "topk_shard_cells_total", {},
+      "(query, shard) cells served by a replica.");
+  return c;
+}
+
+telemetry::Histogram& cell_seconds_metric() {
+  static telemetry::Histogram& h = telemetry::registry().histogram(
+      "topk_shard_cell_seconds", telemetry::Histogram::latency_buckets(), {},
+      "Wall time of one (query, shard) replica call in seconds.");
+  return h;
+}
+
+telemetry::Counter& failovers_metric() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "topk_shard_failovers_total", {},
+      "Replica call failures (absorbed by failover while another "
+      "replica remains).");
+  return c;
+}
+
+telemetry::Counter& probes_metric() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "topk_shard_probes_total", {},
+      "Recovery probes routed to unhealthy replicas.");
+  return c;
+}
+
+telemetry::Counter& gather_candidates_metric() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "topk_shard_gather_candidates_total", {},
+      "Candidates entering the k-way gather merge.");
+  return c;
+}
+
+telemetry::Gauge& slowest_metric() {
+  static telemetry::Gauge& g = telemetry::registry().gauge(
+      "topk_shard_slowest_seconds", {},
+      "Critical-path shard time of the most recent gather.");
+  return g;
+}
 
 }  // namespace
 
@@ -125,14 +172,15 @@ std::vector<index::ReplicaStats> ShardedIndex::replica_stats(
     // relaxed: an advisory snapshot — each counter is independently
     // coherent (atomic), and no cross-field consistency is promised to
     // readers, so there is nothing for a fence to order.
-    stats.queries = state->queries.load(std::memory_order_relaxed);
-    stats.failures = state->failures.load(std::memory_order_relaxed);
+    stats.queries = state->queries.value();
+    stats.failures = state->failures.value();
     stats.inflight = state->inflight.load(std::memory_order_relaxed);
     stats.ewma_seconds = state->ewma_seconds.load(std::memory_order_relaxed);
     stats.healthy = state->healthy.load(std::memory_order_relaxed);
     {
       util::MutexLock lock(state->error_mutex);
       stats.last_error = state->last_error;
+      stats.last_error_seconds = state->last_error_seconds;
     }
     out.push_back(std::move(stats));
   }
@@ -177,6 +225,7 @@ std::size_t ShardedIndex::pick_replica(std::size_t s) const {
       round_robin_[s].fetch_add(1, std::memory_order_relaxed);
   if (healthy_count > 0 && unhealthy_count > 0 &&
       ticket % kProbeInterval == kProbeInterval - 1) {
+    probes_metric().inc();
     return nth_matching(
         static_cast<std::size_t>((ticket / kProbeInterval) % unhealthy_count),
         false);
@@ -253,15 +302,32 @@ ShardedIndex::ShardCall ShardedIndex::query_shard(std::size_t s,
   const auto record_failure = [&](ReplicaState& state, double seconds,
                                   const char* message) {
     state.inflight.fetch_sub(1, std::memory_order_relaxed);
-    state.failures.fetch_add(1, std::memory_order_relaxed);
+    state.failures.inc();
+    failovers_metric().inc();
     feed_ewma(state, seconds);
     state.healthy.store(false, std::memory_order_relaxed);
+    // Truncate before storing: a replica failing in a tight loop must
+    // not grow memory with ever-longer exception payloads.
+    std::string error(message);
+    if (error.size() > kMaxErrorLength) {
+      error.resize(kMaxErrorLength);
+    }
     util::MutexLock lock(state.error_mutex);
-    state.last_error = message;
+    state.last_error = std::move(error);
+    state.last_error_seconds = telemetry::now_seconds();
   };
   for (std::size_t attempt = 0; attempt < count; ++attempt) {
     const std::size_t r = (start + attempt) % count;
     ReplicaState& state = *states[r];
+    // One span per attempt, so a failover leaves a visible failed cell
+    // next to the succeeding one in the trace.
+    telemetry::SpanTimer span("cell", "shard");
+    if (span.active()) {
+      span.add_arg(telemetry::arg("shard", static_cast<std::uint64_t>(s)));
+      span.add_arg(telemetry::arg("replica", static_cast<std::uint64_t>(r)));
+      span.add_arg(
+          telemetry::arg("failovers", static_cast<std::uint64_t>(attempt)));
+    }
     state.inflight.fetch_add(1, std::memory_order_relaxed);
     util::WallTimer timer;
     try {
@@ -269,11 +335,14 @@ ShardedIndex::ShardCall ShardedIndex::query_shard(std::size_t s,
       call.result = shard.replicas[r]->query(x, shard_top_k, sequential);
       const double seconds = timer.seconds();
       state.inflight.fetch_sub(1, std::memory_order_relaxed);
-      state.queries.fetch_add(1, std::memory_order_relaxed);
+      state.queries.inc();
+      cells_metric().inc();
+      cell_seconds_metric().observe(seconds);
       state.healthy.store(true, std::memory_order_relaxed);
       feed_ewma(state, seconds);
       call.measured_seconds = seconds;
       call.failovers = attempt;
+      span.add_arg(telemetry::arg("ok", true));
       return call;
     } catch (const std::exception& error) {
       record_failure(state, timer.seconds(), error.what());
@@ -282,6 +351,7 @@ ShardedIndex::ShardCall ShardedIndex::query_shard(std::size_t s,
       record_failure(state, timer.seconds(), "unknown error");
       last_error = std::current_exception();
     }
+    span.add_arg(telemetry::arg("ok", false));
   }
   // Every replica failed: the shard is down, surface the last error to
   // the caller (the scatter propagates it out of query/query_batch).
@@ -291,6 +361,7 @@ ShardedIndex::ShardCall ShardedIndex::query_shard(std::size_t s,
 index::QueryResult ShardedIndex::gather(std::span<const ShardCall> per_shard,
                                         int top_k,
                                         const DeltaOverlay* overlay) const {
+  telemetry::SpanTimer span("gather", "shard");
   index::QueryResult out;
   index::ShardStats gathered;
   gathered.shards = static_cast<int>(shards_.size());
@@ -320,6 +391,16 @@ index::QueryResult ShardedIndex::gather(std::span<const ShardCall> per_shard,
   if (overlay != nullptr) {
     gathered.gathered_candidates +=
         static_cast<std::uint64_t>(overlay->entries.size());
+  }
+  gather_candidates_metric().add(gathered.gathered_candidates);
+  if (slowest_seconds >= 0.0) {
+    slowest_metric().set(slowest_seconds);
+  }
+  if (span.active()) {
+    span.add_arg(telemetry::arg("candidates", gathered.gathered_candidates));
+    span.add_arg(telemetry::arg("top_k", static_cast<std::int64_t>(top_k)));
+    span.add_arg(telemetry::arg("slowest_shard",
+                                static_cast<std::int64_t>(gathered.slowest_shard)));
   }
 
   // Deterministic k-way heap merge on the repo-wide Top-K order.  Each
@@ -400,16 +481,24 @@ index::QueryResult ShardedIndex::query(std::span<const float> x, int top_k,
   const int threads = index::resolve_fanout_threads(options.threads, shards_.size());
 
   std::vector<ShardCall> per_shard(shards_.size());
-  if (threads <= 1) {
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
-      per_shard[s] = query_shard(s, x, top_k);
+  {
+    // Pool threads have their own (empty) trace context: capture the
+    // caller's id before the fan-out and re-establish it per lambda so
+    // every cell span lands on this query's trace.
+    const std::uint64_t trace = telemetry::current_trace_id();
+    telemetry::SpanTimer span("scatter", "shard");
+    if (threads <= 1) {
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        per_shard[s] = query_shard(s, x, top_k);
+      }
+    } else {
+      serve::ThreadPool& pool = serve::shared_pool();
+      pool.ensure_workers(threads - 1);
+      pool.parallel_for(shards_.size(), threads, [&, trace](std::size_t s) {
+        telemetry::TraceContextScope scope(trace);
+        per_shard[s] = query_shard(s, x, top_k);
+      });
     }
-  } else {
-    serve::ThreadPool& pool = serve::shared_pool();
-    pool.ensure_workers(threads - 1);
-    pool.parallel_for(shards_.size(), threads, [&](std::size_t s) {
-      per_shard[s] = query_shard(s, x, top_k);
-    });
   }
   return gather(per_shard, top_k);
 }
@@ -430,17 +519,25 @@ std::vector<index::QueryResult> ShardedIndex::query_batch(
   const std::size_t grid = queries.size() * width;
   const int threads = index::resolve_fanout_threads(options.threads, grid);
   std::vector<ShardCall> partial(grid);
-  const auto run_cell = [&](std::size_t cell) {
+  const std::uint64_t trace = telemetry::current_trace_id();
+  const auto run_cell = [&, trace](std::size_t cell) {
+    telemetry::TraceContextScope scope(trace);
     partial[cell] = query_shard(cell % width, queries[cell / width], top_k);
   };
-  if (threads <= 1) {
-    for (std::size_t cell = 0; cell < grid; ++cell) {
-      run_cell(cell);
+  {
+    telemetry::SpanTimer span("scatter", "shard");
+    if (span.active()) {
+      span.add_arg(telemetry::arg("grid", static_cast<std::uint64_t>(grid)));
     }
-  } else {
-    serve::ThreadPool& pool = serve::shared_pool();
-    pool.ensure_workers(threads - 1);
-    pool.parallel_for(grid, threads, run_cell);
+    if (threads <= 1) {
+      for (std::size_t cell = 0; cell < grid; ++cell) {
+        run_cell(cell);
+      }
+    } else {
+      serve::ThreadPool& pool = serve::shared_pool();
+      pool.ensure_workers(threads - 1);
+      pool.parallel_for(grid, threads, run_cell);
+    }
   }
   for (std::size_t q = 0; q < queries.size(); ++q) {
     results[q] = gather({partial.data() + q * width, width}, top_k);
@@ -459,16 +556,21 @@ index::QueryResult ShardedIndex::query_with_delta(
   const int threads =
       index::resolve_fanout_threads(options.threads, shards_.size());
   std::vector<ShardCall> per_shard(shards_.size());
-  if (threads <= 1) {
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
-      per_shard[s] = query_shard(s, x, shard_k);
+  {
+    const std::uint64_t trace = telemetry::current_trace_id();
+    telemetry::SpanTimer span("scatter", "shard");
+    if (threads <= 1) {
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        per_shard[s] = query_shard(s, x, shard_k);
+      }
+    } else {
+      serve::ThreadPool& pool = serve::shared_pool();
+      pool.ensure_workers(threads - 1);
+      pool.parallel_for(shards_.size(), threads, [&, trace](std::size_t s) {
+        telemetry::TraceContextScope scope(trace);
+        per_shard[s] = query_shard(s, x, shard_k);
+      });
     }
-  } else {
-    serve::ThreadPool& pool = serve::shared_pool();
-    pool.ensure_workers(threads - 1);
-    pool.parallel_for(shards_.size(), threads, [&](std::size_t s) {
-      per_shard[s] = query_shard(s, x, shard_k);
-    });
   }
   return gather(per_shard, top_k, &overlay);
 }
@@ -492,20 +594,28 @@ std::vector<index::QueryResult> ShardedIndex::query_batch_with_delta(
   const std::size_t grid = queries.size() * width;
   const int threads = index::resolve_fanout_threads(options.threads, grid);
   std::vector<ShardCall> partial(grid);
-  const auto run_cell = [&](std::size_t cell) {
+  const std::uint64_t trace = telemetry::current_trace_id();
+  const auto run_cell = [&, trace](std::size_t cell) {
+    telemetry::TraceContextScope scope(trace);
     const std::size_t q = cell / width;
     partial[cell] = query_shard(
         cell % width, queries[q],
         inflated_top_k(top_k, overlays[q].masked.size()));
   };
-  if (threads <= 1) {
-    for (std::size_t cell = 0; cell < grid; ++cell) {
-      run_cell(cell);
+  {
+    telemetry::SpanTimer span("scatter", "shard");
+    if (span.active()) {
+      span.add_arg(telemetry::arg("grid", static_cast<std::uint64_t>(grid)));
     }
-  } else {
-    serve::ThreadPool& pool = serve::shared_pool();
-    pool.ensure_workers(threads - 1);
-    pool.parallel_for(grid, threads, run_cell);
+    if (threads <= 1) {
+      for (std::size_t cell = 0; cell < grid; ++cell) {
+        run_cell(cell);
+      }
+    } else {
+      serve::ThreadPool& pool = serve::shared_pool();
+      pool.ensure_workers(threads - 1);
+      pool.parallel_for(grid, threads, run_cell);
+    }
   }
   for (std::size_t q = 0; q < queries.size(); ++q) {
     results[q] =

@@ -42,6 +42,7 @@
 #include "index/similarity_index.hpp"
 #include "shard/shard_planner.hpp"
 #include "sparse/csr.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/sync.hpp"
 
 namespace topk::shard {
@@ -187,9 +188,11 @@ class ShardedIndex final : public index::SimilarityIndex {
  private:
   /// Live counters of one replica, shared by the routing policies and
   /// the stats snapshot.  Mutable runtime state of a const index —
-  /// every field is atomic (last_error under its own mutex).
+  /// the event counts are telemetry::Counter cells (the registry's
+  /// vocabulary, per -Wraw-stat), the routing hints are raw atomics,
+  /// and the error record sits under its own mutex.
   ///
-  /// Memory ordering: every operation on these atomics is relaxed, on
+  /// Memory ordering: every operation on the atomics is relaxed, on
   /// purpose.  They are monotonic load/health *hints* feeding routing
   /// decisions and advisory stats snapshots — no other memory is
   /// published through them (the query results themselves synchronise
@@ -197,14 +200,21 @@ class ShardedIndex final : public index::SimilarityIndex {
   /// marginally less balanced, and failover corrects any mis-route.
   /// Each site carries its own one-line rationale.
   struct ReplicaState {
-    std::atomic<std::uint64_t> queries{0};
-    std::atomic<std::uint64_t> failures{0};
+    telemetry::Counter queries;
+    telemetry::Counter failures;
     std::atomic<int> inflight{0};
     std::atomic<double> ewma_seconds{0.0};
     std::atomic<bool> healthy{true};
     mutable util::Mutex error_mutex;
+    /// Truncated to kMaxErrorLength — a failing replica under load must
+    /// not grow memory with ever-longer exception payloads.
     std::string last_error TOPK_GUARDED_BY(error_mutex);
+    /// telemetry::now_seconds() of the most recent failure; -1 = never.
+    double last_error_seconds TOPK_GUARDED_BY(error_mutex) = -1.0;
   };
+
+  /// Cap on the stored last_error message (see ReplicaState).
+  static constexpr std::size_t kMaxErrorLength = 256;
 
   /// One (query, shard) cell's outcome: the replica's result plus the
   /// scatter-side measurements the gather aggregates.

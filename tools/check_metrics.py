@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""Prometheus text-exposition validator for the telemetry layer.
+
+Checks a metrics dump (`sharded_service --metrics-dump FILE`, or any
+`telemetry::write_prometheus` output) against the exposition grammar
+and the histogram invariants a scraper relies on:
+
+  * every sample line parses as  name[{labels}] value
+  * a family's # TYPE line precedes its samples, one TYPE per family
+  * counter/gauge families expose plain samples only; histogram
+    families expose only _bucket/_sum/_count samples
+  * histogram buckets are cumulative (monotone non-decreasing in le),
+    the le="+Inf" bucket is present and equals the _count sample, and
+    every series has exactly one _sum and one _count
+  * no duplicate series (same name + identical label set)
+
+Exit 0 when the file is valid, 1 with one message per violation
+otherwise.  Dependency-free; runs as a ctest
+(`ctest -R metrics_exposition`) against a live dump.
+
+    tools/check_metrics.py build/metrics-exposition/metrics.prom
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+
+NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+LABEL_NAME = r"[a-zA-Z_][a-zA-Z0-9_]*"
+HELP_LINE = re.compile(rf"^# HELP ({NAME}) (.*)$")
+TYPE_LINE = re.compile(rf"^# TYPE ({NAME}) (counter|gauge|histogram)$")
+SAMPLE_LINE = re.compile(rf"^({NAME})(\{{.*\}})? (\S+)$")
+LABEL_PAIR = re.compile(rf'({LABEL_NAME})="((?:[^"\\]|\\.)*)"')
+
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)  # raises ValueError on garbage
+
+
+def parse_labels(block, errors, lineno):
+    """`{a="1",b="2"}` -> ordered (name, value) list, or None on bad
+    syntax."""
+    if block is None:
+        return []
+    inner = block[1:-1]
+    labels = []
+    pos = 0
+    while pos < len(inner):
+        match = LABEL_PAIR.match(inner, pos)
+        if not match:
+            errors.append(f"line {lineno}: malformed label block: {block}")
+            return None
+        labels.append((match.group(1), match.group(2)))
+        pos = match.end()
+        if pos < len(inner):
+            if inner[pos] != ",":
+                errors.append(f"line {lineno}: expected ',' in labels: {block}")
+                return None
+            pos += 1
+    names = [name for name, _ in labels]
+    if len(names) != len(set(names)):
+        errors.append(f"line {lineno}: duplicate label name in {block}")
+        return None
+    return labels
+
+
+def family_of(name, types):
+    """The family a sample belongs to: histogram samples carry a
+    _bucket/_sum/_count suffix on the family name."""
+    if name in types:
+        return name
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return None
+
+
+def validate(path):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as error:
+        return [f"{path}: {error}"]
+
+    types = {}  # family -> type
+    # (family, frozenset(labels minus le)) -> {"buckets": [(le, v)],
+    # "sum": v or None, "count": v or None}
+    histograms = {}
+    scalar_series = set()
+
+    for lineno, line in enumerate(lines, 1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            if HELP_LINE.match(line):
+                continue
+            type_match = TYPE_LINE.match(line)
+            if type_match:
+                family = type_match.group(1)
+                if family in types:
+                    errors.append(
+                        f"line {lineno}: duplicate # TYPE for {family}")
+                types[family] = type_match.group(2)
+                continue
+            errors.append(f"line {lineno}: malformed comment line: {line}")
+            continue
+
+        sample = SAMPLE_LINE.match(line)
+        if not sample:
+            errors.append(f"line {lineno}: unparseable sample: {line}")
+            continue
+        name, label_block, value_text = sample.groups()
+        try:
+            value = parse_value(value_text)
+        except ValueError:
+            errors.append(f"line {lineno}: bad sample value: {value_text}")
+            continue
+        labels = parse_labels(label_block, errors, lineno)
+        if labels is None:
+            continue
+        family = family_of(name, types)
+        if family is None:
+            errors.append(
+                f"line {lineno}: sample {name} has no preceding # TYPE")
+            continue
+
+        if types[family] == "histogram":
+            if name == family:
+                errors.append(
+                    f"line {lineno}: histogram {family} exposes a bare "
+                    "sample — expected _bucket/_sum/_count")
+                continue
+            le = [v for k, v in labels if k == "le"]
+            base_labels = frozenset(
+                (k, v) for k, v in labels if k != "le")
+            series = histograms.setdefault(
+                (family, base_labels),
+                {"buckets": [], "sum": None, "count": None, "line": lineno})
+            if name.endswith("_bucket"):
+                if len(le) != 1:
+                    errors.append(
+                        f"line {lineno}: _bucket sample without a single "
+                        "le label")
+                    continue
+                series["buckets"].append((le[0], value, lineno))
+            elif le:
+                errors.append(
+                    f"line {lineno}: le label outside a _bucket sample")
+            elif name.endswith("_sum"):
+                if series["sum"] is not None:
+                    errors.append(f"line {lineno}: duplicate _sum for "
+                                  f"{family}{dict(base_labels)}")
+                series["sum"] = value
+            else:
+                if series["count"] is not None:
+                    errors.append(f"line {lineno}: duplicate _count for "
+                                  f"{family}{dict(base_labels)}")
+                series["count"] = value
+        else:
+            if name != family:
+                errors.append(
+                    f"line {lineno}: {name} collides with {types[family]} "
+                    f"family {family}")
+                continue
+            key = (name, frozenset(labels))
+            if key in scalar_series:
+                errors.append(f"line {lineno}: duplicate series {line}")
+            scalar_series.add(key)
+            if types[family] == "counter" and (
+                    value < 0 or math.isnan(value)):
+                errors.append(
+                    f"line {lineno}: counter {name} has non-monotone "
+                    f"value {value_text}")
+
+    for (family, base_labels), series in sorted(
+            histograms.items(), key=lambda item: repr(item[0])):
+        where = f"{family}{{{', '.join(f'{k}={v}' for k, v in sorted(base_labels))}}}"
+        buckets = series["buckets"]
+        if not buckets or buckets[-1][0] != "+Inf":
+            errors.append(f"{where}: missing le=\"+Inf\" bucket")
+            continue
+        bounds = []
+        for le, _, lineno in buckets[:-1]:
+            try:
+                bounds.append(parse_value(le))
+            except ValueError:
+                errors.append(f"line {lineno}: bad le bound {le!r}")
+        if bounds != sorted(bounds) or len(bounds) != len(set(bounds)):
+            errors.append(f"{where}: le bounds not strictly increasing")
+        counts = [value for _, value, _ in buckets]
+        if any(b > a for b, a in zip(counts, counts[1:])):
+            errors.append(f"{where}: bucket counts not cumulative")
+        if series["count"] is None:
+            errors.append(f"{where}: missing _count sample")
+        elif series["count"] != counts[-1]:
+            errors.append(
+                f"{where}: le=\"+Inf\" bucket ({counts[-1]:g}) != _count "
+                f"({series['count']:g})")
+        if series["sum"] is None:
+            errors.append(f"{where}: missing _sum sample")
+
+    return errors
+
+
+def main(argv):
+    if len(argv) != 1:
+        print("usage: check_metrics.py METRICS_FILE", file=sys.stderr)
+        return 2
+    errors = validate(argv[0])
+    for error in errors:
+        print(f"{argv[0]}: {error}")
+    if errors:
+        print(f"check_metrics: {len(errors)} violation(s)")
+        return 1
+    print(f"check_metrics: {argv[0]} is valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -36,6 +36,10 @@ WARNINGS = {
         "bare std::mutex/lock in src/ instead of the annotated "
         "util/sync.hpp wrappers"
     ),
+    "raw-stat": (
+        "std::atomic stat counter in src/ outside the telemetry "
+        "registry (use telemetry::Counter/Gauge)"
+    ),
     "tie-break": (
         "hand-rolled TopKEntry ordering instead of "
         "core::topk_entry_before/TopKEntryOrder"
@@ -55,6 +59,18 @@ RAW_SYNC = re.compile(
     r"\bstd::(mutex|shared_mutex|timed_mutex|recursive_mutex|"
     r"condition_variable(_any)?|lock_guard|unique_lock|shared_lock|"
     r"scoped_lock)\b"
+)
+
+# An std::atomic member whose name reads like a statistic is a metric
+# the registry cannot see: it has no labels, no exposition, and no
+# single source of truth.  The name list is deliberately narrow so the
+# coordination atomics that are NOT stats (inflight routing counts,
+# EWMA cells, health flags, round-robin cursors) stay untouched.
+RAW_STAT = re.compile(
+    r"\bstd::atomic<[^<>]*>\s+"
+    r"(\w*(?:quer(?:y|ies)|failures?|hits?|misses|errors?|totals?|"
+    r"failovers?|rejections?|dropped|served|latenc|bytes|depth|peak|"
+    r"scanned|samples?|counts?)\w*)\s*[;{=]"
 )
 
 # A two-sided comparison of TopKEntry values (x.value < y.value) is a
@@ -143,6 +159,20 @@ class Linter:
                         "waiver needs a comment justifying why the "
                         "analysis cannot see the invariant",
                     )
+
+    def check_raw_stat(self, path, text):
+        parts = path.relative_to(REPO_ROOT).parts
+        if "src" not in parts or "telemetry" in parts:
+            return
+        for lineno, line in enumerate(strip_comments(text).splitlines(), 1):
+            match = RAW_STAT.search(line)
+            if match:
+                self.warn(
+                    "raw-stat", path, lineno,
+                    f"std::atomic stat '{match.group(1)}' bypasses the "
+                    "telemetry registry — use telemetry::Counter/Gauge so "
+                    "the metric has one source of truth and an exposition",
+                )
 
     def check_tie_break(self, path, text):
         if path.parent == REPO_ROOT / "src" / "core" and \
@@ -288,6 +318,7 @@ def main(argv):
     for path in source_files(["src", "tests", "bench", "examples"]):
         text = path.read_text(encoding="utf-8")
         linter.check_raw_mutex(path, text)
+        linter.check_raw_stat(path, text)
         linter.check_tie_break(path, text)
         linter.check_pragma_once(path, text)
         linter.check_include_order(path, text)
