@@ -92,7 +92,11 @@ struct BenchArgs {
 };
 
 /// Parses --full, --queries=N, --seed=N, --threads=N; exits with a
-/// usage message on anything unrecognised.
+/// usage message on anything unrecognised.  The --backend list is
+/// validated here, eagerly: a typo'd backend name is a hard exit(2)
+/// listing the registered names before any bench work starts, even in
+/// a bench path that never calls selected_backends() (a --quick CI
+/// smoke must fail on the typo, not silently bench nothing).
 inline BenchArgs parse_args(int argc, char** argv) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
@@ -129,6 +133,9 @@ inline BenchArgs parse_args(int argc, char** argv) {
       std::cerr << "unknown argument: " << arg << "\n";
       std::exit(2);
     }
+  }
+  if (!args.backend.empty()) {
+    (void)args.selected_backends();  // exit(2) on unknown names
   }
   return args;
 }

@@ -29,13 +29,13 @@
 #include <iostream>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "index/registry.hpp"
 #include "shard/shard_planner.hpp"
 #include "shard/sharded_index.hpp"
+#include "util/cpu_features.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -102,7 +102,7 @@ int main(int argc, char** argv) {
   std::cout << "Sharding sweep: " << matrix->rows() << " rows, "
             << matrix->nnz() << " nnz, top-" << kTopK << ", best of "
             << repeats << " (baseline: unsharded at 1 thread; this machine: "
-            << std::thread::hardware_concurrency() << " hardware threads)\n\n";
+            << topk::util::default_thread_count() << " hardware threads)\n\n";
 
   topk::util::TablePrinter table({"Inner backend", "Shards", "Build (s)",
                                   "Wall (ms)", "Crit path (ms)",

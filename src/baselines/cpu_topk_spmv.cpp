@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <thread>
 
 #include "serve/thread_pool.hpp"
+#include "util/cpu_features.hpp"
 
 namespace topk::baselines {
 
@@ -57,12 +57,15 @@ std::vector<core::TopKEntry> cpu_topk_spmv(const sparse::Csr& matrix,
     throw std::invalid_argument("cpu_topk_spmv: negative thread count");
   }
   if (threads == 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads == 0) {
-      threads = 1;
-    }
+    threads = util::default_thread_count();
   }
-  threads = std::min<int>(threads, std::max<std::uint32_t>(1, matrix.rows()));
+  // Clamp to the row count in uint32 space: converting rows() to int
+  // first overflowed to a negative thread count for rows >= 2^31
+  // (regression: CpuTopK.ThreadClampStaysPositive).  `threads` is
+  // positive here, so the round-trip through uint32 is lossless.
+  threads = static_cast<int>(std::min<std::uint32_t>(
+      static_cast<std::uint32_t>(threads),
+      std::max<std::uint32_t>(1, matrix.rows())));
 
   std::vector<std::vector<core::TopKEntry>> heaps(
       static_cast<std::size_t>(threads));

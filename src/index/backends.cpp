@@ -5,6 +5,7 @@
 
 #include "baselines/cpu_topk_spmv.hpp"
 #include "hbmsim/timing_model.hpp"
+#include "simd/topk_simd.hpp"
 
 namespace topk::index {
 
@@ -181,6 +182,62 @@ IndexDescription GpuModelIndex::describe() const {
   description.memory_bytes =
       matrix_->nnz() * (2 + sizeof(std::uint32_t)) +  // F16 values + columns
       (static_cast<std::uint64_t>(matrix_->rows()) + 1) * sizeof(std::uint64_t);
+  return description;
+}
+
+// ------------------------------------------------------------- CpuSimdIndex
+
+CpuSimdIndex::CpuSimdIndex(std::shared_ptr<const sparse::Csr> matrix,
+                           Mode mode)
+    : mode_(mode) {
+  const char* backend = mode == Mode::kExact ? "cpu-simd" : "cpu-simd-f16";
+  simd::LayoutOptions layout_options;
+  layout_options.precision = mode == Mode::kExact
+                                 ? simd::ScreenPrecision::kFloat32
+                                 : simd::ScreenPrecision::kHalf;
+  layout_ = simd::BlockedCsr::build(require_matrix(std::move(matrix), backend),
+                                    layout_options);
+}
+
+QueryResult CpuSimdIndex::query(std::span<const float> x, int top_k,
+                                const QueryOptions& options) const {
+  validate_query(x, top_k);
+  simd::SimdQueryOptions simd_options;
+  simd_options.threads = options.threads;
+  simd::SimdKernelStats kernel;
+  QueryResult result;
+  result.entries =
+      mode_ == Mode::kExact
+          ? simd::topk_spmv_exact(layout_, x, top_k, simd_options, &kernel)
+          : simd::topk_spmv_screen(layout_, x, top_k, simd_options, &kernel);
+  result.stats.rows_scanned = layout_.rows();
+  SimdStats stats;
+  stats.isa = simd::to_string(kernel.level);
+  stats.rows_rescored = kernel.rows_rescored;
+  result.stats.backend = std::move(stats);
+  return result;
+}
+
+std::uint32_t CpuSimdIndex::rows() const noexcept { return layout_.rows(); }
+
+std::uint32_t CpuSimdIndex::cols() const noexcept { return layout_.cols(); }
+
+IndexDescription CpuSimdIndex::describe() const {
+  IndexDescription description;
+  description.backend = mode_ == Mode::kExact ? "cpu-simd" : "cpu-simd-f16";
+  const char* strategy =
+      layout_.strategy() == simd::Strategy::kBlocked ? "blocked" : "gather";
+  description.detail =
+      std::string(mode_ == Mode::kExact
+                      ? "vectorized f32 screen + exact rescore, "
+                      : "vectorized binary16 screen (no rescore), ") +
+      strategy + " layout, " + simd::to_string(simd::dispatch_level()) +
+      " dispatch";
+  description.exact = mode_ == Mode::kExact;
+  description.rows = rows();
+  description.cols = cols();
+  description.memory_bytes =
+      layout_.source().csr_bytes() + layout_.extra_bytes();
   return description;
 }
 

@@ -11,7 +11,11 @@
 //                  argues against (exact, O(N log N));
 //   GpuModelIndex  the Tesla P100 baseline: functional F16 emulation
 //                  for accuracy + the analytic bandwidth model for
-//                  timing.
+//                  timing;
+//   CpuSimdIndex   the vectorized host kernel (runtime AVX-512 / AVX2
+//                  / scalar dispatch, simd/topk_simd.hpp): exact in
+//                  its default screen+rescore mode, approximate in the
+//                  binary16 screen-only mode ("cpu-simd-f16").
 //
 // All adapters share the collection through shared_ptr<const Csr>, so
 // several backends over the same matrix cost one copy — the setup of
@@ -25,6 +29,7 @@
 #include "core/accelerator.hpp"
 #include "core/design.hpp"
 #include "index/similarity_index.hpp"
+#include "simd/blocked_csr.hpp"
 #include "sparse/csr.hpp"
 
 namespace topk::index {
@@ -118,6 +123,9 @@ class CpuHeapIndex final : public SimilarityIndex {
   [[nodiscard]] IndexDescription describe() const override;
 
   [[nodiscard]] const sparse::Csr& matrix() const noexcept { return *matrix_; }
+  [[nodiscard]] const sparse::Csr* host_csr() const noexcept override {
+    return matrix_.get();
+  }
 
  private:
   std::shared_ptr<const sparse::Csr> matrix_;
@@ -136,6 +144,9 @@ class ExactSortIndex final : public SimilarityIndex {
   [[nodiscard]] IndexDescription describe() const override;
 
   [[nodiscard]] const sparse::Csr& matrix() const noexcept { return *matrix_; }
+  [[nodiscard]] const sparse::Csr* host_csr() const noexcept override {
+    return matrix_.get();
+  }
 
  private:
   std::shared_ptr<const sparse::Csr> matrix_;
@@ -160,10 +171,48 @@ class GpuModelIndex final : public SimilarityIndex {
   }
 
   [[nodiscard]] const sparse::Csr& matrix() const noexcept { return *matrix_; }
+  [[nodiscard]] const sparse::Csr* host_csr() const noexcept override {
+    return matrix_.get();
+  }
 
  private:
   std::shared_ptr<const sparse::Csr> matrix_;
   baselines::GpuPerfModel model_;
+};
+
+/// Vectorized host kernel behind the unified interface.  kExact runs
+/// the two-phase screen/rescore (bit-identical to cpu-heap); kHalfScreen
+/// serves the f32-scan-over-binary16-values approximation as
+/// "cpu-simd-f16" (recall-floor gated like gpu-f16).  The ISA level is
+/// picked per process by util::cpu_features; SimdStats on each result
+/// records the level and rescore count.
+class CpuSimdIndex final : public SimilarityIndex {
+ public:
+  enum class Mode { kExact, kHalfScreen };
+
+  /// Builds the screening layout (strategy auto-picked by block
+  /// occupancy; see simd::LayoutOptions).  Throws like
+  /// simd::BlockedCsr::build.
+  explicit CpuSimdIndex(std::shared_ptr<const sparse::Csr> matrix,
+                        Mode mode = Mode::kExact);
+
+  [[nodiscard]] QueryResult query(std::span<const float> x, int top_k,
+                                  const QueryOptions& options = {}) const override;
+  [[nodiscard]] std::uint32_t rows() const noexcept override;
+  [[nodiscard]] std::uint32_t cols() const noexcept override;
+  [[nodiscard]] IndexDescription describe() const override;
+
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+  [[nodiscard]] const simd::BlockedCsr& layout() const noexcept {
+    return layout_;
+  }
+  [[nodiscard]] const sparse::Csr* host_csr() const noexcept override {
+    return layout_.shared_source().get();
+  }
+
+ private:
+  simd::BlockedCsr layout_;
+  Mode mode_ = Mode::kExact;
 };
 
 }  // namespace topk::index

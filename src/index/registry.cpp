@@ -25,17 +25,7 @@ std::shared_ptr<const sparse::Csr> reconstruct_base_matrix(
   std::vector<std::uint32_t> col_idx;
   std::vector<float> values;
   for (std::size_t s = 0; s < base.shard_count(); ++s) {
-    const SimilarityIndex* primary = &base.shard(s).primary();
-    const sparse::Csr* slice = nullptr;
-    if (const auto* heap = dynamic_cast<const CpuHeapIndex*>(primary)) {
-      slice = &heap->matrix();
-    } else if (const auto* sort =
-                   dynamic_cast<const ExactSortIndex*>(primary)) {
-      slice = &sort->matrix();
-    } else if (const auto* gpu =
-                   dynamic_cast<const GpuModelIndex*>(primary)) {
-      slice = &gpu->matrix();
-    }
+    const sparse::Csr* slice = base.shard(s).primary().host_csr();
     if (slice == nullptr) {
       return nullptr;
     }
@@ -95,13 +85,28 @@ Registry& registry() {
           return std::make_shared<GpuModelIndex>(std::move(matrix),
                                                  options.gpu_model);
         });
+    r.factories.emplace(
+        "cpu-simd",
+        [](std::shared_ptr<const sparse::Csr> matrix,
+           const IndexOptions&) -> std::shared_ptr<SimilarityIndex> {
+          return std::make_shared<CpuSimdIndex>(std::move(matrix),
+                                                CpuSimdIndex::Mode::kExact);
+        });
+    r.factories.emplace(
+        "cpu-simd-f16",
+        [](std::shared_ptr<const sparse::Csr> matrix,
+           const IndexOptions&) -> std::shared_ptr<SimilarityIndex> {
+          return std::make_shared<CpuSimdIndex>(
+              std::move(matrix), CpuSimdIndex::Mode::kHalfScreen);
+        });
     // Scatter-gather variants of every built-in: the same backend
     // behind shard::ShardedIndex (options.shards row-range shards,
     // nnz-balanced boundaries unless options.nnz_balanced_shards is
     // false; the inner factories consume the remaining options).  The
     // shard count is clamped to the row count so tiny collections
     // still construct through the generic bench/test sweeps.
-    for (const char* inner : {"fpga-sim", "cpu-heap", "exact-sort", "gpu-f16"}) {
+    for (const char* inner :
+         {"fpga-sim", "cpu-heap", "exact-sort", "gpu-f16", "cpu-simd"}) {
       r.factories.emplace(
           std::string("sharded-") + inner,
           [inner](std::shared_ptr<const sparse::Csr> matrix,
@@ -152,7 +157,8 @@ Registry& registry() {
     // insert_row/delete_row into an in-memory delta that is folded
     // back by persist::Compactor.  options.delta_capacity and
     // options.compact_threshold are the tier's knobs.
-    for (const char* inner : {"fpga-sim", "cpu-heap", "exact-sort", "gpu-f16"}) {
+    for (const char* inner :
+         {"fpga-sim", "cpu-heap", "exact-sort", "gpu-f16", "cpu-simd"}) {
       r.factories.emplace(
           std::string("mutable-sharded-") + inner,
           [inner](std::shared_ptr<const sparse::Csr> matrix,

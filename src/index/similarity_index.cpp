@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <thread>
 
 #include "serve/thread_pool.hpp"
+#include "util/cpu_features.hpp"
 
 namespace topk::index {
 
@@ -14,10 +14,7 @@ int resolve_fanout_threads(int requested, std::size_t work_items) {
   }
   int threads = requested;
   if (threads == 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads == 0) {
-      threads = 1;
-    }
+    threads = util::default_thread_count();
   }
   return static_cast<int>(
       std::min<std::size_t>(static_cast<std::size_t>(threads),

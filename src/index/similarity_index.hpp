@@ -23,6 +23,10 @@
 #include "core/accelerator.hpp"
 #include "core/topk_spmv.hpp"
 
+namespace topk::sparse {
+class Csr;
+}  // namespace topk::sparse
+
 namespace topk::index {
 
 /// Backend-neutral execution options for one query.
@@ -89,6 +93,17 @@ struct ReplicaStats {
   double last_error_seconds = -1.0;
 };
 
+/// Kernel counters attached by CpuSimdIndex (the vectorized two-phase
+/// screen/rescore backend, see simd/topk_simd.hpp).
+struct SimdStats {
+  /// ISA level the screening scan ran at ("scalar", "avx2", "avx512").
+  std::string isa;
+  /// Rows whose screen interval reached the running k-th best and were
+  /// rescored with the exact double kernel (0 for the f16 screen-only
+  /// mode).
+  std::uint64_t rows_rescored = 0;
+};
+
 /// Counters attached by shard::MutableShardedIndex: the sealed tier's
 /// scatter-gather stats plus what the delta tier contributed to this
 /// query.
@@ -120,7 +135,7 @@ struct QueryStats {
   /// zero for backends that only exist as measured host code.
   double modelled_seconds = 0.0;
   std::variant<std::monostate, core::ExecutionStats, GpuModelStats, ShardStats,
-               MutableTierStats>
+               MutableTierStats, SimdStats>
       backend;
 };
 
@@ -141,6 +156,13 @@ struct QueryResult {
 [[nodiscard]] inline const GpuModelStats* gpu_stats(
     const QueryResult& result) noexcept {
   return std::get_if<GpuModelStats>(&result.stats.backend);
+}
+
+/// The SIMD-kernel extension payload, if this result came from
+/// CpuSimdIndex.
+[[nodiscard]] inline const SimdStats* simd_stats(
+    const QueryResult& result) noexcept {
+  return std::get_if<SimdStats>(&result.stats.backend);
 }
 
 /// The mutable-tier extension payload, if this result came from
@@ -222,6 +244,15 @@ class SimilarityIndex {
 
   /// Largest accepted top_k (0 = bounded only by rows).
   [[nodiscard]] virtual int max_top_k() const noexcept { return 0; }
+
+  /// The host-resident CSR matrix this index retains, or nullptr for
+  /// backends that only hold device/model images.  One virtual instead
+  /// of a dynamic_cast chain per concrete type: the persistence tier
+  /// saves any index whose primary returns non-null, and the mutable
+  /// tier's compaction reads it to rebuild the base matrix.
+  [[nodiscard]] virtual const sparse::Csr* host_csr() const noexcept {
+    return nullptr;
+  }
 
   /// Shared argument validation: x.size() == cols(), top_k in
   /// (0, max_top_k()] (or just positive when unbounded).  Throws

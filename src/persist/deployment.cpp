@@ -337,10 +337,10 @@ void save_deployment(const shard::ShardedIndex& index,
   for (std::size_t s = 0; s < index.shard_count(); ++s) {
     const index::SimilarityIndex* inner = &index.shard(s).primary();
     require_single_token(inner->describe().backend, "shard backend");
+    // Persistable backends either expose their host CSR (saved as a
+    // CSR image) or are the FPGA simulator (saved as a device image).
     if (dynamic_cast<const index::FpgaSimIndex*>(inner) == nullptr &&
-        dynamic_cast<const index::CpuHeapIndex*>(inner) == nullptr &&
-        dynamic_cast<const index::ExactSortIndex*>(inner) == nullptr &&
-        dynamic_cast<const index::GpuModelIndex*>(inner) == nullptr) {
+        inner->host_csr() == nullptr) {
       throw std::invalid_argument(
           "save_deployment: shard " + std::to_string(s) + " backend '" +
           inner->describe().backend + "' has no persistable image format");
@@ -359,7 +359,7 @@ void save_deployment(const shard::ShardedIndex& index,
     image.range = shard.range;
     image.backend = primary->describe().backend;
 
-    const sparse::Csr* csr = nullptr;
+    const sparse::Csr* csr = primary->host_csr();
     if (const auto* fpga = dynamic_cast<const index::FpgaSimIndex*>(primary)) {
       const core::DesignConfig& config = fpga->accelerator().config();
       if (!have_design) {
@@ -373,16 +373,8 @@ void save_deployment(const shard::ShardedIndex& index,
       image.format = kFormatFpga;
       image.file = "shard-" + std::to_string(s) + ".fpga.img";
       write_fpga_image(dir / image.file, fpga->accelerator());
-    } else if (const auto* heap =
-                   dynamic_cast<const index::CpuHeapIndex*>(primary)) {
-      csr = &heap->matrix();
-    } else if (const auto* sort =
-                   dynamic_cast<const index::ExactSortIndex*>(primary)) {
-      csr = &sort->matrix();
-    } else if (const auto* gpu =
-                   dynamic_cast<const index::GpuModelIndex*>(primary)) {
-      csr = &gpu->matrix();
-    } else {
+      csr = nullptr;  // the device image wins even if a host CSR existed
+    } else if (csr == nullptr) {
       throw std::invalid_argument("save_deployment: shard " +
                                   std::to_string(s) + " backend '" +
                                   image.backend +

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <bit>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
+
+#include "util/cpu_features.hpp"
 
 #if defined(__x86_64__) && defined(__GNUC__)
 #define TOPK_SHA_NI_DISPATCH 1
@@ -285,23 +286,15 @@ __attribute__((target("sha,sse4.1,ssse3"))) void sha256_blocks_shani(
   _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
 }
 
-bool cpu_has_sha_ni() {
-  // TOPK_NO_SHA_NI forces the portable path (so the fallback stays
-  // testable on hardware that would otherwise always dispatch to
-  // SHA-NI).
-  static const bool supported = std::getenv("TOPK_NO_SHA_NI") == nullptr &&
-                                __builtin_cpu_supports("sha") &&
-                                __builtin_cpu_supports("sse4.1") &&
-                                __builtin_cpu_supports("ssse3");
-  return supported;
-}
-
 #endif  // TOPK_SHA_NI_DISPATCH
 
 void sha256_blocks(std::array<std::uint32_t, 8>& state,
                    const std::uint8_t* block, std::size_t blocks) {
 #ifdef TOPK_SHA_NI_DISPATCH
-  if (cpu_has_sha_ni()) {
+  // The shared probe honours TOPK_NO_SHA_NI, which forces the portable
+  // path (so the fallback stays testable on hardware that would
+  // otherwise always dispatch to SHA-NI).
+  if (util::cpu_features().sha_ni) {
     sha256_blocks_shani(state, block, blocks);
     return;
   }

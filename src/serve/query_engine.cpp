@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
 #include "serve/thread_pool.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
+#include "util/cpu_features.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
@@ -20,8 +20,7 @@ int resolve_workers(int requested) {
     throw std::invalid_argument("EngineConfig: negative worker count");
   }
   if (requested == 0) {
-    const int hw = static_cast<int>(std::thread::hardware_concurrency());
-    return hw > 0 ? hw : 1;
+    return util::default_thread_count();
   }
   return requested;
 }

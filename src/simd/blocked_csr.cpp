@@ -1,0 +1,160 @@
+#include "simd/blocked_csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "fixed/half.hpp"
+
+namespace topk::simd {
+
+namespace {
+
+float screen_value(float value, ScreenPrecision precision) {
+  if (precision == ScreenPrecision::kHalf) {
+    return fixed::half_bits_to_float(fixed::float_to_half_bits(value));
+  }
+  return value;
+}
+
+}  // namespace
+
+BlockedCsr BlockedCsr::build(std::shared_ptr<const sparse::Csr> matrix,
+                             LayoutOptions options) {
+  if (!matrix) {
+    throw std::invalid_argument("simd::BlockedCsr: null matrix");
+  }
+  BlockedCsr layout;
+  layout.matrix_ = std::move(matrix);
+  layout.precision_ = options.precision;
+  const sparse::Csr& csr = *layout.matrix_;
+
+  // One pass to count occupied blocks (CSR rows are column-sorted, so
+  // a block boundary is just a change of c / kBlockCols).
+  std::uint64_t occupied = 0;
+  for (std::uint32_t r = 0; r < csr.rows(); ++r) {
+    std::uint32_t prev_block = std::numeric_limits<std::uint32_t>::max();
+    for (const std::uint32_t c : csr.row_cols(r)) {
+      const std::uint32_t block = c / kBlockCols;
+      if (block != prev_block) {
+        ++occupied;
+        prev_block = block;
+      }
+    }
+  }
+  const double fill =
+      occupied == 0 ? 0.0
+                    : static_cast<double>(csr.nnz()) /
+                          static_cast<double>(occupied);
+  layout.strategy_ = options.strategy.value_or(fill >= options.min_block_fill
+                                                   ? Strategy::kBlocked
+                                                   : Strategy::kGather);
+
+  if (layout.strategy_ == Strategy::kBlocked) {
+    layout.block_ptr_.reserve(static_cast<std::size_t>(csr.rows()) + 1);
+    layout.block_ptr_.push_back(0);
+    layout.block_id_.reserve(occupied);
+    layout.block_vals_.assign(occupied * kBlockCols, 0.0f);
+    for (std::uint32_t r = 0; r < csr.rows(); ++r) {
+      const std::span<const std::uint32_t> cols = csr.row_cols(r);
+      const std::span<const float> vals = csr.row_values(r);
+      std::uint32_t prev_block = std::numeric_limits<std::uint32_t>::max();
+      for (std::size_t i = 0; i < cols.size(); ++i) {
+        const std::uint32_t block = cols[i] / kBlockCols;
+        if (block != prev_block) {
+          layout.block_id_.push_back(block);
+          prev_block = block;
+        }
+        const std::size_t slot =
+            (layout.block_id_.size() - 1) * kBlockCols + cols[i] % kBlockCols;
+        // += so a non-canonical row with duplicate columns still sums
+        // (the screen is bracketed by margins either way; the rescore
+        // reads the untouched CSR).
+        layout.block_vals_[slot] += screen_value(vals[i], layout.precision_);
+      }
+      layout.block_ptr_.push_back(layout.block_id_.size());
+    }
+  } else {
+    // Transposed gather groups: rows sorted by non-zero count so each
+    // group of 16 pads only to its own longest row, then laid out
+    // term-major (16 columns + 16 values per term, one lane per row).
+    std::vector<std::uint32_t> order(csr.rows());
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return csr.row_cols(a).size() < csr.row_cols(b).size();
+                     });
+    const std::uint32_t groups =
+        (csr.rows() + kBlockCols - 1) / kBlockCols;
+    layout.order_ = std::move(order);
+    layout.order_.resize(static_cast<std::size_t>(groups) * kBlockCols,
+                         kInvalidRow);
+    layout.group_off_.reserve(static_cast<std::size_t>(groups) + 1);
+    layout.group_off_.push_back(0);
+    for (std::uint32_t g = 0; g < groups; ++g) {
+      std::uint64_t terms = 0;
+      for (std::uint32_t lane = 0; lane < kBlockCols; ++lane) {
+        const std::uint32_t row = layout.order_[g * kBlockCols + lane];
+        if (row != kInvalidRow) {
+          terms = std::max<std::uint64_t>(terms, csr.row_cols(row).size());
+        }
+      }
+      layout.group_off_.push_back(layout.group_off_.back() + terms);
+    }
+    const std::size_t slots =
+        static_cast<std::size_t>(layout.group_off_.back()) * kBlockCols;
+    layout.narrow_cols_ = csr.cols() <= 65536;
+    if (layout.narrow_cols_) {
+      layout.group_cols16_.assign(slots, 0);  // pad: column 0, value +0.0f
+    } else {
+      layout.group_cols_.assign(slots, 0);
+    }
+    layout.group_vals_.assign(slots, 0.0f);
+    for (std::uint32_t g = 0; g < groups; ++g) {
+      const std::size_t base =
+          static_cast<std::size_t>(layout.group_off_[g]) * kBlockCols;
+      for (std::uint32_t lane = 0; lane < kBlockCols; ++lane) {
+        const std::uint32_t row = layout.order_[g * kBlockCols + lane];
+        if (row == kInvalidRow) {
+          continue;
+        }
+        const std::span<const std::uint32_t> cols = csr.row_cols(row);
+        const std::span<const float> vals = csr.row_values(row);
+        for (std::size_t t = 0; t < cols.size(); ++t) {
+          const std::size_t slot = base + t * kBlockCols + lane;
+          if (layout.narrow_cols_) {
+            layout.group_cols16_[slot] = static_cast<std::uint16_t>(cols[t]);
+          } else {
+            layout.group_cols_[slot] = cols[t];
+          }
+          layout.group_vals_[slot] = screen_value(vals[t], layout.precision_);
+        }
+      }
+    }
+  }
+
+  // Bake the per-position screening error bound (see screen_bound()):
+  // the padded-term count is a layout property and the row norm a
+  // matrix property, so the only query-time factor left is ||x||_2.
+  const std::uint32_t positions = layout.position_count();
+  layout.screen_bound_.assign(positions, 0.0f);
+  for (std::uint32_t p = 0; p < positions; ++p) {
+    const std::uint32_t row = layout.position_row(p);
+    if (row == kInvalidRow) {
+      continue;
+    }
+    double norm_sq = 0.0;
+    for (const float value : csr.row_values(row)) {
+      norm_sq += static_cast<double>(value) * static_cast<double>(value);
+    }
+    layout.screen_bound_[p] = static_cast<float>(
+        (static_cast<double>(layout.position_terms(p)) + kScreenSlackTerms) *
+        kScreenEps * std::sqrt(norm_sq));
+  }
+  return layout;
+}
+
+}  // namespace topk::simd

@@ -1,0 +1,226 @@
+// Screening layout for the vectorized Top-K SpMV backend.
+//
+// The cpu-simd backend runs every query in two phases (see
+// simd/topk_simd.hpp): a wide f32 screening scan that brackets each
+// row's score with a rigorous error interval, then an exact
+// double-precision rescore (Csr::row_dot) of only the rows whose
+// interval overlaps the running k-th best.  BlockedCsr is what the
+// screening phase reads.  It keeps two representations and picks one
+// per matrix at build time:
+//
+//   kBlocked  the row's non-zeros re-packed into dense 16-column
+//             blocks: one uint32 block id plus 16 f32 values per
+//             *occupied* block (block-level zero skipping — absent
+//             blocks cost nothing, and padding lanes hold +0.0f, an
+//             exact no-op for the accumulator).
+//             The kernels then run pure contiguous FMAs, no gathers.
+//             Worth its footprint when rows land >= min_block_fill
+//             non-zeros in each occupied block (clustered columns).
+//
+//   kGather   rows re-grouped 16 at a time (sorted by non-zero count
+//             so groups are homogeneous) into a transposed, padded
+//             term-major layout: term t of group g holds 16 columns
+//             then 16 values, one LANE PER ROW.  The kernels keep one
+//             vector accumulator per group half and gather x per term,
+//             so a row's score finishes in its own lane — no
+//             horizontal reduction anywhere, which matters because at
+//             ~20 nnz/row the per-row epilogue, not the arithmetic,
+//             dominates.  Padding lanes store column 0 with value
+//             +0.0f (an exact no-op); the right default for uniformly
+//             sparse rows, where dense blocks would be mostly padding.
+//
+// The kHalf precision mode pre-rounds every stored value through IEEE
+// binary16 (fixed/half.hpp) — the storage format of the paper's GPU
+// F16 baseline — and the kernels then skip the rescore phase entirely,
+// making the backend approximate (gated by the same recall floor as
+// gpu-f16 in the tests).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace topk::simd {
+
+/// Columns per screening block, rows per gather group, and the widest
+/// vector the kernels use (one AVX-512 register, two AVX2 registers).
+inline constexpr std::uint32_t kBlockCols = 16;
+
+/// position_row() value of a padding lane in a partial final gather
+/// group (no row of the matrix; its scores are discarded).
+inline constexpr std::uint32_t kInvalidRow = 0xFFFFFFFFu;
+
+/// Margin scale of the screening error bound (see screen_bound()):
+/// f32 accumulation of n products has error <= gamma_n * sum|p_i| with
+/// gamma_n ~ n * 2^-24; 2^-22 plus the +kScreenSlackTerms term keeps
+/// >= 4x headroom.  The slack also covers evaluating the margin and
+/// the score bounds themselves in f32 (each op adds relative error
+/// 2^-24, and |score| <= ||row||*||x|| keeps every rounding below
+/// margin/4), so the rescore filter runs float-only.
+inline constexpr double kScreenEps = 0x1p-22;
+inline constexpr double kScreenSlackTerms = 64.0;
+
+/// Value precision of the screening scan.
+enum class ScreenPrecision {
+  kFloat32,  ///< exact backend: f32 screen + row_dot rescore
+  kHalf,     ///< approximate backend: binary16-rounded values, no rescore
+};
+
+/// Memory representation the screening kernels read (see header
+/// comment).
+enum class Strategy { kBlocked, kGather };
+
+struct LayoutOptions {
+  ScreenPrecision precision = ScreenPrecision::kFloat32;
+  /// Forced representation; nullopt picks kBlocked when the mean
+  /// occupied-block fill reaches min_block_fill.
+  std::optional<Strategy> strategy;
+  /// Auto-strategy threshold: mean non-zeros per occupied block at
+  /// which dense blocks beat gathers (>= 2 amortises the 4x padding
+  /// bandwidth against gather latency).
+  double min_block_fill = 2.0;
+};
+
+/// Immutable screening layout over (and sharing ownership of) a CSR
+/// matrix.
+class BlockedCsr {
+ public:
+  BlockedCsr() = default;
+
+  /// Builds the layout.  Throws std::invalid_argument on a null
+  /// matrix.
+  [[nodiscard]] static BlockedCsr build(
+      std::shared_ptr<const sparse::Csr> matrix, LayoutOptions options = {});
+
+  [[nodiscard]] const sparse::Csr& source() const noexcept { return *matrix_; }
+  [[nodiscard]] const std::shared_ptr<const sparse::Csr>& shared_source()
+      const noexcept {
+    return matrix_;
+  }
+  [[nodiscard]] std::uint32_t rows() const noexcept { return matrix_->rows(); }
+  [[nodiscard]] std::uint32_t cols() const noexcept { return matrix_->cols(); }
+  [[nodiscard]] Strategy strategy() const noexcept { return strategy_; }
+  [[nodiscard]] ScreenPrecision precision() const noexcept {
+    return precision_;
+  }
+
+  /// kBlocked arrays (empty under kGather).  Row r owns blocks
+  /// [block_ptr()[r], block_ptr()[r+1]); block b covers columns
+  /// [block_id()[b]*16, +16) with values block_vals()[b*16 .. b*16+16).
+  [[nodiscard]] const std::vector<std::uint64_t>& block_ptr() const noexcept {
+    return block_ptr_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& block_id() const noexcept {
+    return block_id_;
+  }
+  [[nodiscard]] const std::vector<float>& block_vals() const noexcept {
+    return block_vals_;
+  }
+
+  /// kGather arrays (empty under kBlocked).  Group g covers scan
+  /// positions [g*16, g*16+16) and its terms live at flat slots
+  /// [group_off()[g]*16, group_off()[g+1]*16): slot t*16+lane of
+  /// group_cols()/group_vals() is term t of the row at position
+  /// g*16+lane.  Padding (a lane past its row's non-zeros, or a
+  /// kInvalidRow lane of the final group) holds column 0 / value 0.
+  /// The screen is L3-bandwidth-bound at paper-scale, so columns are
+  /// stored 16-bit when they fit (narrow_cols(); cols() <= 65536 — the
+  /// paper's M is at most 1024), filling group_cols16() and leaving
+  /// group_cols() empty; otherwise the reverse.
+  [[nodiscard]] const std::vector<std::uint64_t>& group_off() const noexcept {
+    return group_off_;
+  }
+  [[nodiscard]] bool narrow_cols() const noexcept { return narrow_cols_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& group_cols() const noexcept {
+    return group_cols_;
+  }
+  [[nodiscard]] const std::vector<std::uint16_t>& group_cols16()
+      const noexcept {
+    return group_cols16_;
+  }
+  [[nodiscard]] const std::vector<float>& group_vals() const noexcept {
+    return group_vals_;
+  }
+
+  /// Scan positions (the index space of the kernels' score/abs-sum
+  /// outputs): row ids under kBlocked; the nnz-sorted row permutation,
+  /// padded to whole groups of 16, under kGather.  Always a multiple
+  /// of 16 for kGather so thread ranges can stay group-aligned.
+  [[nodiscard]] std::uint32_t position_count() const noexcept {
+    if (strategy_ == Strategy::kBlocked) {
+      return rows();
+    }
+    return static_cast<std::uint32_t>(group_off_.empty()
+                                          ? 0
+                                          : (group_off_.size() - 1) *
+                                                kBlockCols);
+  }
+
+  /// Row scanned at position p (kInvalidRow for a padding lane).
+  [[nodiscard]] std::uint32_t position_row(std::uint32_t p) const {
+    if (strategy_ == Strategy::kBlocked) {
+      return p;
+    }
+    return order_[p];
+  }
+
+  /// Number of f32 terms the screening scan accumulates at position p
+  /// — the n in the error bound gamma_n * sum|v_i * x_i| the rescore
+  /// filter uses.  Padding terms are +0.0f exact no-ops but still
+  /// count as additions (blocked rows pad to whole blocks; gather
+  /// rows pad to their group's longest row).
+  [[nodiscard]] std::uint64_t position_terms(std::uint32_t p) const {
+    if (strategy_ == Strategy::kBlocked) {
+      return (block_ptr_[p + 1] - block_ptr_[p]) * kBlockCols;
+    }
+    const std::uint32_t g = p / kBlockCols;
+    return group_off_[g + 1] - group_off_[g];
+  }
+
+  /// Per-position screening error bound, baked at build time:
+  /// screen_bound()[p] = (position_terms(p) + kScreenSlackTerms) *
+  /// kScreenEps * ||row||_2 (0 for padding lanes).  Multiplied by
+  /// ||x||_2 at query time it dominates the f32 scan's rounding error
+  /// (gamma_n * sum|v_i*x_i| <= gamma_n * ||row||*||x|| by
+  /// Cauchy-Schwarz) by >= 4x, so the scan needs no per-query
+  /// absolute-product accumulator at all — the margin costs one
+  /// multiply per row in the filter loop instead of one FMA per term
+  /// in the kernel.
+  [[nodiscard]] const std::vector<float>& screen_bound() const noexcept {
+    return screen_bound_;
+  }
+
+  /// Bytes owned by the layout beyond the shared source CSR.
+  [[nodiscard]] std::uint64_t extra_bytes() const noexcept {
+    return block_ptr_.size() * sizeof(std::uint64_t) +
+           block_id_.size() * sizeof(std::uint32_t) +
+           block_vals_.size() * sizeof(float) +
+           order_.size() * sizeof(std::uint32_t) +
+           group_off_.size() * sizeof(std::uint64_t) +
+           group_cols_.size() * sizeof(std::uint32_t) +
+           group_cols16_.size() * sizeof(std::uint16_t) +
+           group_vals_.size() * sizeof(float) +
+           screen_bound_.size() * sizeof(float);
+  }
+
+ private:
+  std::shared_ptr<const sparse::Csr> matrix_;
+  Strategy strategy_ = Strategy::kGather;
+  ScreenPrecision precision_ = ScreenPrecision::kFloat32;
+  bool narrow_cols_ = false;
+  std::vector<std::uint64_t> block_ptr_;
+  std::vector<std::uint32_t> block_id_;
+  std::vector<float> block_vals_;
+  std::vector<std::uint32_t> order_;
+  std::vector<std::uint64_t> group_off_;
+  std::vector<std::uint32_t> group_cols_;
+  std::vector<std::uint16_t> group_cols16_;
+  std::vector<float> group_vals_;
+  std::vector<float> screen_bound_;
+};
+
+}  // namespace topk::simd

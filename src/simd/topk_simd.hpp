@@ -1,0 +1,100 @@
+// Vectorized Top-K SpMV with runtime ISA dispatch.
+//
+// Direct vectorization of the exact kernel is a dead end: Csr::row_dot
+// accumulates in double, *sequentially*, and every exact backend is
+// bit-compared against it, so any reassociated (vector) summation
+// changes results.  Instead the kernel runs two phases:
+//
+//   1. SCREEN - a wide f32 scan (AVX-512 / AVX2 / scalar, chosen at
+//      runtime via util::cpu_features) computes, per row, the f32
+//      score s.  Standard rounding analysis bounds the screen's total
+//      error by gamma_n * sum|v_i * x_i| with gamma_n ~ n * 2^-24 for
+//      n accumulated terms, and Cauchy-Schwarz caps that sum by
+//      ||row||_2 * ||x||_2 - so the margin (n + 64) * 2^-22 *
+//      ||row||_2 * ||x||_2 is a >= 4x overestimate whose row factor
+//      the layout precomputes (BlockedCsr::screen_bound()), leaving
+//      one multiply per row at query time, and [s - margin,
+//      s + margin] always brackets the exact double dot product.
+//   2. RESCORE - rows whose upper bound reaches the running k-th
+//      largest lower bound are rescored with Csr::row_dot itself.
+//      The k-th lower bound only underestimates the k-th exact score,
+//      so every true top-k row is rescored; the final heap therefore
+//      contains exact doubles and is bit-identical to cpu-heap /
+//      exact-sort by construction - independent of ISA, block layout,
+//      and thread count (per-thread ranges rescore conservatively
+//      more, never less).
+//
+// Lane-level reassociation only changes *which* rows get rescored
+// (all margins are sound), never the returned entries.  On separable
+// score distributions the rescore touches O(k) rows and the query is
+// dominated by the f32 scan - the >= 2x single-thread speedup over
+// cpu-heap that bench/bench_simd.cpp gates.
+//
+// The screen-only entry point serves the approximate cpu-simd-f16
+// backend: values pre-rounded through binary16 (ScreenPrecision::
+// kHalf), screen scores returned directly, recall-floor gated in the
+// tests like gpu-f16.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/topk_spmv.hpp"
+#include "simd/blocked_csr.hpp"
+
+namespace topk::simd {
+
+/// Kernel implementations in dispatch order.
+enum class IsaLevel { kScalar, kAvx2, kAvx512 };
+
+[[nodiscard]] const char* to_string(IsaLevel level) noexcept;
+
+/// The widest level this process dispatches to: the cached
+/// util::cpu_features probe, so TOPK_NO_AVX / TOPK_NO_AVX512 force the
+/// narrower paths (mirroring TOPK_NO_SHA_NI for the digest kernel).
+[[nodiscard]] IsaLevel dispatch_level() noexcept;
+
+/// Every level the host can run, narrowest first (kScalar always).
+/// Tests sweep these through SimdQueryOptions::force_level so one
+/// process exercises each compiled-in path against the same data.
+[[nodiscard]] std::vector<IsaLevel> available_levels();
+
+struct SimdQueryOptions {
+  /// Intra-query fan-out over row ranges on the shared pool
+  /// (0 = hardware concurrency, clamped to the row count).
+  int threads = 1;
+  /// Pin the kernel to one level instead of dispatch_level().  Throws
+  /// std::invalid_argument when the host cannot run it.
+  std::optional<IsaLevel> force_level;
+};
+
+/// Counters from one kernel invocation.
+struct SimdKernelStats {
+  IsaLevel level = IsaLevel::kScalar;  ///< level that actually ran
+  std::uint64_t rows_screened = 0;
+  /// Exact path only: rows whose screen interval overlapped the
+  /// running k-th lower bound and were rescored via Csr::row_dot.
+  std::uint64_t rows_rescored = 0;
+};
+
+/// Exact Top-K (screen + rescore; see header comment).  Requires a
+/// ScreenPrecision::kFloat32 layout - a kHalf screen's rounding is not
+/// covered by the margin analysis, so mixing the modes throws
+/// std::invalid_argument.  Also throws on shape mismatch, non-positive
+/// top_k, or negative threads.
+[[nodiscard]] std::vector<core::TopKEntry> topk_spmv_exact(
+    const BlockedCsr& layout, std::span<const float> x, int top_k,
+    const SimdQueryOptions& options = {}, SimdKernelStats* stats = nullptr);
+
+/// Approximate Top-K: the f32 screen scores ARE the results (no
+/// margins, no rescore), ranked with the canonical tie-break.  Pairs
+/// with a ScreenPrecision::kHalf layout for the cpu-simd-f16 backend
+/// (any precision is accepted; kFloat32 simply screens unrounded
+/// values).  Same argument validation as topk_spmv_exact.
+[[nodiscard]] std::vector<core::TopKEntry> topk_spmv_screen(
+    const BlockedCsr& layout, std::span<const float> x, int top_k,
+    const SimdQueryOptions& options = {}, SimdKernelStats* stats = nullptr);
+
+}  // namespace topk::simd

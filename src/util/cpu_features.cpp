@@ -1,0 +1,41 @@
+#include "util/cpu_features.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+namespace topk::util {
+
+namespace {
+
+CpuFeatures probe() {
+  CpuFeatures features;
+#if defined(__x86_64__) && defined(__GNUC__)
+  const bool no_avx = std::getenv("TOPK_NO_AVX") != nullptr;
+  const bool no_avx512 = std::getenv("TOPK_NO_AVX512") != nullptr;
+  features.avx2 = !no_avx && __builtin_cpu_supports("avx2") &&
+                  __builtin_cpu_supports("fma");
+  // AVX-512 is modelled as a strict upgrade of the AVX2 path: the
+  // 512-bit kernels assume FMA too, so avx512 implies avx2 here.
+  features.avx512 = features.avx2 && !no_avx512 &&
+                    __builtin_cpu_supports("avx512f");
+  features.sha_ni = std::getenv("TOPK_NO_SHA_NI") == nullptr &&
+                    __builtin_cpu_supports("sha") &&
+                    __builtin_cpu_supports("sse4.1") &&
+                    __builtin_cpu_supports("ssse3");
+#endif
+  return features;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() noexcept {
+  static const CpuFeatures features = probe();
+  return features;
+}
+
+int default_thread_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace topk::util

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 
 #include "test_helpers.hpp"
@@ -53,6 +54,29 @@ TEST(CpuTopK, TopKLargerThanRowsReturnsAllRows) {
   EXPECT_EQ(result.size(), 20u);
   for (std::size_t i = 1; i < result.size(); ++i) {
     EXPECT_GE(result[i - 1].value, result[i].value);
+  }
+}
+
+TEST(CpuTopK, ThreadClampStaysPositive) {
+  // Regression: the thread count used to be clamped via
+  // static_cast<int>(matrix.rows()), which goes negative for row
+  // counts >= 2^31 and made std::min pick the negative value.  The
+  // clamp now stays in uint32 space; extreme thread requests against
+  // any row count must degrade to a positive effective count, not
+  // wrap, crash, or throw.
+  const sparse::Csr matrix = test::small_random_matrix(37, 32, 3.0, 97);
+  util::Xoshiro256 rng(98);
+  const auto x = sparse::generate_dense_vector(32, rng);
+  const auto reference = cpu_topk_spmv(matrix, x, 5, 1);
+  for (const int threads :
+       {std::numeric_limits<int>::max(), std::numeric_limits<int>::max() - 1,
+        1 << 30}) {
+    const auto result = cpu_topk_spmv(matrix, x, 5, threads);
+    ASSERT_EQ(result.size(), reference.size()) << threads << " threads";
+    for (std::size_t i = 0; i < result.size(); ++i) {
+      EXPECT_EQ(result[i].index, reference[i].index)
+          << threads << " threads, rank " << i;
+    }
   }
 }
 

@@ -262,6 +262,7 @@ TEST_P(CrossBackendAgreementTest, ExactBackendsAreBitIdentical) {
       shared_matrix(param.rows, param.cols, param.mean_nnz, param.seed);
   const auto cpu = make_index("cpu-heap", matrix);
   const auto exact = make_index("exact-sort", matrix);
+  const auto simd = make_index("cpu-simd", matrix);
 
   util::Xoshiro256 rng(param.seed + 1);
   for (int q = 0; q < 4; ++q) {
@@ -273,6 +274,9 @@ TEST_P(CrossBackendAgreementTest, ExactBackendsAreBitIdentical) {
       EXPECT_EQ(cpu_result.entries[i], exact_result.entries[i])
           << "query " << q << ", rank " << i;
     }
+    // The vectorized screen + rescore path is exact by construction.
+    EXPECT_EQ(simd->query(x, param.top_k).entries, cpu_result.entries)
+        << "query " << q;
     // The multi-threaded scan must agree with itself at any fan-out.
     QueryOptions threaded;
     threaded.threads = 4;
@@ -290,6 +294,7 @@ TEST_P(CrossBackendAgreementTest, ApproximateBackendsClearRecallFloor) {
   const auto exact = make_index("exact-sort", matrix);
   const auto fpga = make_index("fpga-sim", matrix, options);
   const auto gpu = make_index("gpu-f16", matrix);
+  const auto simd_half = make_index("cpu-simd-f16", matrix);
 
   // 20-bit fixed point and binary16 both retrieve nearly all of the
   // exact top-K on embedding-scale data (paper Figure 7); 0.7 is a
@@ -303,8 +308,11 @@ TEST_P(CrossBackendAgreementTest, ApproximateBackendsClearRecallFloor) {
         indices_of(fpga->query(x, param.top_k)), exact_indices);
     const double gpu_recall = metrics::precision_at_k(
         indices_of(gpu->query(x, param.top_k)), exact_indices);
+    const double simd_half_recall = metrics::precision_at_k(
+        indices_of(simd_half->query(x, param.top_k)), exact_indices);
     EXPECT_GE(fpga_recall, kRecallFloor) << "query " << q;
     EXPECT_GE(gpu_recall, kRecallFloor) << "query " << q;
+    EXPECT_GE(simd_half_recall, kRecallFloor) << "query " << q;
   }
 }
 

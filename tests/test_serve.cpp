@@ -16,6 +16,7 @@
 #include "serve/query_engine.hpp"
 #include "serve/thread_pool.hpp"
 #include "test_helpers.hpp"
+#include "util/cpu_features.hpp"
 
 namespace topk::serve {
 namespace {
@@ -131,8 +132,7 @@ class QueryEngineTest : public ::testing::Test {
 TEST_F(QueryEngineTest, WorkerCountDoesNotChangeResults) {
   const auto queries = make_queries(6, 201);
   const index::QueryResult reference = fpga_->query(queries[0], 32);
-  const int oversubscribed =
-      4 * std::max(1u, std::thread::hardware_concurrency());
+  const int oversubscribed = 4 * topk::util::default_thread_count();
   for (const int workers : {1, 2, 8, 16, oversubscribed}) {
     QueryEngine engine(fpga_, {.workers = workers});
     const index::QueryResult result = engine.query(queries[0], 32);

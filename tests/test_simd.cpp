@@ -1,0 +1,294 @@
+// Tests for the vectorized cpu-simd backend: ISA dispatch coverage,
+// bit-identity of every compiled-in kernel level and both screening
+// layouts against the scalar baseline (including tails, unaligned
+// group starts, explicit zero blocks, empty rows, and near-ties),
+// argument validation, the registry/describe surface, and the
+// approximate binary16 screen's recall floor.
+//
+// The whole suite also runs under TOPK_NO_AVX=1 (a dedicated ctest
+// entry) where available_levels() collapses to the scalar kernel —
+// the dispatch test asserts that collapse instead of skipping.
+#include "simd/topk_simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "baselines/cpu_topk_spmv.hpp"
+#include "index/backends.hpp"
+#include "index/registry.hpp"
+#include "metrics/ranking.hpp"
+#include "simd/blocked_csr.hpp"
+#include "test_helpers.hpp"
+
+namespace topk::simd {
+namespace {
+
+std::shared_ptr<const sparse::Csr> shared_matrix(std::uint32_t rows,
+                                                 std::uint32_t cols,
+                                                 double mean_nnz,
+                                                 std::uint64_t seed) {
+  return std::make_shared<const sparse::Csr>(
+      test::small_random_matrix(rows, cols, mean_nnz, seed));
+}
+
+/// Runs the exact kernel under every available ISA level (and a
+/// 3-thread fan-out at the widest) and asserts each result is
+/// bit-identical to the scalar double-precision baseline.
+void expect_all_levels_match(const BlockedCsr& layout,
+                             std::span<const float> x, int top_k) {
+  const auto reference =
+      baselines::cpu_topk_spmv(layout.source(), x, top_k, 1);
+  for (const IsaLevel level : available_levels()) {
+    SimdQueryOptions options;
+    options.force_level = level;
+    const auto result = topk_spmv_exact(layout, x, top_k, options);
+    EXPECT_EQ(result, reference) << "level " << to_string(level);
+  }
+  SimdQueryOptions threaded;
+  threaded.threads = 3;
+  EXPECT_EQ(topk_spmv_exact(layout, x, top_k, threaded), reference)
+      << "3 threads";
+}
+
+// ---------------------------------------------------------------- dispatch
+
+TEST(SimdDispatchTest, LevelsAreConsistent) {
+  const auto levels = available_levels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), IsaLevel::kScalar);
+  // Narrowest-first and duplicate-free.
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    EXPECT_LT(static_cast<int>(levels[i - 1]), static_cast<int>(levels[i]));
+  }
+  // The dispatched level is always runnable, and it is the widest.
+  EXPECT_EQ(levels.back(), dispatch_level());
+  if (std::getenv("TOPK_NO_AVX") != nullptr) {
+    EXPECT_EQ(levels.size(), 1u) << "TOPK_NO_AVX must disable every "
+                                    "vector kernel";
+    EXPECT_EQ(dispatch_level(), IsaLevel::kScalar);
+  }
+}
+
+TEST(SimdDispatchTest, ToStringCoversEveryLevel) {
+  EXPECT_STREQ(to_string(IsaLevel::kScalar), "scalar");
+  EXPECT_STREQ(to_string(IsaLevel::kAvx2), "avx2");
+  EXPECT_STREQ(to_string(IsaLevel::kAvx512), "avx512");
+}
+
+// ------------------------------------------------------------------ parity
+
+TEST(SimdParityTest, AllLevelsAndStrategiesMatchScalarBaseline) {
+  const auto matrix = shared_matrix(800, 256, 10.0, 41);
+  util::Xoshiro256 rng(42);
+  for (const auto strategy : {Strategy::kBlocked, Strategy::kGather}) {
+    LayoutOptions options;
+    options.strategy = strategy;
+    const BlockedCsr layout = BlockedCsr::build(matrix, options);
+    ASSERT_EQ(layout.strategy(), strategy);
+    for (int q = 0; q < 4; ++q) {
+      const auto x = sparse::generate_dense_vector(256, rng);
+      expect_all_levels_match(layout, x, 25);
+    }
+  }
+}
+
+TEST(SimdParityTest, ExhaustiveTailWidths) {
+  // Sweep every vector-width remainder: cols 1..40 covers full 16-wide
+  // blocks, 8-wide halves, and every scalar tail length, for both
+  // layouts (group starts land on all alignments as rows shuffle).
+  util::Xoshiro256 rng(43);
+  for (std::uint32_t cols = 1; cols <= 40; ++cols) {
+    const double nnz = std::min<double>(cols, 3.0);
+    const auto matrix = shared_matrix(48, cols, nnz, 100 + cols);
+    const auto x = sparse::generate_dense_vector(cols, rng);
+    for (const auto strategy : {Strategy::kBlocked, Strategy::kGather}) {
+      LayoutOptions options;
+      options.strategy = strategy;
+      const BlockedCsr layout = BlockedCsr::build(matrix, options);
+      expect_all_levels_match(layout, x, 8);
+    }
+  }
+}
+
+TEST(SimdParityTest, AdversarialRowStructure) {
+  // Empty rows, single-entry rows, and one long row — the pathologies
+  // that break padding/tail logic first.
+  const auto matrix =
+      std::make_shared<const sparse::Csr>(test::adversarial_matrix(64));
+  util::Xoshiro256 rng(44);
+  const auto x = sparse::generate_dense_vector(64, rng);
+  for (const auto strategy : {Strategy::kBlocked, Strategy::kGather}) {
+    LayoutOptions options;
+    options.strategy = strategy;
+    const BlockedCsr layout = BlockedCsr::build(matrix, options);
+    expect_all_levels_match(layout, x, static_cast<int>(matrix->rows()));
+  }
+}
+
+TEST(SimdParityTest, ExplicitZeroBlocksAndNearTies) {
+  // Rows 0..9 are bit-identical (exact ties broken by row index), row
+  // 10 stores an entire block of explicit zeros, row 11 differs from
+  // row 0 by one ulp-scale entry (the screen cannot separate them —
+  // the rescore must).
+  sparse::Coo coo(12, 64);
+  for (std::uint32_t r = 0; r < 10; ++r) {
+    coo.push_back(r, 3, 0.5f);
+    coo.push_back(r, 17, 0.25f);
+  }
+  for (std::uint32_t c = 0; c < 16; ++c) {
+    coo.push_back(10, c, 0.0f);
+  }
+  coo.push_back(11, 3, 0.5f);
+  coo.push_back(11, 17, 0.25000003f);
+  const auto matrix =
+      std::make_shared<const sparse::Csr>(sparse::Csr::from_coo(std::move(coo)));
+  std::vector<float> x(64, 0.0f);
+  x[3] = 1.0f;
+  x[17] = 1.0f;
+  for (const auto strategy : {Strategy::kBlocked, Strategy::kGather}) {
+    LayoutOptions options;
+    options.strategy = strategy;
+    const BlockedCsr layout = BlockedCsr::build(matrix, options);
+    expect_all_levels_match(layout, x, 12);
+  }
+}
+
+TEST(SimdParityTest, WideMatrixFallsBackToU32Columns) {
+  // cols > 65536 cannot use the 16-bit gather-column compression; the
+  // u32 path must engage and stay exact.
+  const auto wide = shared_matrix(300, 70'000, 6.0, 45);
+  LayoutOptions options;
+  options.strategy = Strategy::kGather;
+  const BlockedCsr layout = BlockedCsr::build(wide, options);
+  EXPECT_FALSE(layout.narrow_cols());
+  EXPECT_TRUE(layout.group_cols16().empty());
+  util::Xoshiro256 rng(46);
+  const auto x = sparse::generate_dense_vector(70'000, rng);
+  expect_all_levels_match(layout, x, 10);
+
+  const BlockedCsr narrow = BlockedCsr::build(shared_matrix(64, 512, 8.0, 47),
+                                              options);
+  EXPECT_TRUE(narrow.narrow_cols());
+  EXPECT_TRUE(narrow.group_cols().empty());
+}
+
+// -------------------------------------------------------------- validation
+
+TEST(SimdValidationTest, RejectsBadArguments) {
+  const auto matrix = shared_matrix(100, 64, 6.0, 48);
+  const BlockedCsr layout = BlockedCsr::build(matrix);
+  const std::vector<float> x(64, 0.1f);
+  const std::vector<float> wrong(16, 0.1f);
+  EXPECT_THROW((void)topk_spmv_exact(layout, wrong, 5), std::invalid_argument);
+  EXPECT_THROW((void)topk_spmv_exact(layout, x, 0), std::invalid_argument);
+  SimdQueryOptions negative;
+  negative.threads = -2;
+  EXPECT_THROW((void)topk_spmv_exact(layout, x, 5, negative),
+               std::invalid_argument);
+  EXPECT_THROW((void)topk_spmv_exact(BlockedCsr{}, x, 5),
+               std::invalid_argument);
+  EXPECT_THROW((void)BlockedCsr::build(nullptr), std::invalid_argument);
+}
+
+TEST(SimdValidationTest, ExactQueryRejectsHalfScreenLayout) {
+  const auto matrix = shared_matrix(100, 64, 6.0, 49);
+  LayoutOptions options;
+  options.precision = ScreenPrecision::kHalf;
+  const BlockedCsr layout = BlockedCsr::build(matrix, options);
+  const std::vector<float> x(64, 0.1f);
+  EXPECT_THROW((void)topk_spmv_exact(layout, x, 5), std::invalid_argument);
+  EXPECT_EQ(topk_spmv_screen(layout, x, 5).size(), 5u);
+}
+
+TEST(SimdValidationTest, ForcingAnUnavailableLevelThrows) {
+  const auto levels = available_levels();
+  if (levels.size() == 3) {
+    GTEST_SKIP() << "every level is available on this host (set "
+                    "TOPK_NO_AVX to exercise the rejection)";
+  }
+  const auto matrix = shared_matrix(50, 32, 4.0, 50);
+  const BlockedCsr layout = BlockedCsr::build(matrix);
+  SimdQueryOptions options;
+  options.force_level = IsaLevel::kAvx512;
+  EXPECT_THROW(
+      (void)topk_spmv_exact(layout, std::vector<float>(32, 0.1f), 5, options),
+      std::invalid_argument);
+}
+
+// ----------------------------------------------------------- index backend
+
+TEST(CpuSimdIndexTest, RegistryAndDescribe) {
+  for (const char* name : {"cpu-simd", "cpu-simd-f16", "sharded-cpu-simd",
+                           "mutable-sharded-cpu-simd"}) {
+    EXPECT_TRUE(index::has_backend(name)) << name;
+  }
+  const auto matrix = shared_matrix(400, 128, 8.0, 51);
+  const auto exact = index::make_index("cpu-simd", matrix);
+  EXPECT_TRUE(exact->describe().exact);
+  EXPECT_NE(exact->describe().detail.find("dispatch"), std::string::npos)
+      << exact->describe().detail;
+  EXPECT_GT(exact->describe().memory_bytes, matrix->csr_bytes())
+      << "the screening layout must be accounted on top of the CSR";
+  EXPECT_EQ(exact->host_csr(), matrix.get())
+      << "cpu-simd persists through the host CSR image";
+
+  const auto half = index::make_index("cpu-simd-f16", matrix);
+  EXPECT_FALSE(half->describe().exact);
+}
+
+TEST(CpuSimdIndexTest, SimdStatsExposedPerQuery) {
+  const auto matrix = shared_matrix(400, 128, 8.0, 52);
+  const auto index = index::make_index("cpu-simd", matrix);
+  util::Xoshiro256 rng(53);
+  const auto result =
+      index->query(sparse::generate_dense_vector(128, rng), 10);
+  ASSERT_NE(index::simd_stats(result), nullptr);
+  EXPECT_EQ(index::fpga_stats(result), nullptr);
+  EXPECT_EQ(index::simd_stats(result)->isa, to_string(dispatch_level()));
+  EXPECT_GE(index::simd_stats(result)->rows_rescored, 10u)
+      << "every returned row must have been rescored";
+  EXPECT_EQ(result.stats.rows_scanned, matrix->rows());
+}
+
+TEST(CpuSimdIndexTest, HalfScreenClearsRecallFloor) {
+  const auto matrix = shared_matrix(400, 128, 8.0, 54);
+  const auto exact = index::make_index("exact-sort", matrix);
+  const auto half = index::make_index("cpu-simd-f16", matrix);
+  // Same conservative floor as the gpu-f16 backend (test_index.cpp):
+  // binary16 screening retrieves nearly all of the exact top-K.
+  constexpr double kRecallFloor = 0.7;
+  util::Xoshiro256 rng(55);
+  for (int q = 0; q < 4; ++q) {
+    const auto x = sparse::generate_dense_vector(128, rng);
+    std::vector<std::uint32_t> exact_indices;
+    for (const auto& entry : exact->query(x, 20).entries) {
+      exact_indices.push_back(entry.index);
+    }
+    std::vector<std::uint32_t> half_indices;
+    for (const auto& entry : half->query(x, 20).entries) {
+      half_indices.push_back(entry.index);
+    }
+    EXPECT_GE(metrics::precision_at_k(half_indices, exact_indices),
+              kRecallFloor)
+        << "query " << q;
+  }
+}
+
+TEST(ShardedCpuSimdTest, FourShardsBitIdenticalToExactSort) {
+  const auto matrix = shared_matrix(600, 128, 8.0, 56);
+  const auto sharded = test::build_test_sharded(matrix, 4, "cpu-simd");
+  const auto exact = index::make_index("exact-sort", matrix);
+  util::Xoshiro256 rng(57);
+  for (int q = 0; q < 4; ++q) {
+    const auto x = sparse::generate_dense_vector(128, rng);
+    EXPECT_EQ(sharded->query(x, 20).entries, exact->query(x, 20).entries)
+        << "query " << q;
+  }
+}
+
+}  // namespace
+}  // namespace topk::simd

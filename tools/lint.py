@@ -44,6 +44,10 @@ WARNINGS = {
         "hand-rolled TopKEntry ordering instead of "
         "core::topk_entry_before/TopKEntryOrder"
     ),
+    "raw-hwconcurrency": (
+        "direct std::thread::hardware_concurrency() call outside "
+        "util/ (use util::default_thread_count())"
+    ),
     "pragma-once": "header missing #pragma once",
     "include-order": (
         "includes not in own-header-first, sorted-system, "
@@ -78,6 +82,12 @@ RAW_STAT = re.compile(
 # index tie-break that keeps equal-score results deterministic across
 # shard counts and thread counts.
 TIE_BREAK = re.compile(r"\.value\s*[<>]=?\s*[A-Za-z_]\w*(?:\.|->)value\b")
+
+# The hardware_concurrency()==0 fallback used to be copy-pasted per
+# call site, where the copies drift; util::default_thread_count() is
+# the one definition, and util/ is the only place allowed to call the
+# raw primitive.
+RAW_HWCONCURRENCY = re.compile(r"\bhardware_concurrency\s*\(")
 
 INCLUDE = re.compile(r'^\s*#\s*include\s+([<"])([^">]+)[">]')
 
@@ -185,6 +195,19 @@ class Linter:
                     "hand-rolled entry ordering — use "
                     "core::topk_entry_before or core::TopKEntryOrder so "
                     "equal scores keep the deterministic index tie-break",
+                )
+
+    def check_raw_hwconcurrency(self, path, text):
+        parts = path.relative_to(REPO_ROOT).parts
+        if parts[:2] == ("src", "util"):
+            return  # the one place the raw call is allowed
+        for lineno, line in enumerate(strip_comments(text).splitlines(), 1):
+            if RAW_HWCONCURRENCY.search(line):
+                self.warn(
+                    "raw-hwconcurrency", path, lineno,
+                    "direct hardware_concurrency() call — use "
+                    "util::default_thread_count() so the 0-means-unknown "
+                    "fallback has one definition",
                 )
 
     def check_pragma_once(self, path, text):
@@ -320,6 +343,7 @@ def main(argv):
         linter.check_raw_mutex(path, text)
         linter.check_raw_stat(path, text)
         linter.check_tie_break(path, text)
+        linter.check_raw_hwconcurrency(path, text)
         linter.check_pragma_once(path, text)
         linter.check_include_order(path, text)
 
