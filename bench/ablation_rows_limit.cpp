@@ -11,8 +11,8 @@
 #include "baselines/cpu_topk_spmv.hpp"
 #include "bench_common.hpp"
 #include "core/accelerator.hpp"
+#include "eval/ranking.hpp"
 #include "hbmsim/resource_model.hpp"
-#include "metrics/ranking.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -57,7 +57,7 @@ void sweep_matrix(const topk::bench::BenchArgs& args, const std::string& label,
     for (const auto& entry : result.entries) {
       retrieved.push_back(entry.index);
     }
-    const double precision = topk::metrics::precision_at_k(retrieved, relevant);
+    const double precision = topk::eval::precision_at_k(retrieved, relevant);
     const double lut =
         topk::hbmsim::estimate_resources(design, accelerator.layout()).lut;
 

@@ -43,9 +43,9 @@
 #include "bench_common.hpp"
 #include "index/registry.hpp"
 #include "serve/query_engine.hpp"
-#include "serve/thread_pool.hpp"
 #include "shard/sharded_index.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -169,7 +169,7 @@ int main(int argc, char** argv) {
 
   // Enough pool workers that every client batch fans out fully; the
   // executors mostly sleep in device dwell, so they are cheap.
-  topk::serve::shared_pool().ensure_workers(kClients * kClientBatch + kClients);
+  topk::util::shared_pool().ensure_workers(kClients * kClientBatch + kClients);
 
   topk::util::TablePrinter table(
       {"Replicas", "Devices", "Wall (s)", "Queries/s", "Speedup", "Identical"});

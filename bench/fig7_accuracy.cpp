@@ -11,7 +11,7 @@
 #include "baselines/gpu_model.hpp"
 #include "bench_common.hpp"
 #include "core/accelerator.hpp"
-#include "metrics/ranking.hpp"
+#include "eval/ranking.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -21,7 +21,7 @@ using topk::bench::BenchArgs;
 using topk::core::DesignConfig;
 using topk::core::TopKAccelerator;
 using topk::core::TopKEntry;
-using topk::metrics::TopKQuality;
+using topk::eval::TopKQuality;
 using topk::util::format_double;
 
 constexpr std::array<int, 6> kTopKs{8, 16, 32, 50, 75, 100};
@@ -51,7 +51,7 @@ void evaluate_prefixes(ArchCurves& curves,
         retrieved.begin(), retrieved.begin() + std::min(k, retrieved.size()));
     const std::vector<TopKEntry> exact_k(
         exact.begin(), exact.begin() + std::min(k, exact.size()));
-    curves.absorb(i, topk::metrics::evaluate_topk(retrieved_k, exact_k,
+    curves.absorb(i, topk::eval::evaluate_topk(retrieved_k, exact_k,
                                                   true_score));
   }
 }

@@ -10,7 +10,7 @@
 #include "baselines/cpu_topk_spmv.hpp"
 #include "core/accelerator.hpp"
 #include "core/precision_model.hpp"
-#include "metrics/ranking.hpp"
+#include "eval/ranking.hpp"
 #include "sparse/generator.hpp"
 #include "util/table.hpp"
 
@@ -35,7 +35,7 @@ double measured_precision(const topk::sparse::Csr& matrix, int cores, int k,
     for (const auto& entry : exact) {
       relevant.push_back(entry.index);
     }
-    total += topk::metrics::precision_at_k(retrieved, relevant);
+    total += topk::eval::precision_at_k(retrieved, relevant);
   }
   return total / queries;
 }

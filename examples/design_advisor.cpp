@@ -14,10 +14,10 @@
 #include <memory>
 #include <optional>
 
+#include "eval/ranking.hpp"
 #include "hbmsim/design_space.hpp"
 #include "hbmsim/power_model.hpp"
 #include "index/registry.hpp"
-#include "metrics/ranking.hpp"
 #include "sparse/generator.hpp"
 #include "util/table.hpp"
 
@@ -62,7 +62,7 @@ void validate_recommendation(const topk::hbmsim::WorkloadGoal& goal,
     for (const auto& entry : truth.entries) {
       truth_rows.push_back(entry.index);
     }
-    recall_sum += topk::metrics::precision_at_k(approx_rows, truth_rows);
+    recall_sum += topk::eval::precision_at_k(approx_rows, truth_rows);
   }
   std::cout << "Empirical check (" << generator.rows << "-row sample, "
             << kProbes << " probes): recall@" << top_k << " = "

@@ -11,8 +11,8 @@
 #include <memory>
 
 #include "embed/sparsify.hpp"
+#include "eval/ranking.hpp"
 #include "index/registry.hpp"
-#include "metrics/ranking.hpp"
 #include "sparse/generator.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -71,7 +71,7 @@ int main() {
 
       const auto result = index->query(x, kTopK);
       const auto exact = reference->query(x, kTopK);
-      const topk::metrics::TopKQuality quality = topk::metrics::evaluate_topk(
+      const topk::eval::TopKQuality quality = topk::eval::evaluate_topk(
           result.entries, exact.entries,
           [&](std::uint32_t row) { return matrix->row_dot(row, x); });
       top1_matches +=

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "serve/thread_pool.hpp"
 #include "util/cpu_features.hpp"
+#include "util/thread_pool.hpp"
 
 namespace topk::baselines {
 
@@ -77,7 +77,7 @@ std::vector<core::TopKEntry> cpu_topk_spmv(const sparse::Csr& matrix,
     // pool — no per-call thread spawning, matching the serving tier's
     // worker model.
     const std::uint32_t rows = matrix.rows();
-    serve::ThreadPool& pool = serve::shared_pool();
+    util::ThreadPool& pool = util::shared_pool();
     pool.ensure_workers(threads - 1);
     pool.parallel_for(
         static_cast<std::size_t>(threads), threads, [&](std::size_t t) {

@@ -3,7 +3,7 @@
 // A from-scratch equivalent of sparse_dot_topn [1], the paper's CPU
 // baseline: a multi-threaded C++ Top-K SpMV over CSR.  Rows are split
 // into per-thread ranges executed on the shared persistent pool
-// (serve::shared_pool(), no per-call thread spawning); each range
+// (util::shared_pool(), no per-call thread spawning); each range
 // scans its rows, keeps a local size-K min-heap of (score, row), and
 // the per-range heaps are merged at the end.  Scores use double
 // accumulation, so with threads == 1 or many this routine is *exact*

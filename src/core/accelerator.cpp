@@ -4,8 +4,8 @@
 #include <stdexcept>
 #include <string>
 
-#include "serve/thread_pool.hpp"
 #include "util/cpu_features.hpp"
+#include "util/thread_pool.hpp"
 
 namespace topk::core {
 
@@ -146,7 +146,7 @@ QueryResult TopKAccelerator::query(std::span<const float> x, int top_k,
   // parallel_for runs inline on the calling thread when threads <= 1,
   // so no separate sequential branch is needed.
   std::vector<KernelResult> per_core(streams_.size());
-  serve::ThreadPool& pool = serve::shared_pool();
+  util::ThreadPool& pool = util::shared_pool();
   pool.ensure_workers(threads - 1);
   pool.parallel_for(streams_.size(), threads, [&](std::size_t i) {
     per_core[i] = run_topk_spmv(streams_[i], quantized, config_.k,
@@ -194,7 +194,7 @@ std::vector<QueryResult> TopKAccelerator::query_batch(
   // Dynamic per-query scheduling on the shared pool: a worker claims
   // the next unstarted query as soon as it finishes one, so one slow
   // query no longer stalls a whole static block of the batch.
-  serve::ThreadPool& pool = serve::shared_pool();
+  util::ThreadPool& pool = util::shared_pool();
   pool.ensure_workers(threads - 1);
   pool.parallel_for(queries.size(), threads, [&](std::size_t i) {
     results[i] = query(queries[i], top_k);

@@ -45,7 +45,7 @@ struct QueryResult {
 
 /// Host-side execution options.  On the FPGA the c cores run
 /// concurrently by construction; the software simulator reproduces
-/// that on the shared persistent pool (serve::shared_pool()) with
+/// that on the shared persistent pool (util::shared_pool()) with
 /// dynamic work claiming over the per-core streams.
 struct QueryOptions {
   /// Maximum concurrency for one query's core streams (0 = hardware

@@ -1,4 +1,4 @@
-#include "metrics/ranking.hpp"
+#include "eval/ranking.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -7,7 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
-namespace topk::metrics {
+namespace topk::eval {
 
 namespace {
 
@@ -124,4 +124,4 @@ TopKQuality evaluate_topk(std::span<const core::TopKEntry> retrieved,
   return quality;
 }
 
-}  // namespace topk::metrics
+}  // namespace topk::eval

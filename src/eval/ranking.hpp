@@ -18,7 +18,7 @@
 
 #include "core/topk_spmv.hpp"
 
-namespace topk::metrics {
+namespace topk::eval {
 
 /// Precision@K: |retrieved ∩ relevant| / |relevant|.  Throws
 /// std::invalid_argument if `relevant` is empty.
@@ -55,4 +55,4 @@ struct TopKQuality {
     std::span<const core::TopKEntry> exact,
     const std::function<double(std::uint32_t)>& true_score);
 
-}  // namespace topk::metrics
+}  // namespace topk::eval

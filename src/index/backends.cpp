@@ -6,6 +6,7 @@
 #include "baselines/cpu_topk_spmv.hpp"
 #include "hbmsim/timing_model.hpp"
 #include "simd/topk_simd.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace topk::index {
 
@@ -17,6 +18,26 @@ std::shared_ptr<const sparse::Csr> require_matrix(
     throw std::invalid_argument(std::string(backend) + ": null matrix");
   }
   return matrix;
+}
+
+// The SIMD kernel (src/simd/) is kernel-layer code and reports its
+// work through SimdKernelStats only; this adapter is the serving-tier
+// boundary that folds those per-call numbers into the process-wide
+// registry (tools/analysis/layers.toml keeps telemetry out of the
+// kernel layers).
+telemetry::Counter& simd_screened_metric() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "topk_simd_rows_screened_total", {},
+      "Rows screened by the cpu-simd f32 scan.");
+  return c;
+}
+
+telemetry::Counter& simd_rescored_metric() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "topk_simd_rows_rescored_total", {},
+      "Rows the exact cpu-simd path rescored via Csr::row_dot after "
+      "screening.");
+  return c;
 }
 
 }  // namespace
@@ -210,6 +231,8 @@ QueryResult CpuSimdIndex::query(std::span<const float> x, int top_k,
       mode_ == Mode::kExact
           ? simd::topk_spmv_exact(layout_, x, top_k, simd_options, &kernel)
           : simd::topk_spmv_screen(layout_, x, top_k, simd_options, &kernel);
+  simd_screened_metric().add(kernel.rows_screened);
+  simd_rescored_metric().add(kernel.rows_rescored);
   result.stats.rows_scanned = layout_.rows();
   SimdStats stats;
   stats.isa = simd::to_string(kernel.level);

@@ -1,47 +1,14 @@
 #include "index/registry.hpp"
 
-#include <algorithm>
 #include <map>
 #include <stdexcept>
 #include <utility>
 
-#include "persist/deployment.hpp"
-#include "shard/mutable_sharded_index.hpp"
-#include "shard/sharded_index.hpp"
 #include "util/sync.hpp"
 
 namespace topk::index {
 
 namespace {
-
-/// Rebuilds the full host CSR of a warm-loaded sharded base by
-/// concatenating its per-shard slices — the matrix the Compactor folds
-/// against.  Returns null when any shard's backend holds no host CSR
-/// (fpga-sim: the quantised device image cannot reproduce the exact
-/// host values, so such a warm load serves but cannot compact).
-std::shared_ptr<const sparse::Csr> reconstruct_base_matrix(
-    const shard::ShardedIndex& base) {
-  std::vector<std::uint64_t> row_ptr{0};
-  std::vector<std::uint32_t> col_idx;
-  std::vector<float> values;
-  for (std::size_t s = 0; s < base.shard_count(); ++s) {
-    const sparse::Csr* slice = base.shard(s).primary().host_csr();
-    if (slice == nullptr) {
-      return nullptr;
-    }
-    const std::uint64_t offset = row_ptr.back();
-    for (std::uint32_t r = 1; r <= slice->rows(); ++r) {
-      row_ptr.push_back(offset + slice->row_ptr()[r]);
-    }
-    col_idx.insert(col_idx.end(), slice->col_idx().begin(),
-                   slice->col_idx().end());
-    values.insert(values.end(), slice->values().begin(),
-                  slice->values().end());
-  }
-  return std::make_shared<const sparse::Csr>(
-      sparse::Csr::from_parts(base.rows(), base.cols(), std::move(row_ptr),
-                              std::move(col_idx), std::move(values)));
-}
 
 struct Registry {
   util::Mutex mutex;
@@ -99,134 +66,6 @@ Registry& registry() {
           return std::make_shared<CpuSimdIndex>(
               std::move(matrix), CpuSimdIndex::Mode::kHalfScreen);
         });
-    // Scatter-gather variants of every built-in: the same backend
-    // behind shard::ShardedIndex (options.shards row-range shards,
-    // nnz-balanced boundaries unless options.nnz_balanced_shards is
-    // false; the inner factories consume the remaining options).  The
-    // shard count is clamped to the row count so tiny collections
-    // still construct through the generic bench/test sweeps.
-    for (const char* inner :
-         {"fpga-sim", "cpu-heap", "exact-sort", "gpu-f16", "cpu-simd"}) {
-      r.factories.emplace(
-          std::string("sharded-") + inner,
-          [inner](std::shared_ptr<const sparse::Csr> matrix,
-                  const IndexOptions& options)
-              -> std::shared_ptr<SimilarityIndex> {
-            const std::string label = std::string("sharded-") + inner;
-            // Warm restart: replay a persisted deployment instead of
-            // encoding.  The recorded label must match the requested
-            // backend — a deployment saved under a different inner
-            // backend must not silently serve as this one.  Checked
-            // against the manifest alone, before any image is hashed
-            // or rebuilt, so a mismatch fails fast.
-            if (!options.deployment_dir.empty()) {
-              const std::string saved_label =
-                  persist::read_manifest(options.deployment_dir).label;
-              if (saved_label != label) {
-                throw std::runtime_error(
-                    label + ": deployment at '" + options.deployment_dir +
-                    "' was saved as '" + saved_label +
-                    "' — refusing to serve it as a different backend");
-              }
-              return shard::ShardedIndexBuilder::from_deployment(
-                  options.deployment_dir, options);
-            }
-            if (!matrix) {
-              throw std::invalid_argument(label + ": null matrix");
-            }
-            const int shards = static_cast<int>(std::min<std::uint64_t>(
-                static_cast<std::uint64_t>(std::max(1, options.shards)),
-                std::max<std::uint32_t>(1, matrix->rows())));
-            // Replica count clamped like the shard count, so generic
-            // sweeps can set it unconditionally.
-            return shard::ShardedIndexBuilder()
-                .matrix(std::move(matrix))
-                .shards(shards)
-                .policy(options.nnz_balanced_shards
-                            ? shard::ShardPolicy::kNnzBalanced
-                            : shard::ShardPolicy::kEvenRows)
-                .replicas(std::max(1, options.replicas))
-                .inner_backend(inner)
-                .inner_options(options)
-                .label(label)
-                .build();
-          });
-    }
-    // Mutable (LSM-shaped) variants: the same sealed scatter-gather
-    // tier wrapped in shard::MutableShardedIndex, absorbing
-    // insert_row/delete_row into an in-memory delta that is folded
-    // back by persist::Compactor.  options.delta_capacity and
-    // options.compact_threshold are the tier's knobs.
-    for (const char* inner :
-         {"fpga-sim", "cpu-heap", "exact-sort", "gpu-f16", "cpu-simd"}) {
-      r.factories.emplace(
-          std::string("mutable-sharded-") + inner,
-          [inner](std::shared_ptr<const sparse::Csr> matrix,
-                  const IndexOptions& options)
-              -> std::shared_ptr<SimilarityIndex> {
-            const std::string base_label = std::string("sharded-") + inner;
-            const std::string label = "mutable-" + base_label;
-            shard::MutableConfig config;
-            config.delta_capacity = options.delta_capacity;
-            config.compact_threshold = options.compact_threshold;
-            config.label = label;
-            shard::RebuildRecipe recipe;
-            recipe.replicas = std::max(1, options.replicas);
-            recipe.inner_backend = inner;
-            recipe.inner_options = options;
-            recipe.inner_options.deployment_dir.clear();
-            recipe.inner_options.replicas = 1;
-            recipe.label = base_label;
-            // Warm restart: adopt a deployment saved under the SEALED
-            // base's label — every generation the Compactor writes
-            // carries it, so a mutable index resumes from its own
-            // images (generation and inherited tombstones come from
-            // the v2 manifest; a v1 manifest resumes at generation 0).
-            if (!options.deployment_dir.empty()) {
-              const persist::DeploymentManifest manifest =
-                  persist::read_manifest(options.deployment_dir);
-              if (manifest.label != base_label) {
-                throw std::runtime_error(
-                    label + ": deployment at '" + options.deployment_dir +
-                    "' was saved as '" + manifest.label +
-                    "' — refusing to serve it as a different backend");
-              }
-              IndexOptions warm_options = options;
-              warm_options.replicas = recipe.replicas;
-              auto base = persist::load_deployment(options.deployment_dir,
-                                                   warm_options);
-              recipe.shards = static_cast<int>(base->shard_count());
-              auto host = reconstruct_base_matrix(*base);
-              return std::make_shared<shard::MutableShardedIndex>(
-                  std::move(base), std::move(host), std::move(recipe),
-                  std::move(config), manifest.generation,
-                  manifest.tombstones);
-            }
-            if (!matrix) {
-              throw std::invalid_argument(label + ": null matrix");
-            }
-            const int shards = static_cast<int>(std::min<std::uint64_t>(
-                static_cast<std::uint64_t>(std::max(1, options.shards)),
-                std::max<std::uint32_t>(1, matrix->rows())));
-            recipe.shards = shards;
-            recipe.policy = options.nnz_balanced_shards
-                                ? shard::ShardPolicy::kNnzBalanced
-                                : shard::ShardPolicy::kEvenRows;
-            auto base = shard::ShardedIndexBuilder()
-                            .matrix(matrix)
-                            .shards(shards)
-                            .policy(recipe.policy)
-                            .replicas(recipe.replicas)
-                            .routing(recipe.routing)
-                            .inner_backend(inner)
-                            .inner_options(recipe.inner_options)
-                            .label(base_label)
-                            .build();
-            return std::make_shared<shard::MutableShardedIndex>(
-                std::move(base), std::move(matrix), std::move(recipe),
-                std::move(config));
-          });
-    }
     return true;
   }();
   (void)seeded;
@@ -254,12 +93,21 @@ void register_backend(const std::string& name, IndexFactory factory) {
   if (!factory) {
     throw std::invalid_argument("register_backend: null factory");
   }
+  // Stage the node outside the lock so the publish itself is
+  // allocation-free: std::map::merge splices the already-built node in
+  // without allocating or copying, which keeps the exclusive section
+  // noexcept-clean (tools/analyze.py -Wswap-noexcept audits this — a
+  // bad_alloc mid-mutation would otherwise be able to tear the table
+  // other threads read).
+  std::map<std::string, IndexFactory, std::less<>> staged;
+  staged.emplace(name, std::move(factory));
   Registry& r = registry();
   util::MutexLock lock(r.mutex);
-  if (!r.factories.emplace(name, std::move(factory)).second) {
+  if (r.factories.find(name) != r.factories.end()) {
     throw std::invalid_argument("register_backend: '" + name +
                                 "' already registered");
   }
+  r.factories.merge(staged);
 }
 
 std::vector<std::string> registered_backends() {

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "serve/thread_pool.hpp"
 #include "util/cpu_features.hpp"
+#include "util/thread_pool.hpp"
 
 namespace topk::index {
 
@@ -68,7 +68,7 @@ std::vector<QueryResult> SimilarityIndex::query_batch(
   // Whole queries are claimed dynamically from the shared persistent
   // pool; each runs its intra-query path sequentially (throughput over
   // latency, the real-time service host loop).
-  serve::ThreadPool& pool = serve::shared_pool();
+  util::ThreadPool& pool = util::shared_pool();
   pool.ensure_workers(threads - 1);
   QueryOptions per_query;
   per_query.threads = 1;

@@ -520,3 +520,17 @@ std::shared_ptr<shard::ShardedIndex> load_deployment(
 }
 
 }  // namespace topk::persist
+
+namespace topk::shard {
+
+// Defined here, not in shard/sharded_index.cpp: the shard layer
+// declares the warm-load entry point but must not depend on the
+// durability layer above it (tools/analysis/layers.toml), so the
+// persist module — which already owns load_deployment — provides the
+// out-of-line definition.
+std::shared_ptr<ShardedIndex> ShardedIndexBuilder::from_deployment(
+    const std::filesystem::path& dir, const index::IndexOptions& options) {
+  return persist::load_deployment(dir, options);
+}
+
+}  // namespace topk::shard

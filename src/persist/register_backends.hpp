@@ -1,0 +1,15 @@
+// See register_backends.cpp: the durability layer seeds the
+// "sharded-<inner>" and "mutable-sharded-<inner>" backends into the
+// index registry at static-initialization time.
+#pragma once
+
+namespace topk::persist {
+
+/// Returns true once the deployment-aware backends are registered.
+/// Registration happens during static initialization of the persist
+/// module; this accessor exists so a binary that wants to assert the
+/// registrar TU was linked (or force-reference it from a context where
+/// dead-stripping is a concern) has a named symbol to call.
+bool deployment_backends_registered() noexcept;
+
+}  // namespace topk::persist

@@ -4,11 +4,11 @@
 #include <stdexcept>
 #include <utility>
 
-#include "serve/thread_pool.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "util/cpu_features.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace topk::serve {
@@ -69,6 +69,48 @@ telemetry::Counter& rejections_metric() {
   return c;
 }
 
+// ---- pool observation ----------------------------------------------------
+// util::ThreadPool is foundation-layer code and must not import the
+// telemetry vocabulary (tools/analysis/layers.toml); the serving layer
+// closes the loop by installing these hooks when the first engine is
+// built.  The hook functions themselves resolve their registry cells
+// through function-local statics, same as every metric above.
+
+void pool_workers_hook(double count) {
+  static telemetry::Gauge& g = telemetry::registry().gauge(
+      "topk_pool_workers", {}, "Threads owned by the shared pool.");
+  g.set(count);
+}
+
+void pool_busy_hook(double delta) {
+  static telemetry::Gauge& g = telemetry::registry().gauge(
+      "topk_pool_busy_workers", {},
+      "Pool threads currently executing a task (utilization numerator).");
+  g.add(delta);
+}
+
+void pool_task_hook() {
+  static telemetry::Counter& c = telemetry::registry().counter(
+      "topk_pool_tasks_total", {}, "Tasks executed by pool threads.");
+  c.inc();
+}
+
+constexpr util::PoolInstrumentation kPoolInstrumentation{
+    &pool_workers_hook, &pool_busy_hook, &pool_task_hook};
+
+/// Idempotent, thread-safe (function-local static): the first engine
+/// constructed in the process wires the pool into the registry.
+void ensure_pool_instrumented() {
+  static const bool installed = [] {
+    util::ThreadPool::set_instrumentation(&kPoolInstrumentation);
+    // Publish the current size too: the pool may have grown before the
+    // hooks existed (e.g. a bare kernel-layer parallel_for).
+    pool_workers_hook(static_cast<double>(util::shared_pool().workers()));
+    return true;
+  }();
+  (void)installed;
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(std::shared_ptr<const index::SimilarityIndex> index,
@@ -91,7 +133,8 @@ QueryEngine::QueryEngine(std::shared_ptr<const index::SimilarityIndex> index,
   // paying thread-creation cost.  At least one worker is kept even for
   // workers = 1, so submit() is genuinely asynchronous (a zero-worker
   // pool would run posted tasks inline on the submitting thread).
-  shared_pool().ensure_workers(std::max(workers_ - 1, 1));
+  ensure_pool_instrumented();
+  util::shared_pool().ensure_workers(std::max(workers_ - 1, 1));
 }
 
 QueryEngine::QueryEngine(std::shared_ptr<index::MutableIndex> index,
@@ -130,7 +173,7 @@ std::vector<index::QueryResult> QueryEngine::query_batch(
   if (queries.empty()) {
     return results;
   }
-  ThreadPool& pool = shared_pool();
+  util::ThreadPool& pool = util::shared_pool();
   pool.ensure_workers(workers_ - 1);
   const bool traced = telemetry::tracer().enabled();
   pool.parallel_for(queries.size(), workers_, [&, traced](std::size_t i) {
@@ -154,8 +197,8 @@ std::future<index::QueryResult> QueryEngine::launch_async(
     double enqueued_seconds) {
   auto promise = std::make_shared<std::promise<index::QueryResult>>();
   std::future<index::QueryResult> future = promise->get_future();
-  shared_pool().post([this, promise, x = std::move(x), top_k, trace_id,
-                      enqueued_seconds]() mutable {
+  util::shared_pool().post([this, promise, x = std::move(x), top_k, trace_id,
+                            enqueued_seconds]() mutable {
     // Re-establish the submitter's trace context on the pool thread,
     // then account the time the request sat in the queue as its first
     // span (start pinned to admission time, not task start).

@@ -6,7 +6,7 @@
 //
 // What it adds over calling the index directly:
 //   * a persistent worker budget (no per-call thread spawning — all
-//     execution runs on serve::shared_pool() with dynamic claiming);
+//     execution runs on util::shared_pool() with dynamic claiming);
 //   * synchronous query_batch() with per-query dynamic scheduling;
 //   * an async submit() -> std::future path with a bounded request
 //     queue (blocking backpressure, the standard admission control of

@@ -9,9 +9,8 @@
 #include <utility>
 
 #include "index/registry.hpp"
-#include "persist/deployment.hpp"
-#include "serve/thread_pool.hpp"
 #include "telemetry/trace.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace topk::shard {
@@ -492,7 +491,7 @@ index::QueryResult ShardedIndex::query(std::span<const float> x, int top_k,
         per_shard[s] = query_shard(s, x, top_k);
       }
     } else {
-      serve::ThreadPool& pool = serve::shared_pool();
+      util::ThreadPool& pool = util::shared_pool();
       pool.ensure_workers(threads - 1);
       pool.parallel_for(shards_.size(), threads, [&, trace](std::size_t s) {
         telemetry::TraceContextScope scope(trace);
@@ -534,7 +533,7 @@ std::vector<index::QueryResult> ShardedIndex::query_batch(
         run_cell(cell);
       }
     } else {
-      serve::ThreadPool& pool = serve::shared_pool();
+      util::ThreadPool& pool = util::shared_pool();
       pool.ensure_workers(threads - 1);
       pool.parallel_for(grid, threads, run_cell);
     }
@@ -564,7 +563,7 @@ index::QueryResult ShardedIndex::query_with_delta(
         per_shard[s] = query_shard(s, x, shard_k);
       }
     } else {
-      serve::ThreadPool& pool = serve::shared_pool();
+      util::ThreadPool& pool = util::shared_pool();
       pool.ensure_workers(threads - 1);
       pool.parallel_for(shards_.size(), threads, [&, trace](std::size_t s) {
         telemetry::TraceContextScope scope(trace);
@@ -612,7 +611,7 @@ std::vector<index::QueryResult> ShardedIndex::query_batch_with_delta(
         run_cell(cell);
       }
     } else {
-      serve::ThreadPool& pool = serve::shared_pool();
+      util::ThreadPool& pool = util::shared_pool();
       pool.ensure_workers(threads - 1);
       pool.parallel_for(grid, threads, run_cell);
     }
@@ -815,11 +814,6 @@ std::shared_ptr<ShardedIndex> ShardedIndexBuilder::build() const {
   }
   return std::make_shared<ShardedIndex>(std::move(built), std::move(label),
                                         routing_);
-}
-
-std::shared_ptr<ShardedIndex> ShardedIndexBuilder::from_deployment(
-    const std::filesystem::path& dir, const index::IndexOptions& options) {
-  return persist::load_deployment(dir, options);
 }
 
 }  // namespace topk::shard

@@ -8,7 +8,7 @@
 // contiguous row-range shards (shard_planner.hpp), each row range is
 // served by R replica inner indexes — mixed backends across shards are
 // allowed, e.g. fpga-sim shards with a cpu-heap straggler — and
-// queries scatter across the shards on the shared serve::ThreadPool.
+// queries scatter across the shards on the shared util::ThreadPool.
 // Each (query, shard) cell routes to ONE replica by a RoutingPolicy
 // (round-robin, or least-loaded on in-flight counts + an EWMA of
 // observed wall time) and fails over to the next replica when the

@@ -8,9 +8,8 @@
 #include <stdexcept>
 #include <string>
 
-#include "serve/thread_pool.hpp"
-#include "telemetry/metrics.hpp"
 #include "util/cpu_features.hpp"
+#include "util/thread_pool.hpp"
 
 #if defined(__x86_64__) && defined(__GNUC__)
 #define TOPK_SIMD_DISPATCH 1
@@ -35,21 +34,6 @@ using ScanFn = void (*)(const BlockedCsr&, const float*, std::uint32_t,
 // L1 resident and the filter loop runs on warm results.  A multiple of
 // kBlockCols so gather chunks hold whole groups.
 constexpr std::uint32_t kChunkRows = 1024;
-
-telemetry::Counter& screened_metric() {
-  static telemetry::Counter& c = telemetry::registry().counter(
-      "topk_simd_rows_screened_total", {},
-      "Rows screened by the cpu-simd f32 scan.");
-  return c;
-}
-
-telemetry::Counter& rescored_metric() {
-  static telemetry::Counter& c = telemetry::registry().counter(
-      "topk_simd_rows_rescored_total", {},
-      "Rows the exact cpu-simd path rescored via Csr::row_dot after "
-      "screening.");
-  return c;
-}
 
 // ------------------------------------------------------- scalar kernels
 
@@ -517,7 +501,7 @@ std::vector<core::TopKEntry> run_query(const BlockedCsr& layout,
     // Static position ranges on the shared persistent pool, each
     // writing only its own output slot — deterministic, like the
     // scalar baseline.
-    serve::ThreadPool& pool = serve::shared_pool();
+    util::ThreadPool& pool = util::shared_pool();
     pool.ensure_workers(threads - 1);
     pool.parallel_for(static_cast<std::size_t>(threads), threads, scan_range);
   }
@@ -532,8 +516,6 @@ std::vector<core::TopKEntry> run_query(const BlockedCsr& layout,
   if (merged.size() > static_cast<std::size_t>(top_k)) {
     merged.resize(static_cast<std::size_t>(top_k));
   }
-  screened_metric().add(layout.rows());
-  rescored_metric().add(rescored);
   if (stats != nullptr) {
     stats->level = level;
     stats->rows_screened = layout.rows();

@@ -4,7 +4,7 @@
 //
 // Every wrapper is a zero-cost drop-in for its std counterpart, plus
 // Clang Thread Safety Analysis capability annotations, so the locking
-// discipline of the whole concurrent surface (serve::ThreadPool,
+// discipline of the whole concurrent surface (util::ThreadPool,
 // serve::QueryEngine, shard::ShardedIndex replica routing,
 // index::DeltaIndex, shard::MutableShardedIndex's generation swap,
 // persist::Compactor) is proved at compile time by the CI
@@ -15,7 +15,7 @@
 // std types — the Debug/Release legs build byte-for-byte the same
 // logic.
 //
-// Usage pattern (see serve/thread_pool.hpp for the full idiom):
+// Usage pattern (see util/thread_pool.hpp for the full idiom):
 //
 //   util::Mutex mutex_;
 //   util::CondVar ready_;

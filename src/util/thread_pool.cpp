@@ -1,4 +1,4 @@
-#include "serve/thread_pool.hpp"
+#include "util/thread_pool.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -6,30 +6,20 @@
 #include <memory>
 #include <stdexcept>
 
-#include "telemetry/metrics.hpp"
 #include "util/sync.hpp"
 
-namespace topk::serve {
+namespace topk::util {
 
 namespace {
 
-telemetry::Gauge& workers_metric() {
-  static telemetry::Gauge& g = telemetry::registry().gauge(
-      "topk_pool_workers", {}, "Threads owned by the shared pool.");
-  return g;
-}
+/// Process-wide hook table.  release store / acquire load: an observer
+/// installed before traffic is visible to every worker, and the
+/// pointed-at storage is required to be static, so a stale null read
+/// only drops an event.
+std::atomic<const PoolInstrumentation*> instrumentation{nullptr};
 
-telemetry::Gauge& busy_metric() {
-  static telemetry::Gauge& g = telemetry::registry().gauge(
-      "topk_pool_busy_workers", {},
-      "Pool threads currently executing a task (utilization numerator).");
-  return g;
-}
-
-telemetry::Counter& tasks_metric() {
-  static telemetry::Counter& c = telemetry::registry().counter(
-      "topk_pool_tasks_total", {}, "Tasks executed by pool threads.");
-  return c;
+const PoolInstrumentation* hooks() noexcept {
+  return instrumentation.load(std::memory_order_acquire);
 }
 
 /// Shared state of one parallel_for call.  Helpers posted to the task
@@ -77,6 +67,11 @@ struct ParallelJob {
 
 }  // namespace
 
+void ThreadPool::set_instrumentation(
+    const PoolInstrumentation* new_hooks) noexcept {
+  instrumentation.store(new_hooks, std::memory_order_release);
+}
+
 ThreadPool::ThreadPool(int workers) {
   if (workers < 0) {
     throw std::invalid_argument("ThreadPool: negative worker count");
@@ -105,11 +100,17 @@ int ThreadPool::workers() const {
 
 void ThreadPool::ensure_workers(int workers) {
   const int target = std::min(workers, kMaxWorkers);
-  util::MutexLock lock(mutex_);
-  while (static_cast<int>(threads_.size()) < target) {
-    threads_.emplace_back([this] { worker_loop(); });
+  std::size_t count = 0;
+  {
+    util::MutexLock lock(mutex_);
+    while (static_cast<int>(threads_.size()) < target) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+    count = threads_.size();
   }
-  workers_metric().set(static_cast<double>(threads_.size()));
+  if (const PoolInstrumentation* h = hooks(); h != nullptr && h->workers) {
+    h->workers(static_cast<double>(count));
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -126,12 +127,20 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
-    // Utilization bookkeeping brackets the task: two relaxed gauge
-    // updates and one counter add per task, no locking.
-    busy_metric().add(1.0);
-    tasks_metric().inc();
+    // Utilization bookkeeping brackets the task: the installed hooks
+    // (telemetry gauge/counter cells in the serving build) are
+    // lock-free, so this stays off the pool mutex.
+    const PoolInstrumentation* h = hooks();
+    if (h != nullptr && h->busy_delta) {
+      h->busy_delta(1.0);
+    }
+    if (h != nullptr && h->task) {
+      h->task();
+    }
     task();
-    busy_metric().add(-1.0);
+    if (h != nullptr && h->busy_delta) {
+      h->busy_delta(-1.0);
+    }
   }
 }
 
@@ -198,4 +207,4 @@ ThreadPool& shared_pool() {
   return pool;
 }
 
-}  // namespace topk::serve
+}  // namespace topk::util

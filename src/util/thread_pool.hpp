@@ -1,4 +1,4 @@
-// Persistent worker pool for the host serving layer.
+// Persistent worker pool — foundation-layer concurrency infrastructure.
 //
 // The seed's TopKAccelerator spawned and joined raw std::threads on
 // every query() / query_batch() call and split work with static block
@@ -13,6 +13,14 @@
 // participates in the loop, so every job completes even if no pool
 // worker is free.  Pool workers may therefore call parallel_for()
 // themselves (the async serving path does) without risk.
+//
+// The pool lives in util/ (not serve/) because every compute layer —
+// core's batch quantisation, the CPU baselines, the SIMD kernels, the
+// shard scatter — parallelises on it: the architecture manifest
+// (tools/analysis/layers.toml) forbids those layers from reaching up
+// into the serving tier.  Telemetry is therefore not a dependency
+// here; the serving layer observes the pool through the
+// PoolInstrumentation hooks below instead.
 #pragma once
 
 #include <cstddef>
@@ -23,7 +31,21 @@
 
 #include "util/sync.hpp"
 
-namespace topk::serve {
+namespace topk::util {
+
+/// Observation hooks the serving layer installs to publish pool
+/// activity into its metrics registry (util/ itself must stay ignorant
+/// of the telemetry vocabulary — see tools/analysis/layers.toml).
+/// Plain function pointers so the hot-path read is one lock-free
+/// atomic load and a null check.
+struct PoolInstrumentation {
+  /// Called with the new thread count after the pool grows.
+  void (*workers)(double) = nullptr;
+  /// Called with +1 / -1 around every task a pool worker executes.
+  void (*busy_delta)(double) = nullptr;
+  /// Called once per task a pool worker executes.
+  void (*task)() = nullptr;
+};
 
 class ThreadPool {
  public:
@@ -61,6 +83,13 @@ class ThreadPool {
   /// is the QueryEngine's job).
   void post(std::function<void()> task);
 
+  /// Installs the process-wide observation hooks (affects every pool,
+  /// shared or private).  `hooks` must point at storage with static
+  /// duration; pass nullptr to detach.  Typically installed once by
+  /// the serving layer before traffic; late installation only misses
+  /// events, never tears state.
+  static void set_instrumentation(const PoolInstrumentation* hooks) noexcept;
+
   /// Upper bound on pool size accepted by ensure_workers().
   static constexpr int kMaxWorkers = 256;
 
@@ -82,4 +111,4 @@ class ThreadPool {
 /// constructed; grows on demand up to ThreadPool::kMaxWorkers.
 [[nodiscard]] ThreadPool& shared_pool();
 
-}  // namespace topk::serve
+}  // namespace topk::util

@@ -7,7 +7,7 @@
 
 #include "baselines/cpu_topk_spmv.hpp"
 #include "core/precision_model.hpp"
-#include "metrics/ranking.hpp"
+#include "eval/ranking.hpp"
 #include "test_helpers.hpp"
 
 namespace topk::core {
@@ -197,7 +197,7 @@ TEST(TopKAccelerator, ThirtyTwoCoreDefaultOnRealisticMatrix) {
   // hypergeometric model predicts ~0.99; the measured precision (which
   // also absorbs 20-bit quantisation noise) must track it.
   const auto exact = baselines::cpu_topk_spmv(matrix, x, 100, 1);
-  const metrics::TopKQuality quality = metrics::evaluate_topk(
+  const eval::TopKQuality quality = eval::evaluate_topk(
       result.entries, exact,
       [&](std::uint32_t row) { return matrix.row_dot(row, x); });
   const double expected = expected_precision_closed(3200, 32, 8, 100);

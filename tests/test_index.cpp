@@ -12,9 +12,9 @@
 #include <vector>
 
 #include "core/accelerator.hpp"
+#include "eval/ranking.hpp"
 #include "index/backends.hpp"
 #include "index/registry.hpp"
-#include "metrics/ranking.hpp"
 #include "test_helpers.hpp"
 
 namespace topk::index {
@@ -304,11 +304,11 @@ TEST_P(CrossBackendAgreementTest, ApproximateBackendsClearRecallFloor) {
   for (int q = 0; q < 4; ++q) {
     const auto x = sparse::generate_dense_vector(param.cols, rng);
     const auto exact_indices = indices_of(exact->query(x, param.top_k));
-    const double fpga_recall = metrics::precision_at_k(
+    const double fpga_recall = eval::precision_at_k(
         indices_of(fpga->query(x, param.top_k)), exact_indices);
-    const double gpu_recall = metrics::precision_at_k(
+    const double gpu_recall = eval::precision_at_k(
         indices_of(gpu->query(x, param.top_k)), exact_indices);
-    const double simd_half_recall = metrics::precision_at_k(
+    const double simd_half_recall = eval::precision_at_k(
         indices_of(simd_half->query(x, param.top_k)), exact_indices);
     EXPECT_GE(fpga_recall, kRecallFloor) << "query " << q;
     EXPECT_GE(gpu_recall, kRecallFloor) << "query " << q;

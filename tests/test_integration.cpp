@@ -12,10 +12,10 @@
 #include "core/accelerator.hpp"
 #include "core/precision_model.hpp"
 #include "embed/sparsify.hpp"
+#include "eval/ranking.hpp"
 #include "hbmsim/power_model.hpp"
 #include "hbmsim/resource_model.hpp"
 #include "hbmsim/timing_model.hpp"
-#include "metrics/ranking.hpp"
 #include "test_helpers.hpp"
 
 namespace topk {
@@ -39,8 +39,8 @@ TEST(Integration, SyntheticMatrixFullPipeline) {
     const core::QueryResult result = accelerator.query(x, 100);
     ASSERT_EQ(result.entries.size(), 100u) << design.name();
 
-    const metrics::TopKQuality quality =
-        metrics::evaluate_topk(result.entries, exact, true_score);
+    const eval::TopKQuality quality =
+        eval::evaluate_topk(result.entries, exact, true_score);
     // Figure 7: precision stays high for every design even at K=100.
     EXPECT_GT(quality.precision, 0.90) << design.name();
     EXPECT_GT(quality.ndcg, 0.95) << design.name();
@@ -105,13 +105,13 @@ TEST(Integration, Fig7StyleAccuracyOrdering) {
     const auto true_score = [&](std::uint32_t row) {
       return matrix.row_dot(row, x);
     };
-    ndcg20 += metrics::evaluate_topk(acc20.query(x, kTopK).entries, exact,
+    ndcg20 += eval::evaluate_topk(acc20.query(x, kTopK).entries, exact,
                                      true_score)
                   .ndcg;
-    ndcg32 += metrics::evaluate_topk(acc32.query(x, kTopK).entries, exact,
+    ndcg32 += eval::evaluate_topk(acc32.query(x, kTopK).entries, exact,
                                      true_score)
                   .ndcg;
-    ndcg_f16 += metrics::evaluate_topk(
+    ndcg_f16 += eval::evaluate_topk(
                     baselines::gpu_f16_topk_spmv(matrix, x, kTopK), exact,
                     true_score)
                     .ndcg;
@@ -168,7 +168,7 @@ TEST(Integration, MeasuredPrecisionTracksTableIModel) {
     for (const auto& entry : exact) {
       relevant.push_back(entry.index);
     }
-    measured += metrics::precision_at_k(retrieved, relevant);
+    measured += eval::precision_at_k(retrieved, relevant);
   }
   measured /= kQueries;
   const double expected = core::expected_precision_closed(4000, 16, 8, kTopK);

@@ -1,4 +1,4 @@
-#include "metrics/ranking.hpp"
+#include "eval/ranking.hpp"
 
 #include <gtest/gtest.h>
 
@@ -6,7 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
-namespace topk::metrics {
+namespace topk::eval {
 namespace {
 
 TEST(PrecisionAtK, ExactAndPartialOverlap) {
@@ -133,4 +133,4 @@ TEST(EvaluateTopK, PerfectRetrievalScoresOnes) {
 }
 
 }  // namespace
-}  // namespace topk::metrics
+}  // namespace topk::eval

@@ -14,9 +14,9 @@
 #include "index/backends.hpp"
 #include "index/registry.hpp"
 #include "serve/query_engine.hpp"
-#include "serve/thread_pool.hpp"
 #include "test_helpers.hpp"
 #include "util/cpu_features.hpp"
+#include "util/thread_pool.hpp"
 
 namespace topk::serve {
 namespace {
@@ -24,11 +24,11 @@ namespace {
 // ---------------------------------------------------------------- ThreadPool
 
 TEST(ThreadPoolTest, RejectsNegativeWorkerCount) {
-  EXPECT_THROW(ThreadPool(-1), std::invalid_argument);
+  EXPECT_THROW(util::ThreadPool(-1), std::invalid_argument);
 }
 
 TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
-  ThreadPool pool(4);
+  util::ThreadPool pool(4);
   for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3},
                               std::size_t{64}, std::size_t{1000}}) {
     std::vector<std::atomic<int>> hits(n);
@@ -40,7 +40,7 @@ TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
 }
 
 TEST(ThreadPoolTest, ZeroWorkerPoolRunsOnCaller) {
-  ThreadPool pool(0);
+  util::ThreadPool pool(0);
   const auto caller = std::this_thread::get_id();
   std::vector<std::thread::id> seen(8);
   pool.parallel_for(8, 1, [&](std::size_t i) { seen[i] = std::this_thread::get_id(); });
@@ -50,7 +50,7 @@ TEST(ThreadPoolTest, ZeroWorkerPoolRunsOnCaller) {
 }
 
 TEST(ThreadPoolTest, PoolIsReusableAcrossManyCalls) {
-  ThreadPool pool(2);
+  util::ThreadPool pool(2);
   for (int round = 0; round < 50; ++round) {
     std::atomic<int> sum{0};
     pool.parallel_for(10, 3, [&](std::size_t i) {
@@ -61,7 +61,7 @@ TEST(ThreadPoolTest, PoolIsReusableAcrossManyCalls) {
 }
 
 TEST(ThreadPoolTest, PropagatesFirstException) {
-  ThreadPool pool(3);
+  util::ThreadPool pool(3);
   std::atomic<int> ran{0};
   EXPECT_THROW(
       pool.parallel_for(20, 4,
@@ -77,7 +77,7 @@ TEST(ThreadPoolTest, PropagatesFirstException) {
 }
 
 TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
-  ThreadPool pool(2);
+  util::ThreadPool pool(2);
   std::atomic<int> leaf{0};
   pool.parallel_for(4, 3, [&](std::size_t) {
     pool.parallel_for(4, 3, [&](std::size_t) { ++leaf; });
@@ -89,14 +89,14 @@ TEST(ThreadPoolTest, PostedTasksRun) {
   std::promise<int> promise;
   auto future = promise.get_future();
   {
-    ThreadPool pool(1);
+    util::ThreadPool pool(1);
     pool.post([&] { promise.set_value(41); });
     EXPECT_EQ(future.get(), 41);
   }  // destructor drains and joins
 }
 
 TEST(ThreadPoolTest, EnsureWorkersGrowsButNeverShrinks) {
-  ThreadPool pool(1);
+  util::ThreadPool pool(1);
   EXPECT_EQ(pool.workers(), 1);
   pool.ensure_workers(3);
   EXPECT_EQ(pool.workers(), 3);

@@ -13,9 +13,9 @@
 #include <string>
 #include <vector>
 
+#include "eval/ranking.hpp"
 #include "index/backends.hpp"
 #include "index/registry.hpp"
-#include "metrics/ranking.hpp"
 #include "shard/shard_planner.hpp"
 #include "shard/sharded_index.hpp"
 #include "test_helpers.hpp"
@@ -313,7 +313,7 @@ TEST(ShardedIndexTest, MixedBackendsGatherCorrectly) {
     for (const auto& entry : exact.query(x, 10).entries) {
       want.push_back(entry.index);
     }
-    EXPECT_GE(metrics::precision_at_k(got, want), 0.7) << "query " << q;
+    EXPECT_GE(eval::precision_at_k(got, want), 0.7) << "query " << q;
   }
 }
 

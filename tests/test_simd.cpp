@@ -18,9 +18,9 @@
 #include <vector>
 
 #include "baselines/cpu_topk_spmv.hpp"
+#include "eval/ranking.hpp"
 #include "index/backends.hpp"
 #include "index/registry.hpp"
-#include "metrics/ranking.hpp"
 #include "simd/blocked_csr.hpp"
 #include "test_helpers.hpp"
 
@@ -272,7 +272,7 @@ TEST(CpuSimdIndexTest, HalfScreenClearsRecallFloor) {
     for (const auto& entry : half->query(x, 20).entries) {
       half_indices.push_back(entry.index);
     }
-    EXPECT_GE(metrics::precision_at_k(half_indices, exact_indices),
+    EXPECT_GE(eval::precision_at_k(half_indices, exact_indices),
               kRecallFloor)
         << "query " << q;
   }

@@ -1,0 +1,135 @@
+"""Shared infrastructure for the repo's dependency-free Python tools.
+
+tools/lint.py (textual conventions) and tools/analyze.py (semantic
+analysis over compile_commands.json) present the same interface — named
+warnings enabled with -W<name>/-Wno-<name>/-Wall, a --list-warnings
+table, and a --check-readme mode that keeps README.md's documentation
+in lock-step with the code.  This module is the single definition of
+that interface plus the C++ lexing helper both tools scan with.
+
+Internal module (leading underscore): not a tool itself, never grows an
+entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# Repo root is the parent of tools/, where this module lives.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+README = REPO_ROOT / "README.md"
+
+
+def strip_comments(text: str) -> str:
+    """Remove // and /* */ comments, preserving line structure so the
+    reported line numbers stay true.  String and character literals are
+    blanked (quotes kept) so their contents cannot fake tokens."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            i = n if j < 0 else j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            end = n if j < 0 else j + 2
+            out.append("\n" * text.count("\n", i, end))
+            i = end
+        elif text[i] in "\"'":
+            quote = text[i]
+            out.append(quote)
+            i += 1
+            while i < n and text[i] != quote:
+                out.append(" " if text[i] != "\n" else "\n")
+                i += 2 if text[i] == "\\" else 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def source_files(subdirs, root: Path = REPO_ROOT):
+    """All .hpp/.cpp files under the given subdirectories of root, in a
+    deterministic order."""
+    for subdir in subdirs:
+        base = root / subdir
+        if base.is_dir():
+            yield from sorted(base.rglob("*.hpp"))
+            yield from sorted(base.rglob("*.cpp"))
+
+
+def parse_warning_flags(parser, flags, warnings):
+    """Resolve -Wall / -W<name> / -Wno-<name> flags against the given
+    warning table (name -> description).  Default — no positive -W flag
+    at all — is everything enabled, matching the compilers' spirit of
+    'the gate runs whole unless narrowed'.  Unknown names are fatal via
+    parser.error."""
+    enabled = set(warnings) if not any(
+        f.startswith("-W") and not f.startswith("-Wno-") and f != "-Wall"
+        for f in flags) else set()
+    for flag in flags:
+        if flag == "-Wall":
+            enabled = set(warnings)
+        elif flag.startswith("-Wno-"):
+            name = flag[len("-Wno-"):]
+            if name not in warnings:
+                parser.error(f"unknown warning: {flag}")
+            enabled.discard(name)
+        elif flag.startswith("-W"):
+            name = flag[len("-W"):]
+            if name not in warnings:
+                parser.error(f"unknown warning: {flag}")
+            enabled.add(name)
+        else:
+            parser.error(f"unrecognised argument: {flag}")
+    return enabled
+
+
+def readme_table_lines(warnings):
+    """The warning table as it must appear verbatim in README.md."""
+    return [f"| `-W{name}` | {description} |"
+            for name, description in warnings.items()]
+
+
+def check_readme(warnings, readme: Path = README):
+    """Verify README.md reproduces every warning row verbatim; returns
+    the number of missing rows."""
+    if not readme.is_file():
+        print(f"{readme.name}: missing — cannot verify the warning table")
+        return 1
+    text = readme.read_text(encoding="utf-8")
+    failures = 0
+    for line in readme_table_lines(warnings):
+        if line not in text:
+            print(f"{readme.name}: warning table out of sync — "
+                  f"missing row: {line}")
+            failures += 1
+    return failures
+
+
+def make_parser(doc, warnings):
+    """The common argument surface: --list-warnings, --check-readme and
+    the trailing -W flag list.  Tools add their own options on top."""
+    parser = argparse.ArgumentParser(
+        add_help=True,
+        description=doc,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--list-warnings", action="store_true",
+                        help="print the warning table and exit")
+    parser.add_argument("--check-readme", action="store_true",
+                        help="also verify README.md documents every warning")
+    parser.add_argument("flags", nargs="*", metavar="-W...",
+                        help="-Wall, -W<name>, -Wno-<name>")
+    return parser
+
+
+def list_warnings(warnings, stream=sys.stdout):
+    width = max(len(name) for name in warnings) + 2
+    for name, description in warnings.items():
+        print(f"-W{name:<{width}} {description}", file=stream)

@@ -1,0 +1,36 @@
+"""Semantic analysis suite behind tools/analyze.py.
+
+Three analyses, all stdlib-only and driven by the build tree's
+compile_commands.json plus the architecture manifest layers.toml:
+
+- include_graph: transitive project-include graph per TU, checked
+  against the explicit layer DAG (``-Wlayer``) and for cycles
+  (``-Winclude-cycle``), with Graphviz emission for ARCHITECTURE.md.
+- lock_order: static lock-order deadlock detection over the annotated
+  util/sync.hpp guard sites and an approximated call graph
+  (``-Wlock-order``).
+- noexcept_audit: atomic-publish functions checked noexcept-clean from
+  the first guarded write to the end of the exclusive section
+  (``-Wswap-noexcept``).
+
+cpp_scan holds the shared approximate C++ scanner; manifest loads
+layers.toml and the named-suppression baseline (suppressions.toml,
+shipped empty).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Finding:
+    """One analyzer hit: a warning name, a location, a human message,
+    and a stable id the suppression baseline can name."""
+
+    warning: str
+    path: str
+    line: int
+    message: str
+    id: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [-W{self.warning}] {self.message}"

@@ -1,0 +1,478 @@
+"""Approximate C++ scanner shared by the lock-order and noexcept
+analyses.
+
+This is a brace-tracking lexical scanner, not a parser: it classifies
+every `{` in a comment-stripped file as namespace / class / function /
+lambda / control-or-init block, extracts function definitions with
+their (class-qualified) names, records the util/sync.hpp guard
+acquisitions inside each function with exact block scoping, and
+collects the unqualified call sites used to approximate the call
+graph.
+
+Known approximations, by design:
+- Lambda bodies are treated as deferred execution: locks held at the
+  point a lambda is *written* are not considered held inside it, and a
+  function's transitive-acquisition closure excludes what only its
+  lambdas acquire.  Immediately-invoked lambdas are therefore under-
+  approximated; task/factory lambdas (the dominant use) are exact.
+- Calls through std::function or other type-erased values are
+  invisible.
+- Method calls record their receiver chain (`state_->delta` in
+  `state_->delta->delete_row(r)`), and the receiver's class is
+  resolved through declared member types and local declarations; a
+  resolved receiver restricts callee candidates to that class, and a
+  receiver that resolves to a type defining no such method (a std
+  container's `clear()`, say) contributes nothing to the call graph.
+  When the receiver cannot be resolved, the call falls back to
+  matching every class method of that unqualified name — the safe,
+  over-connecting direction for deadlock detection, which the named
+  suppression baseline exists to trim — with a justification — if it
+  ever manufactures a cycle.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from _repolint import strip_comments  # noqa: E402
+
+KEYWORDS = {
+    "if", "for", "while", "switch", "return", "catch", "sizeof", "alignof",
+    "decltype", "new", "delete", "throw", "static_cast", "dynamic_cast",
+    "const_cast", "reinterpret_cast", "noexcept", "assert", "static_assert",
+    "defined", "alignas", "typeid", "co_await", "co_return", "co_yield",
+}
+CONTROL = {"if", "for", "while", "switch", "catch", "do", "try", "else"}
+
+MUTEX_DECL = re.compile(r"util::(?:Mutex|SharedMutex)\s+(\w+)\b")
+GUARDED_DECL = re.compile(r"(\w+)\s+TOPK_GUARDED_BY\s*\(")
+CALL = re.compile(r"([A-Za-z_]\w*)\s*\(")
+RECEIVER = re.compile(
+    r"([A-Za-z_]\w*(?:\s*(?:\.|->)\s*[A-Za-z_]\w*)*)\s*(?:\.|->)\s*$")
+MEMBER_PIECE = re.compile(
+    r"(?:(?:public|private|protected)\s*:\s*)?"
+    r"(?:mutable\s+|static\s+|inline\s+|constexpr\s+)*"
+    r"(?:const\s+)?"
+    r"([A-Za-z_][\w:]*(?:<[^;]*>)?)\s*[&*]?\s+"
+    r"(\w+)\s*"
+    r"(?:TOPK_GUARDED_BY\s*\([^)]*\)\s*)?"
+    r"(?:=[^;]*)?$")
+MEMBER_SKIP = re.compile(
+    r"\s*(?:using|typedef|friend|template|struct|class|enum|union)\b")
+SMART_PTR = re.compile(
+    r"(?:std::)?(?:shared_ptr|unique_ptr|weak_ptr|atomic|optional)"
+    r"\s*<\s*(?:const\s+)?(.*)>\s*$")
+FUNC_NAME = re.compile(r"((?:~?\w+\s*::\s*)*~?\w+)\s*$")
+LAMBDA_TAIL = re.compile(
+    r"\[[^\[\]]*\]\s*"
+    r"(?:\([^()]*(?:\([^()]*\)[^()]*)*\)\s*)?"
+    r"(?:mutable\b\s*)?(?:noexcept\b[^{;]*)?(?:->[^{;]*)?$")
+
+
+@dataclass
+class Acquisition:
+    lock: str        # resolved class-qualified identity
+    guard: str       # MutexLock / WriterLock / ReaderLock
+    line: int
+    offset: int      # offset of the acquisition in the stripped text
+    block_open: int  # offset of the enclosing block's '{'
+    held: tuple      # lock identities held at this point
+    in_lambda: bool
+
+
+@dataclass
+class CallSite:
+    name: str
+    line: int
+    held: tuple
+    in_lambda: bool
+    receiver: str = ""        # receiver chain for x.f() / x->f(), else ""
+    receiver_class: str = ""  # resolved class of the receiver, else ""
+
+
+@dataclass
+class Function:
+    qualname: str
+    cls: str
+    path: Path
+    header: str
+    start: int  # offset of the body '{'
+    end: int    # offset of the matching '}'
+    line: int
+    acquisitions: list[Acquisition] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit("::", 1)[-1]
+
+
+@dataclass
+class FileModel:
+    path: Path
+    text: str
+    functions: list[Function]
+    classes: dict[str, set]       # class -> mutex member names
+    guarded_members: set
+    brace_kind: dict              # open-brace offset -> kind
+    brace_match: dict              # open-brace offset -> close offset
+    member_types: dict[str, dict] = field(default_factory=dict)
+    # class -> {data member -> stripped type name}, for receiver typing
+
+    def line_of(self, offset: int) -> int:
+        return self.text.count("\n", 0, offset) + 1
+
+
+def _first_toplevel_paren(chunk: str) -> int:
+    """Offset of the first '(' outside <> / [] nesting, or -1."""
+    angle = square = 0
+    for i, c in enumerate(chunk):
+        if c == "<":
+            angle += 1
+        elif c == ">":
+            angle = max(0, angle - 1)
+        elif c == "[":
+            square += 1
+        elif c == "]":
+            square = max(0, square - 1)
+        elif c == "(" and angle == 0 and square == 0:
+            return i
+    return -1
+
+
+def _classify(chunk: str, stack: list) -> tuple:
+    """Classify the block opened after `chunk`: returns (kind, name)."""
+    s = chunk.strip()
+    enclosing = stack[-1][0] if stack else "namespace"
+    if enclosing in ("namespace", "class"):
+        m = re.search(r"\bnamespace\b\s*([\w:]*)\s*$", s)
+        if m:
+            return "namespace", m.group(1)
+        m = re.search(r"\b(?:class|struct|union)\s+(?:TOPK_\w+\s*(?:\([^)]*\)\s*)?)?(\w+)"
+                      r"(?:\s+final)?(?:\s*:[^{;]*)?$", s)
+        if m:
+            return "class", m.group(1)
+        if re.search(r"\benum\b", s):
+            return "class", ""
+        # Top-level `= { ... }` initializers (arrays, constexpr tables).
+        if s.endswith("=") or re.search(r"=\s*$", s):
+            return "plain", ""
+        if LAMBDA_TAIL.search(s) and "[" in s:
+            return "lambda", ""
+        first = s.split(None, 1)[0] if s else ""
+        if first in CONTROL:
+            return "plain", ""
+        paren = _first_toplevel_paren(s)
+        if paren > 0:
+            m = FUNC_NAME.search(s[:paren].rstrip())
+            if m and m.group(1).split("::")[-1] not in KEYWORDS:
+                name = re.sub(r"\s+", "", m.group(1))
+                return "function", name
+        return "plain", ""
+    # Inside a function body: only lambdas and plain blocks.
+    if "[" in s and LAMBDA_TAIL.search(s):
+        return "lambda", ""
+    return "plain", ""
+
+
+def _strip_type(decl: str) -> str:
+    """Bare class name of a declared type: unwraps one smart-pointer
+    layer, drops template arguments and namespace qualification."""
+    decl = decl.strip()
+    m = SMART_PTR.fullmatch(decl)
+    if m:
+        decl = m.group(1).strip()
+    decl = re.sub(r"<.*", "", decl)
+    return decl.rstrip("&* \t").rsplit("::", 1)[-1]
+
+
+def _class_members(body: str) -> dict:
+    """{member name -> stripped type} from a class body whose nested
+    blocks have already been blanked out."""
+    members: dict[str, str] = {}
+    for piece in body.split(";"):
+        piece = re.sub(r"TOPK_GUARDED_BY\s*\([^)]*\)", "",
+                       piece).strip()
+        if not piece or "(" in piece or MEMBER_SKIP.match(piece):
+            continue
+        m = MEMBER_PIECE.fullmatch(piece)
+        if m:
+            members[m.group(2)] = _strip_type(m.group(1))
+    return members
+
+
+def parse_file(path: Path, text: str | None = None) -> FileModel:
+    if text is None:
+        text = path.read_text(encoding="utf-8")
+    text = strip_comments(text)
+    functions: list[Function] = []
+    classes: dict[str, set] = {}
+    member_types: dict[str, dict] = {}
+    guarded = set(m.group(1) for m in GUARDED_DECL.finditer(text))
+    brace_kind: dict = {}
+    brace_match: dict = {}
+    stack: list = []   # [kind, name, open_offset, nested-block holes]
+    boundary = 0
+    for i, c in enumerate(text):
+        if c == ";":
+            boundary = i + 1
+        elif c == "{":
+            kind, name = _classify(text[boundary:i], stack)
+            if kind == "function":
+                # Qualify with the enclosing class for in-class bodies.
+                encl_class = next((f[1] for f in reversed(stack)
+                                   if f[0] == "class" and f[1]), "")
+                if encl_class and "::" not in name:
+                    name = f"{encl_class}::{name}"
+            brace_kind[i] = kind
+            stack.append([kind, name, i, []])
+            if kind == "function":
+                functions.append(Function(
+                    qualname=name,
+                    cls=name.rsplit("::", 1)[0] if "::" in name else next(
+                        (f[1] for f in reversed(stack[:-1])
+                         if f[0] == "class" and f[1]), ""),
+                    path=path,
+                    header=text[boundary:i],
+                    start=i,
+                    end=-1,
+                    line=text.count("\n", 0, i) + 1,
+                ))
+            boundary = i + 1
+        elif c == "}":
+            if stack:
+                kind, name, open_off, holes = stack.pop()
+                brace_match[open_off] = i
+                if stack:
+                    stack[-1][3].append((open_off, i))
+                if kind == "function":
+                    for fn in reversed(functions):
+                        if fn.start == open_off:
+                            fn.end = i
+                            break
+                elif kind == "class" and name:
+                    # Blank direct nested blocks (methods, nested
+                    # classes, default initialisers) so only this
+                    # class's own top-level declarations are read.
+                    segs, pos = [], open_off + 1
+                    for h_open, h_close in sorted(holes):
+                        segs.append(text[pos:h_open])
+                        segs.append(" " * (h_close - h_open + 1))
+                        pos = h_close + 1
+                    segs.append(text[pos:i])
+                    body = "".join(segs)
+                    members = classes.setdefault(name, set())
+                    for m in MUTEX_DECL.finditer(body):
+                        members.add(m.group(1))
+                    member_types.setdefault(name, {}).update(
+                        _class_members(body))
+            boundary = i + 1
+    model = FileModel(path=path, text=text, functions=functions,
+                      classes=classes, guarded_members=guarded,
+                      brace_kind=brace_kind, brace_match=brace_match,
+                      member_types=member_types)
+    return model
+
+
+def _read_parens(text: str, open_paren: int) -> tuple:
+    """Contents of a balanced paren group starting at open_paren."""
+    depth = 0
+    for i in range(open_paren, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1:i], i + 1
+    return text[open_paren + 1:], len(text)
+
+
+def _infer_type(root: str, fn: Function, model: FileModel) -> str:
+    """Best-effort local type of `root` from the function body and
+    signature: references, shared_ptr declarations, make_shared."""
+    scope = fn.header + model.text[fn.start:fn.end]
+    m = re.search(
+        rf"std::shared_ptr<\s*(?:const\s+)?([\w:]+)\s*>\s*&?\s*{root}\b",
+        scope)
+    if m:
+        return m.group(1).rsplit("::", 1)[-1]
+    m = re.search(rf"\b{root}\s*=\s*std::make_shared<\s*([\w:]+)", scope)
+    if m:
+        return m.group(1).rsplit("::", 1)[-1]
+    m = re.search(rf"([A-Za-z_][\w:]*)\s*[&*]\s*{root}\b", scope)
+    if m and m.group(1) not in ("const", "auto", "return"):
+        return m.group(1).rsplit("::", 1)[-1]
+    m = re.search(
+        rf"(?:^|[;{{(,])\s*(?:const\s+)?"
+        rf"([A-Za-z_][\w:]*(?:<[^<>;]*>)?)\s+{root}\s*[;=({{]", scope)
+    if m and m.group(1).split("::")[0] not in (
+            "auto", "return", "delete", "new", "else", "case", "using"):
+        return _strip_type(m.group(1))
+    return ""
+
+
+def resolve_receiver(receiver: str, callee: str, fn: Function,
+                     model: FileModel, member_types: dict,
+                     method_owners: dict) -> str:
+    """Best-effort class of a method call's receiver chain.  Empty
+    string when nothing credible resolves — the caller then falls back
+    to name matching."""
+    parts = [p.strip() for p in re.split(r"->|\.", receiver) if p.strip()]
+    if not parts:
+        return ""
+    if parts[0] == "this":
+        cur = fn.cls
+    else:
+        root = parts[0]
+        cur = _infer_type(root, fn, model)
+        if not cur:
+            cur = member_types.get(fn.cls, {}).get(root, "")
+        if not cur:
+            types = {ms[root] for ms in member_types.values() if root in ms}
+            if len(types) == 1:
+                cur = next(iter(types))
+    for part in parts[1:]:
+        if not cur:
+            break
+        cur = member_types.get(cur, {}).get(part, "")
+    if cur:
+        return cur
+    # The chain didn't resolve end to end (auto roots, loop bindings):
+    # fall back to the owners of the final link, preferring the unique
+    # type that actually defines the called method.
+    last = parts[-1]
+    types = {ms[last] for ms in member_types.values() if last in ms}
+    defined = {t for t in types if callee in method_owners.get(t, ())}
+    if len(defined) == 1:
+        return next(iter(defined))
+    if len(types) == 1:
+        return next(iter(types))
+    return ""
+
+
+def resolve_lock(expr: str, fn: Function, model: FileModel,
+                 all_classes: dict) -> str:
+    """Class-qualified identity of a guard's lock expression."""
+    expr = expr.strip().lstrip("&*").strip()
+    parts = re.split(r"->|\.", expr)
+    parts = [p.strip() for p in parts if p.strip()]
+    if not parts:
+        return f"{fn.path.stem}::<unknown>"
+    if len(parts) == 1:
+        name = parts[0]
+        if fn.cls and name in all_classes.get(fn.cls, ()):
+            return f"{fn.cls}::{name}"
+        if re.search(rf"util::(?:Mutex|SharedMutex)\s+{name}\b",
+                     model.text[fn.start:fn.end]):
+            return f"{fn.qualname}::{name}"  # function-local lock
+        owners = sorted(c for c, ms in all_classes.items() if name in ms)
+        if len(owners) == 1:
+            return f"{owners[0]}::{name}"
+        return f"{fn.path.stem}::{name}"
+    root, member = parts[0], parts[-1]
+    inferred = _infer_type(root, fn, model)
+    if inferred and member in all_classes.get(inferred, ()):
+        return f"{inferred}::{member}"
+    owners = sorted(c for c, ms in all_classes.items() if member in ms)
+    if len(owners) == 1:
+        return f"{owners[0]}::{member}"
+    return f"{fn.path.stem}::{member}"
+
+
+def scan_function(fn: Function, model: FileModel, all_classes: dict,
+                  guard_names: tuple, member_types: dict | None = None,
+                  method_owners: dict | None = None) -> None:
+    """Populate fn.acquisitions and fn.calls with exact block scoping:
+    a guard's lock is held from its statement to the closing brace of
+    its block; lambda openings act as held-set barriers."""
+    text = model.text
+    member_types = member_types or {}
+    method_owners = method_owners or {}
+    guard_re = re.compile(
+        r"util::(" + "|".join(guard_names) + r")\s+\w+\s*\(")
+    frames = [{"open": fn.start, "barrier": False, "locks": []}]
+
+    def held() -> tuple:
+        out = []
+        for frame in reversed(frames):
+            out.extend(frame["locks"])
+            if frame["barrier"]:
+                break
+        return tuple(reversed(out))
+
+    def in_lambda() -> bool:
+        return any(f["barrier"] for f in frames)
+
+    i = fn.start + 1
+    while i < fn.end:
+        c = text[i]
+        if c == "{":
+            frames.append({"open": i,
+                           "barrier": model.brace_kind.get(i) == "lambda",
+                           "locks": []})
+            i += 1
+            continue
+        if c == "}":
+            if len(frames) > 1:
+                frames.pop()
+            i += 1
+            continue
+        m = guard_re.match(text, i)
+        if m:
+            expr, after = _read_parens(text, text.index("(", m.end() - 1))
+            lock = resolve_lock(expr, fn, model, all_classes)
+            fn.acquisitions.append(Acquisition(
+                lock=lock, guard=m.group(1),
+                line=model.line_of(i), offset=i,
+                block_open=frames[-1]["open"],
+                held=held(), in_lambda=in_lambda()))
+            frames[-1]["locks"].append(lock)
+            i = after
+            continue
+        m = CALL.match(text, i)
+        if m and (i == 0 or not (text[i - 1].isalnum()
+                                 or text[i - 1] in "_:~")):
+            name = m.group(1)
+            if name not in KEYWORDS and not name[0].isupper():
+                receiver = ""
+                if text[i - 1] in ".>":
+                    rm = RECEIVER.search(text, max(fn.start, i - 200), i)
+                    if rm:
+                        receiver = re.sub(r"\s+", "", rm.group(1))
+                receiver_class = resolve_receiver(
+                    receiver, name, fn, model, member_types,
+                    method_owners) if receiver else ""
+                fn.calls.append(CallSite(
+                    name=name, line=model.line_of(i),
+                    held=held(), in_lambda=in_lambda(),
+                    receiver=receiver, receiver_class=receiver_class))
+            i = m.end() - 1  # rescan from '(' so nested args are seen
+            continue
+        i += 1
+
+
+def scan_tree(files, guard_names: tuple):
+    """Parse and scan every file; returns (models, all_classes)."""
+    models = []
+    all_classes: dict[str, set] = {}
+    member_types: dict[str, dict] = {}
+    method_owners: dict[str, set] = {}
+    for path in files:
+        model = parse_file(path)
+        models.append(model)
+        for cls, members in model.classes.items():
+            all_classes.setdefault(cls, set()).update(members)
+        for cls, types in model.member_types.items():
+            member_types.setdefault(cls, {}).update(types)
+        for fn in model.functions:
+            if fn.cls:
+                method_owners.setdefault(fn.cls, set()).add(fn.name)
+    for model in models:
+        for fn in model.functions:
+            scan_function(fn, model, all_classes, guard_names,
+                          member_types, method_owners)
+    return models, all_classes

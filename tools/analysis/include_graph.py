@@ -1,0 +1,248 @@
+"""Include-graph construction and architecture layering gate
+(-Wlayer, -Winclude-cycle), plus Graphviz emission.
+
+TUs come from the build tree's compile_commands.json (include search
+dirs are read from each entry's -I flags); without a build tree the
+analyzer falls back to treating every src/**/*.cpp as a TU with
+src/ as the lone include root.  Only project (quoted) includes are
+followed; system headers are out of scope.
+
+A module is a first-level directory under src/.  The layer manifest
+(layers.toml) assigns each module a tier; an include edge is legal
+when the including module's tier is >= the included module's tier
+(same-tier edges allowed), and the module graph must be acyclic.
+Cross-cutting modules are checked against their explicit allow-lists
+instead of tiers.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import shlex
+from pathlib import Path
+
+from . import Finding
+
+INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.M)
+
+
+def load_tus(build_dir: Path, repo_root: Path):
+    """(tu_paths, include_dirs) from compile_commands.json, or the
+    src-walk fallback."""
+    cc = build_dir / "compile_commands.json"
+    src_root = repo_root / "src"
+    if not cc.is_file():
+        return sorted(src_root.rglob("*.cpp")), [src_root]
+    entries = json.loads(cc.read_text(encoding="utf-8"))
+    tus = []
+    include_dirs = set()
+    for entry in entries:
+        directory = Path(entry.get("directory", "."))
+        file = Path(entry["file"])
+        if not file.is_absolute():
+            file = directory / file
+        file = file.resolve()
+        if repo_root not in file.parents:
+            continue  # generated / external TU (e.g. googletest)
+        tus.append(file)
+        args = entry.get("arguments")
+        if args is None:
+            args = shlex.split(entry.get("command", ""))
+        for i, arg in enumerate(args):
+            if arg.startswith("-I") and len(arg) > 2:
+                include_dirs.add((directory / arg[2:]).resolve())
+            elif arg == "-I" and i + 1 < len(args):
+                include_dirs.add((directory / args[i + 1]).resolve())
+    if src_root.is_dir():
+        include_dirs.add(src_root)
+    return sorted(set(tus)), sorted(include_dirs)
+
+
+def build_file_graph(tus, include_dirs, repo_root: Path):
+    """file -> [(included file, line)] over project includes, expanded
+    transitively from the TUs."""
+    graph: dict[Path, list] = {}
+    queue = list(tus)
+    while queue:
+        path = queue.pop()
+        if path in graph or not path.is_file():
+            continue
+        text = path.read_text(encoding="utf-8", errors="replace")
+        out = []
+        for m in INCLUDE.finditer(text):
+            target = None
+            for base in [path.parent, *include_dirs]:
+                candidate = (base / m.group(1)).resolve()
+                if candidate.is_file() and repo_root in candidate.parents:
+                    target = candidate
+                    break
+            if target is not None:
+                line = text.count("\n", 0, m.start()) + 1
+                out.append((target, line))
+                queue.append(target)
+        graph[path] = out
+    return graph
+
+
+def module_of(path: Path, repo_root: Path):
+    """src/<module>/... -> module; files outside src/ have none (tests,
+    benches and examples are unconstrained by the layer table)."""
+    try:
+        rel = path.relative_to(repo_root / "src")
+    except ValueError:
+        return None
+    return rel.parts[0] if len(rel.parts) > 1 else None
+
+
+def module_edges(file_graph, repo_root: Path):
+    """(from_module, to_module) -> example (path, line, target)."""
+    edges: dict[tuple, tuple] = {}
+    for path, includes in sorted(file_graph.items()):
+        m_from = module_of(path, repo_root)
+        if m_from is None:
+            continue
+        for target, line in includes:
+            m_to = module_of(target, repo_root)
+            if m_to is None or m_to == m_from:
+                continue
+            edges.setdefault((m_from, m_to), (path, line, target))
+    return edges
+
+
+def _cycles(adjacency):
+    """All elementary cycles found by DFS; returned normalised (rotated
+    to the lexicographically smallest member) and deduplicated."""
+    cycles = set()
+    nodes = sorted(adjacency)
+
+    def dfs(node, path, on_path):
+        for nxt in sorted(adjacency.get(node, ())):
+            if nxt in on_path:
+                cycle = path[path.index(nxt):]
+                pivot = cycle.index(min(cycle))
+                cycles.add(tuple(cycle[pivot:] + cycle[:pivot]))
+            elif len(path) < 64:
+                dfs(nxt, path + [nxt], on_path | {nxt})
+
+    for start in nodes:
+        dfs(start, [start], {start})
+    return sorted(cycles)
+
+
+def check(manifest, edges, file_graph, repo_root: Path):
+    findings = []
+
+    def rel(path):
+        try:
+            return str(path.relative_to(repo_root))
+        except ValueError:
+            return str(path)
+
+    # Unknown modules: every directory under src/ must be placed.
+    placed = set(manifest.rank) | set(manifest.crosscutting)
+    seen = sorted({m for pair in edges for m in pair}
+                  | {module_of(p, repo_root) for p in file_graph
+                     if module_of(p, repo_root)})
+    for module in seen:
+        if module not in placed:
+            findings.append(Finding(
+                warning="layer", path=f"src/{module}", line=1,
+                message=(f"module '{module}' is not placed in "
+                         "tools/analysis/layers.toml — every src/ module "
+                         "must have an explicit tier"),
+                id=f"layer:unplaced:{module}"))
+
+    for (m_from, m_to), (path, line, target) in sorted(edges.items()):
+        if m_from not in placed or m_to not in placed:
+            continue  # already reported as unplaced
+        detail = f"'{rel(path)}' includes '{rel(target)}'"
+        if m_from in manifest.crosscutting:
+            allowed = manifest.crosscutting[m_from].may_include
+            if m_to not in allowed:
+                findings.append(Finding(
+                    warning="layer", path=rel(path), line=line,
+                    message=(f"cross-cutting module '{m_from}' may only "
+                             f"include {allowed}, not '{m_to}' ({detail})"),
+                    id=f"layer:{m_from}->{m_to}"))
+            continue
+        if m_to in manifest.crosscutting:
+            allowed = manifest.crosscutting[m_to].importable_from
+            if m_from not in allowed:
+                findings.append(Finding(
+                    warning="layer", path=rel(path), line=line,
+                    message=(f"'{m_from}' may not include cross-cutting "
+                             f"'{m_to}' (importable from {allowed} only; "
+                             f"{detail})"),
+                    id=f"layer:{m_from}->{m_to}"))
+            continue
+        if manifest.rank[m_from] < manifest.rank[m_to]:
+            findings.append(Finding(
+                warning="layer", path=rel(path), line=line,
+                message=(f"layering violation: '{m_from}' (tier "
+                         f"{manifest.rank[m_from]}) includes '{m_to}' "
+                         f"(tier {manifest.rank[m_to]}) — dependencies "
+                         f"must point downward ({detail})"),
+                id=f"layer:{m_from}->{m_to}"))
+
+    # Module-level cycles (covers same-tier back edges).
+    adjacency: dict[str, set] = {}
+    for (m_from, m_to) in edges:
+        adjacency.setdefault(m_from, set()).add(m_to)
+    for cycle in _cycles(adjacency):
+        example = edges[(cycle[0], cycle[1 % len(cycle)])]
+        findings.append(Finding(
+            warning="include-cycle", path=rel(example[0]), line=example[1],
+            message=("module include cycle: "
+                     + " -> ".join(cycle + (cycle[0],))),
+            id="include-cycle:" + "->".join(cycle)))
+
+    # File-level cycles (pragma-once hides them at compile time when
+    # the entry order is lucky; they are still architecture rot).
+    file_adj = {p: {t for t, _ in incs} for p, incs in file_graph.items()}
+    for cycle in _cycles(file_adj):
+        names = tuple(rel(p) for p in cycle)
+        findings.append(Finding(
+            warning="include-cycle", path=names[0], line=1,
+            message=("file include cycle: "
+                     + " -> ".join(names + (names[0],))),
+            id="include-cycle:" + "->".join(names)))
+    return findings
+
+
+def to_dot(manifest, edges) -> str:
+    """Graphviz rendering of the module graph grouped by tier."""
+    lines = [
+        "// Generated by tools/analyze.py --dot; the layer table lives",
+        "// in tools/analysis/layers.toml.",
+        "digraph architecture {",
+        "  rankdir=BT;",
+        "  node [shape=box, fontname=\"Helvetica\"];",
+    ]
+    tier_names = ["foundation", "formats", "kernels", "indexing",
+                  "durability", "serving"]
+    for tier, modules in enumerate(manifest.layers):
+        label = tier_names[tier] if tier < len(tier_names) else f"tier {tier}"
+        lines.append(f"  subgraph cluster_{tier} {{")
+        lines.append(f"    label=\"{label}\"; style=dashed;")
+        for module in modules:
+            lines.append(f"    \"{module}\";")
+        lines.append("  }")
+    for name in manifest.crosscutting:
+        lines.append(f"  \"{name}\" [style=filled, fillcolor=lightgrey];")
+    for (m_from, m_to) in sorted(edges):
+        lines.append(f"  \"{m_from}\" -> \"{m_to}\";")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def run(build_dir: Path, repo_root: Path, manifest, dot_path=None):
+    tus, include_dirs = load_tus(build_dir, repo_root)
+    file_graph = build_file_graph(tus, include_dirs, repo_root)
+    edges = module_edges(file_graph, repo_root)
+    findings = check(manifest, edges, file_graph, repo_root)
+    if dot_path is not None:
+        dot = Path(dot_path)
+        dot.parent.mkdir(parents=True, exist_ok=True)
+        dot.write_text(to_dot(manifest, edges), encoding="utf-8")
+    return findings

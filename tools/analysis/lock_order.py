@@ -1,0 +1,197 @@
+"""Static lock-order deadlock detection (-Wlock-order).
+
+Builds the per-function lock acquisition facts from cpp_scan, then:
+
+1. intra-function edges: acquiring B while A is held adds A -> B;
+2. call propagation: if f holds A when it calls g, A -> every lock in
+   g's transitive acquisition closure (lambda bodies excluded from
+   closures — deferred execution).  Method calls whose receiver class
+   resolves are matched only against that class's methods (so a std
+   container's `clear()` propagates nothing); unresolved method calls
+   match every class method of the name, and free calls match every
+   function of the name;
+3. any cycle in the resulting lock graph — including a self-loop,
+   which is a recursive acquisition of a non-recursive mutex — is an
+   ordering inversion two threads can interleave into a deadlock.
+
+Lock identity is class-qualified (`DeltaIndex::mutex_`), so the many
+members named `mutex_` across the codebase stay distinct.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from . import Finding
+from . import cpp_scan
+
+
+def _candidates(call, by_name, by_method):
+    """Callee candidates for one call site, narrowed by the resolved
+    receiver class when the scanner could type it."""
+    if call.receiver_class:
+        return by_method.get((call.receiver_class, call.name), ())
+    if call.receiver:
+        # Method call on an untyped receiver: any class method of the
+        # name, but never a free function.
+        return tuple(f for f in by_name.get(call.name, ()) if f.cls)
+    return by_name.get(call.name, ())
+
+
+def _closures(functions):
+    """Transitive acquisition closure per function, fixpoint over the
+    receiver-narrowed call graph.  Lambda-scoped facts are excluded:
+    what a lambda acquires happens when the lambda runs, not when its
+    owner is called."""
+    by_name = {}
+    by_method = {}
+    for fn in functions:
+        by_name.setdefault(fn.name, []).append(fn)
+        if fn.cls:
+            by_method.setdefault((fn.cls, fn.name), []).append(fn)
+    closure = {id(fn): set(a.lock for a in fn.acquisitions
+                           if not a.in_lambda)
+               for fn in functions}
+    changed = True
+    while changed:
+        changed = False
+        for fn in functions:
+            acc = closure[id(fn)]
+            before = len(acc)
+            for call in fn.calls:
+                if call.in_lambda:
+                    continue
+                for callee in _candidates(call, by_name, by_method):
+                    acc |= closure[id(callee)]
+            if len(acc) != before:
+                changed = True
+    return by_name, by_method, closure
+
+
+def build_lock_graph(models):
+    """Directed acquired-before graph over lock identities.  Returns
+    (edges, provenance) where provenance maps an edge to one example
+    (path, line, description)."""
+    functions = [fn for model in models for fn in model.functions]
+    by_name, by_method, closure = _closures(functions)
+    edges: dict[str, set] = {}
+    provenance: dict[tuple, tuple] = {}
+
+    def add(a: str, b: str, path: Path, line: int, why: str):
+        edges.setdefault(a, set()).add(b)
+        provenance.setdefault((a, b), (path, line, why))
+
+    for fn in functions:
+        for acq in fn.acquisitions:
+            for heldlock in acq.held:
+                add(heldlock, acq.lock, fn.path, acq.line,
+                    f"{fn.qualname or fn.path.stem}: acquires {acq.lock} "
+                    f"while holding {heldlock}")
+        for call in fn.calls:
+            if not call.held:
+                continue
+            for callee in _candidates(call, by_name, by_method):
+                for lock in closure[id(callee)]:
+                    for heldlock in call.held:
+                        add(heldlock, lock, fn.path, call.line,
+                            f"{fn.qualname or fn.path.stem}: calls "
+                            f"{call.name}() (reaching {callee.qualname}, "
+                            f"which acquires {lock}) while holding "
+                            f"{heldlock}")
+    return edges, provenance
+
+
+def _strongly_connected(edges):
+    """Iterative Tarjan SCC over the lock graph."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set = set()
+    stack: list = []
+    sccs: list = []
+    counter = [0]
+    nodes = sorted(set(edges) | {b for bs in edges.values() for b in bs})
+
+    for root in nodes:
+        if root in index:
+            continue
+        work = [(root, iter(sorted(edges.get(root, ()))))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(edges.get(nxt, ())))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+    return sccs
+
+
+def check(models, repo_root: Path):
+    """All lock-order findings over the scanned models."""
+    edges, provenance = build_lock_graph(models)
+    findings = []
+    for scc in _strongly_connected(edges):
+        cyclic = len(scc) > 1 or (scc[0] in edges.get(scc[0], ()))
+        if not cyclic:
+            continue
+        members = sorted(scc)
+        fid = "lock-order:" + "->".join(members)
+        lines = []
+        for a in members:
+            for b in sorted(edges.get(a, ())):
+                if b in scc and (a, b) in provenance:
+                    path, line, why = provenance[(a, b)]
+                    try:
+                        rel = path.relative_to(repo_root)
+                    except ValueError:
+                        rel = path
+                    lines.append(f"    {rel}:{line}: {why}")
+        first = provenance.get(
+            (members[0], next(b for b in sorted(edges[members[0]])
+                              if b in scc)))
+        path, line, _ = first
+        try:
+            rel = str(path.relative_to(repo_root))
+        except ValueError:
+            rel = str(path)
+        findings.append(Finding(
+            warning="lock-order",
+            path=rel,
+            line=line,
+            message=("lock-order inversion cycle: "
+                     + " <-> ".join(members) + "\n"
+                     + "\n".join(lines)),
+            id=fid,
+        ))
+    return findings
+
+
+def run(src_files, repo_root: Path, manifest):
+    guard_names = tuple(manifest.exclusive_guards + manifest.shared_guards)
+    models, _ = cpp_scan.scan_tree(src_files, guard_names)
+    return check(models, repo_root)

@@ -1,0 +1,91 @@
+"""layers.toml / suppressions.toml loading for tools/analyze.py."""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+ANALYSIS_DIR = Path(__file__).resolve().parent
+DEFAULT_MANIFEST = ANALYSIS_DIR / "layers.toml"
+DEFAULT_SUPPRESSIONS = ANALYSIS_DIR / "suppressions.toml"
+
+
+@dataclass
+class Crosscutting:
+    name: str
+    may_include: list[str]
+    importable_from: list[str]
+
+
+@dataclass
+class Manifest:
+    layers: list[list[str]]
+    crosscutting: dict[str, Crosscutting]
+    exclusive_guards: list[str]
+    shared_guards: list[str]
+    audit_functions: list[str]
+    allowed_calls: list[str]
+    rank: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        for tier, modules in enumerate(self.layers):
+            for module in modules:
+                self.rank[module] = tier
+
+    def is_known(self, module: str) -> bool:
+        return module in self.rank or module in self.crosscutting
+
+
+def load_manifest(path: Path = DEFAULT_MANIFEST) -> Manifest:
+    with open(path, "rb") as handle:
+        data = tomllib.load(handle)
+    layers = data.get("layers", {}).get("order", [])
+    crosscutting = {}
+    for name, spec in data.get("crosscutting", {}).items():
+        crosscutting[name] = Crosscutting(
+            name=name,
+            may_include=spec.get("may_include", []),
+            importable_from=spec.get("importable_from", []),
+        )
+    lock = data.get("lock_order", {})
+    audit = data.get("noexcept_audit", {})
+    return Manifest(
+        layers=layers,
+        crosscutting=crosscutting,
+        exclusive_guards=lock.get("exclusive_guards",
+                                  ["MutexLock", "WriterLock"]),
+        shared_guards=lock.get("shared_guards", ["ReaderLock"]),
+        audit_functions=audit.get("functions", []),
+        allowed_calls=audit.get("allowed_calls", []),
+    )
+
+
+@dataclass
+class Suppression:
+    id: str
+    justification: str
+    used: bool = False
+
+
+def load_suppressions(path: Path = DEFAULT_SUPPRESSIONS):
+    """Returns (suppressions, errors): entries missing a justification
+    are reported as errors rather than silently honoured."""
+    if not path.is_file():
+        return [], []
+    with open(path, "rb") as handle:
+        data = tomllib.load(handle)
+    suppressions, errors = [], []
+    for entry in data.get("suppress", []):
+        sid = entry.get("id", "")
+        justification = entry.get("justification", "").strip()
+        if not sid:
+            errors.append(f"{path}: suppression without an id")
+            continue
+        if not justification:
+            errors.append(
+                f"{path}: suppression '{sid}' has no justification — "
+                "every baseline entry must explain the false positive")
+            continue
+        suppressions.append(Suppression(id=sid, justification=justification))
+    return suppressions, errors

@@ -1,0 +1,182 @@
+"""Exception-safety audit of atomic-publish sections (-Wswap-noexcept).
+
+The audited functions (layers.toml [noexcept_audit].functions) follow
+the prepare-outside / publish-inside pattern: everything fallible —
+allocation, string building, validation throws — happens before the
+first write to lock-guarded state, and from that first write to the
+end of the exclusive section (the *publish suffix*) every statement
+must be statically noexcept-clean.  An exception escaping mid-publish
+would leave guarded state half-swapped for every other thread.
+
+Guarded state is identified from the TOPK_GUARDED_BY annotations in
+the scanned sources, so the rule tracks the same ground truth Clang's
+thread-safety analysis proves.
+
+Allowed in a publish suffix:
+- assignment whose right side is std::move(...), a plain identifier
+  chain, a literal, or a static_cast of one of those;
+- increments/decrements of guarded scalars;
+- `.merge(x)` node splicing into a guarded container;
+- calls (alone or in a return) whose unqualified name is in the
+  manifest's allowed_calls list — each must be noexcept in the code;
+- bare `return` / `return <safe expr>` / `break` / `continue`.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from . import Finding
+from . import cpp_scan
+
+MUTATORS = ("merge|emplace|emplace_back|insert|insert_or_assign|push_back|"
+            "pop_back|pop_front|erase|clear|resize|reserve|assign|swap")
+ASSIGN = re.compile(r"(?<![=!<>])=(?!=)")
+CHAIN = re.compile(r"[\w.\->:\[\]]+")
+
+
+def _unqualified(callee: str) -> str:
+    return re.split(r"->|\.|::", callee)[-1]
+
+
+def _expr_safe(expr: str, allowed_calls) -> bool:
+    expr = expr.strip()
+    if not expr:
+        return True
+    if CHAIN.fullmatch(expr):
+        return True  # identifier chain, literal, nullptr, enum value
+    m = re.fullmatch(r"std::move\(\s*([\w.\->:\[\]]+)\s*\)", expr)
+    if m:
+        return True
+    m = re.fullmatch(r"static_cast<[^<>]+>\(\s*([\w.\->:\[\]]+)\s*\)", expr)
+    if m:
+        return True
+    m = re.fullmatch(r"([\w.\->:]+)\(\s*\)", expr)
+    if m and _unqualified(m.group(1)) in allowed_calls:
+        return True
+    return False
+
+
+def _statement_safe(stmt: str, allowed_calls) -> bool:
+    s = stmt.strip().strip("{}").strip()
+    if not s:
+        return True
+    if s in ("break", "continue", "return"):
+        return True
+    if s.startswith("return"):
+        return _expr_safe(s[len("return"):], allowed_calls)
+    if re.fullmatch(r"(\+\+|--)\s*[\w.\->]+", s) or \
+            re.fullmatch(r"[\w.\->]+\s*(\+\+|--)", s):
+        return True
+    m = ASSIGN.search(s)
+    if m:
+        lhs, rhs = s[:m.start()], s[m.end():]
+        return (CHAIN.fullmatch(lhs.strip()) is not None
+                and _expr_safe(rhs, allowed_calls))
+    m = re.fullmatch(r"([\w.\->:]+)\s*\(\s*([\w.\->:\[\]]*)\s*\)", s)
+    if m and _unqualified(m.group(1)) in allowed_calls:
+        return True
+    return False
+
+
+def _guarded_write(stmt: str, guarded) -> bool:
+    """Does this statement mutate TOPK_GUARDED_BY state?"""
+    m = ASSIGN.search(stmt)
+    if m:
+        lhs = stmt[:m.start()]
+        if any(re.search(rf"\b{g}\b", lhs) for g in guarded):
+            return True
+    for g in guarded:
+        if re.search(rf"\b{g}\b\s*(?:\.|->)\s*(?:{MUTATORS})\s*\(", stmt):
+            return True
+        if re.search(rf"(?:\+\+|--)\s*{g}\b", stmt) or \
+                re.search(rf"\b{g}\s*(?:\+\+|--)", stmt):
+            return True
+    return False
+
+
+def _statements(text: str, start: int, end: int):
+    """(offset, statement) pieces split on ';' between start and end."""
+    out = []
+    piece_start = start
+    for i in range(start, end):
+        if text[i] == ";":
+            out.append((piece_start, text[piece_start:i]))
+            piece_start = i + 1
+    if piece_start < end:
+        out.append((piece_start, text[piece_start:end]))
+    return out
+
+
+def audit_function(fn, model, guarded, manifest, repo_root: Path):
+    findings = []
+    try:
+        rel = str(fn.path.relative_to(repo_root))
+    except ValueError:
+        rel = str(fn.path)
+    exclusive = set(manifest.exclusive_guards)
+    for acq in fn.acquisitions:
+        if acq.guard not in exclusive or acq.in_lambda:
+            continue
+        scope_end = model.brace_match.get(acq.block_open, fn.end)
+        # Start after the acquisition's own statement.
+        stmt_start = model.text.find(";", acq.offset)
+        if stmt_start < 0 or stmt_start >= scope_end:
+            continue
+        statements = _statements(model.text, stmt_start + 1, scope_end)
+        publishing = False
+        for offset, stmt in statements:
+            if not publishing:
+                if _guarded_write(stmt, guarded):
+                    publishing = True
+                else:
+                    continue
+            if not _statement_safe(stmt, manifest.allowed_calls):
+                line = model.line_of(offset + len(stmt)
+                                     - len(stmt.lstrip()))
+                summary = " ".join(stmt.split())
+                if len(summary) > 100:
+                    summary = summary[:97] + "..."
+                findings.append(Finding(
+                    warning="swap-noexcept", path=rel, line=line,
+                    message=(f"{fn.qualname}: potentially-throwing "
+                             f"statement inside the publish suffix of an "
+                             f"exclusive section: `{summary}` — once "
+                             "guarded state is written, every statement "
+                             "until the lock releases must be noexcept"),
+                    id=f"swap-noexcept:{fn.qualname}"))
+    return findings
+
+
+def check(models, repo_root: Path, manifest):
+    guarded = set()
+    for model in models:
+        guarded |= model.guarded_members
+    findings = []
+    audited = set(manifest.audit_functions)
+    matched = set()
+    for model in models:
+        for fn in model.functions:
+            hit = next((a for a in audited
+                        if fn.qualname == a or fn.qualname.endswith("::" + a)
+                        or fn.name == a and "::" not in a), None)
+            if hit is None:
+                continue
+            matched.add(hit)
+            findings.extend(
+                audit_function(fn, model, guarded, manifest, repo_root))
+    for missing in sorted(audited - matched):
+        findings.append(Finding(
+            warning="swap-noexcept", path="tools/analysis/layers.toml",
+            line=1,
+            message=(f"audited function '{missing}' was not found in the "
+                     "tree — update [noexcept_audit].functions"),
+            id=f"swap-noexcept:missing:{missing}"))
+    return findings
+
+
+def run(src_files, repo_root: Path, manifest):
+    guard_names = tuple(manifest.exclusive_guards + manifest.shared_guards)
+    models, _ = cpp_scan.scan_tree(src_files, guard_names)
+    return check(models, repo_root, manifest)

@@ -1,0 +1,298 @@
+#!/usr/bin/env python3
+"""Self-test for tools/analyze.py over synthetic source trees.
+
+Each case materialises a miniature repository (src/ tree + layer
+manifest + suppression baseline) in a temp directory and runs the real
+analyzer binary against it, asserting that every rule fires by name on
+its seeded violation and stays silent on the clean tree:
+
+- layer:          a tier-0 module including a tier-1 module
+- include-cycle:  two headers including each other
+- lock-order:     A->B in one call chain, B->A in another
+- swap-noexcept:  a throwing call after the guarded write of an
+                  audited publish function
+- clean:          all four rules enabled, no findings
+- suppression round-trip: a justified baseline entry silences the
+  seeded lock-order finding; once the finding is gone the entry is
+  reported stale.
+
+Runs as the `repo_analyze_selftest` ctest and standalone.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ANALYZE = Path(__file__).resolve().parent.parent / "analyze.py"
+
+MANIFEST = """\
+[layers]
+order = [["util"], ["core"]]
+
+[lock_order]
+exclusive_guards = ["MutexLock", "WriterLock"]
+shared_guards = ["ReaderLock"]
+
+[noexcept_audit]
+functions = {audit_functions}
+allowed_calls = ["move"]
+"""
+
+EMPTY_SUPPRESSIONS = "suppress = []\n"
+
+failures = []
+
+
+def build_tree(tmp: Path, name: str, files: dict, *,
+               audit_functions: str = "[]",
+               suppressions: str = EMPTY_SUPPRESSIONS) -> Path:
+    root = tmp / name
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+    (root / "manifest.toml").write_text(
+        MANIFEST.format(audit_functions=audit_functions), encoding="utf-8")
+    (root / "suppressions.toml").write_text(suppressions, encoding="utf-8")
+    return root
+
+
+def run_analyze(root: Path, *flags: str):
+    cmd = [sys.executable, str(ANALYZE),
+           "--root", str(root),
+           "--manifest", str(root / "manifest.toml"),
+           "--suppressions", str(root / "suppressions.toml"),
+           *flags]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def expect(case: str, code: int, output: str, *,
+           exit_code: int, contains: tuple = (), absent: tuple = ()):
+    problems = []
+    if code != exit_code:
+        problems.append(f"exit {code}, expected {exit_code}")
+    for needle in contains:
+        if needle not in output:
+            problems.append(f"missing {needle!r}")
+    for needle in absent:
+        if needle in output:
+            problems.append(f"unexpected {needle!r}")
+    if problems:
+        failures.append(case)
+        print(f"FAIL {case}: {'; '.join(problems)}")
+        print("  ---- analyzer output ----")
+        for line in output.splitlines():
+            print(f"  {line}")
+    else:
+        print(f"ok   {case}")
+
+
+# The seeded lock inversion: lock_ab takes alpha then (via a helper)
+# beta; lock_ba takes beta then (via a helper) alpha.  File-scope
+# mutexes resolve to `locks::<name>` identities.
+LOCK_INVERSION_CPP = """\
+#include "util/sync.hpp"
+
+namespace demo {
+
+util::Mutex alpha_mutex;
+util::Mutex beta_mutex;
+
+void grab_beta() { util::MutexLock lock(beta_mutex); }
+void grab_alpha() { util::MutexLock lock(alpha_mutex); }
+
+void lock_ab() {
+  util::MutexLock lock(alpha_mutex);
+  grab_beta();
+}
+
+void lock_ba() {
+  util::MutexLock lock(beta_mutex);
+  grab_alpha();
+}
+
+}  // namespace demo
+"""
+
+LOCK_CLEAN_CPP = """\
+#include "util/sync.hpp"
+
+namespace demo {
+
+util::Mutex alpha_mutex;
+util::Mutex beta_mutex;
+
+void grab_beta() { util::MutexLock lock(beta_mutex); }
+
+void lock_ab() {
+  util::MutexLock lock(alpha_mutex);
+  grab_beta();
+}
+
+void also_ab() {
+  util::MutexLock lock(alpha_mutex);
+  grab_beta();
+}
+
+}  // namespace demo
+"""
+
+SWAP_BAD_CPP = """\
+#include "util/sync.hpp"
+
+namespace demo {
+
+int prepare(int v) { return v * 2; }
+void audit_log(int v) { (void)v; }
+
+class Widget {
+ public:
+  void publish(int v);
+
+ private:
+  util::Mutex mutex_;
+  int value_ TOPK_GUARDED_BY(mutex_) = 0;
+};
+
+void Widget::publish(int v) {
+  int staged = prepare(v);
+  util::MutexLock lock(mutex_);
+  value_ = staged;
+  audit_log(staged + 1);
+}
+
+}  // namespace demo
+"""
+
+SWAP_CLEAN_CPP = """\
+#include "util/sync.hpp"
+
+namespace demo {
+
+int prepare(int v) { return v * 2; }
+
+class Widget {
+ public:
+  void publish(int v);
+
+ private:
+  util::Mutex mutex_;
+  int value_ TOPK_GUARDED_BY(mutex_) = 0;
+};
+
+void Widget::publish(int v) {
+  int staged = prepare(v);
+  util::MutexLock lock(mutex_);
+  value_ = staged;
+}
+
+}  // namespace demo
+"""
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="analyze-selftest-") as td:
+        tmp = Path(td)
+
+        # 1. Layering violation: util (tier 0) includes core (tier 1).
+        root = build_tree(tmp, "layer-bad", {
+            "src/util/helper.hpp": '#include "core/engine.hpp"\n',
+            "src/util/helper.cpp": '#include "util/helper.hpp"\n',
+            "src/core/engine.hpp": "inline int engine() { return 1; }\n",
+            "src/core/engine.cpp": '#include "core/engine.hpp"\n',
+        })
+        code, out = run_analyze(root, "-Wlayer")
+        expect("layer fires on seeded violation", code, out, exit_code=1,
+               contains=("[-Wlayer]", "layer:util->core"))
+
+        # 2. Include cycle between two same-tier modules.
+        root = build_tree(tmp, "cycle-bad", {
+            "src/util/x.hpp": '#include "core/y.hpp"\n',
+            "src/core/y.hpp": '#include "util/x.hpp"\n',
+            "src/core/y.cpp": '#include "core/y.hpp"\n',
+        })
+        code, out = run_analyze(root, "-Winclude-cycle")
+        expect("include-cycle fires on seeded cycle", code, out, exit_code=1,
+               contains=("[-Winclude-cycle]", "include-cycle:"))
+
+        # 3. Lock-order inversion A->B / B->A through helpers.
+        root = build_tree(tmp, "lock-bad", {
+            "src/util/sync.hpp": "namespace util { }\n",
+            "src/core/locks.cpp": LOCK_INVERSION_CPP,
+        })
+        code, out = run_analyze(root, "-Wlock-order")
+        expect("lock-order fires on seeded inversion", code, out, exit_code=1,
+               contains=("[-Wlock-order]",
+                         "locks::alpha_mutex", "locks::beta_mutex"))
+
+        # 4. Throwing call in the publish suffix of an audited function.
+        root = build_tree(tmp, "swap-bad", {
+            "src/util/sync.hpp": "namespace util { }\n",
+            "src/core/widget.cpp": SWAP_BAD_CPP,
+        }, audit_functions='["Widget::publish"]')
+        code, out = run_analyze(root, "-Wswap-noexcept")
+        expect("swap-noexcept fires on seeded violation", code, out,
+               exit_code=1,
+               contains=("[-Wswap-noexcept]",
+                         "swap-noexcept:Widget::publish", "audit_log"))
+
+        # 5. Clean tree: every rule on, nothing fires.
+        root = build_tree(tmp, "clean", {
+            "src/util/sync.hpp": "namespace util { }\n",
+            "src/util/helper.hpp": "inline int helper() { return 1; }\n",
+            "src/core/engine.hpp": '#include "util/helper.hpp"\n',
+            "src/core/engine.cpp": '#include "core/engine.hpp"\n',
+            "src/core/locks.cpp": LOCK_CLEAN_CPP,
+            "src/core/widget.cpp": SWAP_CLEAN_CPP,
+        }, audit_functions='["Widget::publish"]')
+        code, out = run_analyze(root, "-Wall")
+        expect("clean tree passes -Wall", code, out, exit_code=0,
+               absent=("[-W",))
+
+        # 6a. A justified suppression silences the seeded inversion.
+        justified = ('[[suppress]]\n'
+                     'id = "lock-order:locks::alpha_mutex->'
+                     'locks::beta_mutex"\n'
+                     'justification = "seeded by the self-test"\n')
+        root = build_tree(tmp, "lock-suppressed", {
+            "src/util/sync.hpp": "namespace util { }\n",
+            "src/core/locks.cpp": LOCK_INVERSION_CPP,
+        }, suppressions=justified)
+        code, out = run_analyze(root, "-Wlock-order")
+        expect("justified suppression silences the finding", code, out,
+               exit_code=0, contains=("1 suppressed",))
+
+        # 6b. The same entry over a clean tree is stale, and fatal.
+        root = build_tree(tmp, "lock-stale", {
+            "src/util/sync.hpp": "namespace util { }\n",
+            "src/core/locks.cpp": LOCK_CLEAN_CPP,
+        }, suppressions=justified)
+        code, out = run_analyze(root, "-Wlock-order")
+        expect("stale suppression is fatal", code, out, exit_code=1,
+               contains=("stale suppression",))
+
+        # 6c. A suppression without a justification is rejected.
+        unjustified = ('[[suppress]]\n'
+                       'id = "lock-order:locks::alpha_mutex->'
+                       'locks::beta_mutex"\n')
+        root = build_tree(tmp, "lock-unjustified", {
+            "src/util/sync.hpp": "namespace util { }\n",
+            "src/core/locks.cpp": LOCK_INVERSION_CPP,
+        }, suppressions=unjustified)
+        code, out = run_analyze(root, "-Wlock-order")
+        expect("unjustified suppression is rejected", code, out, exit_code=1,
+               contains=("no justification",))
+
+    if failures:
+        print(f"selftest: {len(failures)} case(s) failed")
+        return 1
+    print("selftest: all cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

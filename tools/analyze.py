@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Semantic analyzer: architecture layering, include cycles, static
+lock-order deadlock detection, and the noexcept publish audit —
+dependency-free, driven by compile_commands.json and the layer
+manifest tools/analysis/layers.toml.
+
+Warnings follow the tools/lint.py idiom: enable with -W<name>, disable
+with -Wno-<name>, -Wall (the default) turns on the whole set, and any
+emitted warning is fatal (exit 1).  Findings can be suppressed by
+stable id in tools/analysis/suppressions.toml, where every entry must
+justify itself; the shipped baseline is empty, and a suppression that
+no longer matches anything is itself an error.
+
+    tools/analyze.py                       # full gate against ./build
+    tools/analyze.py -p build-clang        # another build tree
+    tools/analyze.py -Wlayer               # one rule only
+    tools/analyze.py --dot arch.dot        # emit the Graphviz diagram
+    tools/analyze.py --list-warnings       # the rule table (in README)
+    tools/analyze.py --check-readme        # verify README documents it
+
+Runs from any directory and as a ctest (`ctest -R repo_analyze`).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import _repolint  # noqa: E402
+from analysis import cpp_scan, include_graph, lock_order  # noqa: E402
+from analysis import manifest as manifest_mod  # noqa: E402
+from analysis import noexcept_audit  # noqa: E402
+
+WARNINGS = {
+    "layer": (
+        "include edge that violates the architecture layer manifest "
+        "(tools/analysis/layers.toml)"
+    ),
+    "include-cycle": (
+        "cycle in the project include graph, at module or file "
+        "granularity"
+    ),
+    "lock-order": (
+        "lock acquisition order inversion over the annotated guard "
+        "sites and approximated call graph"
+    ),
+    "swap-noexcept": (
+        "potentially-throwing statement inside the publish suffix of "
+        "an atomic-swap section"
+    ),
+}
+
+
+def main(argv):
+    parser = _repolint.make_parser(__doc__, WARNINGS)
+    parser.add_argument("-p", "--build-dir", default=None, metavar="DIR",
+                        help="build tree holding compile_commands.json "
+                             "(default: <repo>/build; falls back to a "
+                             "src/ walk when absent)")
+    parser.add_argument("--root", default=None, metavar="DIR",
+                        help="project root (default: the repo root; "
+                             "overridden by the self-test)")
+    parser.add_argument("--manifest", default=None, metavar="FILE",
+                        help="layer manifest (default: "
+                             "tools/analysis/layers.toml)")
+    parser.add_argument("--suppressions", default=None, metavar="FILE",
+                        help="suppression baseline (default: "
+                             "tools/analysis/suppressions.toml)")
+    parser.add_argument("--dot", default=None, metavar="FILE",
+                        help="write the Graphviz architecture diagram")
+    args, unknown = parser.parse_known_args(argv)
+    flags = args.flags + unknown
+
+    if args.list_warnings:
+        _repolint.list_warnings(WARNINGS)
+        return 0
+
+    enabled = _repolint.parse_warning_flags(parser, flags, WARNINGS)
+
+    root = Path(args.root).resolve() if args.root else _repolint.REPO_ROOT
+    build_dir = (Path(args.build_dir).resolve() if args.build_dir
+                 else root / "build")
+    manifest_path = (Path(args.manifest) if args.manifest
+                     else manifest_mod.DEFAULT_MANIFEST)
+    suppressions_path = (Path(args.suppressions) if args.suppressions
+                         else manifest_mod.DEFAULT_SUPPRESSIONS)
+
+    manifest = manifest_mod.load_manifest(manifest_path)
+    suppressions, errors = manifest_mod.load_suppressions(suppressions_path)
+
+    findings = []
+    if enabled & {"layer", "include-cycle"} or args.dot:
+        graph_findings = include_graph.run(build_dir, root, manifest,
+                                           dot_path=args.dot)
+        findings.extend(f for f in graph_findings if f.warning in enabled)
+    if enabled & {"lock-order", "swap-noexcept"}:
+        guard_names = tuple(manifest.exclusive_guards
+                            + manifest.shared_guards)
+        src_files = list(_repolint.source_files(["src"], root))
+        models, _ = cpp_scan.scan_tree(src_files, guard_names)
+        if "lock-order" in enabled:
+            findings.extend(lock_order.check(models, root))
+        if "swap-noexcept" in enabled:
+            findings.extend(noexcept_audit.check(models, root, manifest))
+
+    by_id = {s.id: s for s in suppressions}
+    failures = len(errors)
+    for message in errors:
+        print(message)
+    suppressed = 0
+    for finding in findings:
+        suppression = by_id.get(finding.id)
+        if suppression is not None:
+            suppression.used = True
+            suppressed += 1
+            continue
+        print(finding.render())
+        print(f"  (suppress as id: {finding.id})")
+        failures += 1
+    for suppression in suppressions:
+        if not suppression.used:
+            print(f"{suppressions_path}: stale suppression "
+                  f"'{suppression.id}' matches no finding — remove it")
+            failures += 1
+
+    if args.check_readme:
+        failures += _repolint.check_readme(WARNINGS)
+
+    if failures:
+        print(f"analyze: {failures} failure(s)"
+              + (f" ({suppressed} suppressed)" if suppressed else ""))
+        return 1
+    if suppressed:
+        print(f"analyze: clean ({suppressed} suppressed)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -20,13 +20,12 @@ parent of tools/) and as a ctest (`ctest -R repo_lint`).
 
 from __future__ import annotations
 
-import argparse
 import re
 import sys
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-README = REPO_ROOT / "README.md"
+import _repolint
+from _repolint import REPO_ROOT, strip_comments
 
 # name -> one-line description.  --list-warnings prints this table and
 # --check-readme requires README.md to reproduce it verbatim, so the
@@ -90,44 +89,6 @@ TIE_BREAK = re.compile(r"\.value\s*[<>]=?\s*[A-Za-z_]\w*(?:\.|->)value\b")
 RAW_HWCONCURRENCY = re.compile(r"\bhardware_concurrency\s*\(")
 
 INCLUDE = re.compile(r'^\s*#\s*include\s+([<"])([^">]+)[">]')
-
-
-def strip_comments(text: str) -> str:
-    """Remove // and /* */ comments, preserving line structure so the
-    reported line numbers stay true."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        if text.startswith("//", i):
-            j = text.find("\n", i)
-            i = n if j < 0 else j
-        elif text.startswith("/*", i):
-            j = text.find("*/", i + 2)
-            end = n if j < 0 else j + 2
-            out.append("\n" * text.count("\n", i, end))
-            i = end
-        elif text[i] in "\"'":
-            quote = text[i]
-            out.append(quote)
-            i += 1
-            while i < n and text[i] != quote:
-                out.append(" " if text[i] != "\n" else "\n")
-                i += 2 if text[i] == "\\" else 1
-            if i < n:
-                out.append(quote)
-                i += 1
-        else:
-            out.append(text[i])
-            i += 1
-    return "".join(out)
-
-
-def source_files(subdirs):
-    for subdir in subdirs:
-        root = REPO_ROOT / subdir
-        if root.is_dir():
-            yield from sorted(root.rglob("*.hpp"))
-            yield from sorted(root.rglob("*.cpp"))
 
 
 class Linter:
@@ -277,68 +238,19 @@ class Linter:
             prev[kind] = target
 
 
-def readme_table_lines():
-    """The warning table as it must appear in README.md."""
-    lines = []
-    for name, description in WARNINGS.items():
-        lines.append(f"| `-W{name}` | {description} |")
-    return lines
-
-
-def check_readme():
-    if not README.is_file():
-        print("README.md: missing — cannot verify the lint warning table")
-        return 1
-    text = README.read_text(encoding="utf-8")
-    failures = 0
-    for line in readme_table_lines():
-        if line not in text:
-            print(f"README.md: lint table out of sync — missing row: {line}")
-            failures += 1
-    return failures
-
-
 def main(argv):
-    parser = argparse.ArgumentParser(
-        add_help=True,
-        description=__doc__,
-        formatter_class=argparse.RawDescriptionHelpFormatter,
-    )
-    parser.add_argument("--list-warnings", action="store_true",
-                        help="print the warning table and exit")
-    parser.add_argument("--check-readme", action="store_true",
-                        help="also verify README.md documents every warning")
-    parser.add_argument("flags", nargs="*", metavar="-W...",
-                        help="-Wall, -W<name>, -Wno-<name>")
+    parser = _repolint.make_parser(__doc__, WARNINGS)
     args, unknown = parser.parse_known_args(argv)
     flags = args.flags + unknown
 
     if args.list_warnings:
-        for name, description in WARNINGS.items():
-            print(f"-W{name:<14} {description}")
+        _repolint.list_warnings(WARNINGS)
         return 0
 
-    enabled = set(WARNINGS) if not any(
-        f.startswith("-W") and not f.startswith("-Wno-") and f != "-Wall"
-        for f in flags) else set()
-    for flag in flags:
-        if flag == "-Wall":
-            enabled = set(WARNINGS)
-        elif flag.startswith("-Wno-"):
-            name = flag[len("-Wno-"):]
-            if name not in WARNINGS:
-                parser.error(f"unknown warning: {flag}")
-            enabled.discard(name)
-        elif flag.startswith("-W"):
-            name = flag[len("-W"):]
-            if name not in WARNINGS:
-                parser.error(f"unknown warning: {flag}")
-            enabled.add(name)
-        else:
-            parser.error(f"unrecognised argument: {flag}")
+    enabled = _repolint.parse_warning_flags(parser, flags, WARNINGS)
 
     linter = Linter(enabled)
-    for path in source_files(["src", "tests", "bench", "examples"]):
+    for path in _repolint.source_files(["src", "tests", "bench", "examples"]):
         text = path.read_text(encoding="utf-8")
         linter.check_raw_mutex(path, text)
         linter.check_raw_stat(path, text)
@@ -349,7 +261,7 @@ def main(argv):
 
     failures = linter.failures
     if args.check_readme:
-        failures += check_readme()
+        failures += _repolint.check_readme(WARNINGS)
     if failures:
         print(f"lint: {failures} failure(s)")
         return 1
